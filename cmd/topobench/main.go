@@ -1,0 +1,191 @@
+// Command topobench regenerates the tables and figures of the paper
+// "Topological Relations in the World of Minimum Bounding Rectangles:
+// A Study with R-trees" (SIGMOD 1995).
+//
+// Usage:
+//
+//	topobench -exp all
+//	topobench -exp table3 -n 10000 -queries 100 -seed 1995
+//	topobench -exp fig11
+//	topobench -exp fig2|fig3|fig4|table1|fig9|table2|fig12|table4|table5|fig14
+//	topobench -exp window|complex|ablations [-class small|medium|large]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"mbrtopo/internal/experiments"
+	"mbrtopo/internal/index"
+	"mbrtopo/internal/workload"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "all", "experiment id (all, table3, fig11, fig12, table4, table5, window, complex, ablations, packing, seeds, noncontiguous, join, secondfilter, fig1, fig2, fig3, fig4, table1, fig9, table2, fig14)")
+		n        = flag.Int("n", 10000, "data file cardinality")
+		queries  = flag.Int("queries", 100, "search file cardinality")
+		seed     = flag.Int64("seed", 1995, "random seed")
+		pageSize = flag.Int("pagesize", index.PaperPageSize, "page size in bytes (2008 → 50 entries/page)")
+		class    = flag.String("class", "medium", "size class for single-class experiments (small, medium, large)")
+		quick    = flag.Bool("quick", false, "use a scaled-down configuration")
+	)
+	flag.Parse()
+
+	cfg := experiments.Config{
+		NData:    *n,
+		NQueries: *queries,
+		Seed:     *seed,
+		PageSize: *pageSize,
+		Classes:  workload.AllSizeClasses(),
+	}
+	if *quick {
+		cfg = experiments.Quick()
+	}
+	cls, err := parseClass(*class)
+	if err != nil {
+		fatal(err)
+	}
+
+	if err := run(*exp, cfg, cls); err != nil {
+		fatal(err)
+	}
+}
+
+func parseClass(s string) (workload.SizeClass, error) {
+	switch strings.ToLower(s) {
+	case "small":
+		return workload.Small, nil
+	case "medium":
+		return workload.Medium, nil
+	case "large":
+		return workload.Large, nil
+	}
+	return 0, fmt.Errorf("unknown size class %q", s)
+}
+
+func run(exp string, cfg experiments.Config, cls workload.SizeClass) error {
+	type job struct {
+		id string
+		fn func() (string, error)
+	}
+	jobs := []job{
+		{"fig1", func() (string, error) { return experiments.RenderFig1(), nil }},
+		{"fig2", func() (string, error) { return experiments.RenderFig2(), nil }},
+		{"fig3", func() (string, error) { return experiments.RenderFig3(), nil }},
+		{"fig4", func() (string, error) { return experiments.RenderFig4(), nil }},
+		{"table1", func() (string, error) { return experiments.RenderTable1(), nil }},
+		{"fig9", func() (string, error) { return experiments.RenderTable1(), nil }},
+		{"table2", func() (string, error) { return experiments.RenderTable2(), nil }},
+		{"fig14", func() (string, error) { return experiments.RenderFig14(), nil }},
+		{"table3", func() (string, error) {
+			r, err := experiments.RunTable3(cfg)
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		}},
+		{"fig11", func() (string, error) {
+			r, err := experiments.RunFig11(cfg)
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		}},
+		{"fig12", func() (string, error) { return experiments.RunFig12().Render(), nil }},
+		{"table4", func() (string, error) { return experiments.RunTable4().Render(), nil }},
+		{"table5", func() (string, error) {
+			r, err := experiments.RunTable5(cfg)
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		}},
+		{"window", func() (string, error) {
+			r, err := experiments.RunWindow(cfg, cls)
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		}},
+		{"complex", func() (string, error) {
+			r, err := experiments.RunComplex(cfg)
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		}},
+		{"ablations", func() (string, error) {
+			r, err := experiments.RunAblations(cfg, cls)
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		}},
+		{"packing", func() (string, error) {
+			r, err := experiments.RunPacking(cfg, cls)
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		}},
+		{"seeds", func() (string, error) {
+			r, err := experiments.RunSeedSweep(cfg, []int64{cfg.Seed, cfg.Seed + 1, cfg.Seed + 2, cfg.Seed + 3, cfg.Seed + 4})
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		}},
+		{"noncontiguous", func() (string, error) {
+			r, err := experiments.RunNonContiguous(cfg)
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		}},
+		{"secondfilter", func() (string, error) {
+			r, err := experiments.RunSecondFilter(cfg)
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		}},
+		{"join", func() (string, error) {
+			r, err := experiments.RunJoin(cfg, cls)
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		}},
+	}
+
+	ran := false
+	for _, j := range jobs {
+		if exp != "all" && exp != j.id {
+			continue
+		}
+		// "fig9" aliases "table1"; skip the duplicate in "all" runs.
+		if exp == "all" && j.id == "fig9" {
+			continue
+		}
+		ran = true
+		start := time.Now()
+		out, err := j.fn()
+		if err != nil {
+			return fmt.Errorf("%s: %w", j.id, err)
+		}
+		fmt.Printf("=== %s (%.1fs) ===\n%s\n", j.id, time.Since(start).Seconds(), out)
+	}
+	if !ran {
+		return fmt.Errorf("unknown experiment %q", exp)
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "topobench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,249 @@
+// Command topoquery loads a rectangle data file (CSV, as produced by
+// datagen) into an access method and answers topological queries
+// against a reference MBR, printing the qualifying object ids and the
+// paper's cost metrics.
+//
+// Usage:
+//
+//	topoquery -data data.csv -tree rstar -rel covers -ref 10,10,40,30
+//	topoquery -data data.csv -rel in -ref 0,0,500,500      # inside ∨ covered_by
+//	topoquery -data data.csv -rel meet -ref 10,10,40,30 -noncrisp
+//	topoquery -data data.csv -queries queries.csv -rel overlap   # batch mode
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"mbrtopo/internal/direction"
+	"mbrtopo/internal/geom"
+	"mbrtopo/internal/index"
+	"mbrtopo/internal/query"
+	"mbrtopo/internal/topo"
+	"mbrtopo/internal/workload"
+)
+
+func main() {
+	var (
+		dataPath  = flag.String("data", "", "data CSV (oid,minx,miny,maxx,maxy); required")
+		queryPath = flag.String("queries", "", "optional search-file CSV for batch mode")
+		tree      = flag.String("tree", "rtree", "access method: rtree, rplus, rstar")
+		relName   = flag.String("rel", "overlap", "relation (disjoint, meet, equal, overlap, contains, inside, covers, covered_by, in, not_disjoint)")
+		refSpec   = flag.String("ref", "", "reference MBR as minx,miny,maxx,maxy (single-query mode)")
+		pageSize  = flag.Int("pagesize", index.PaperPageSize, "page size in bytes")
+		nonCrisp  = flag.Bool("noncrisp", false, "tolerate 2-degree MBR imprecision (Table 5 retrieval)")
+		nonContig = flag.Bool("noncontiguous", false, "objects may be multi-part (Section 7 tables)")
+		knnSpec   = flag.String("knn", "", "k,x,y — report the k stored rectangles nearest to (x,y)")
+		dirName   = flag.String("dir", "", "direction relation (north, southwest, samelevel, strict_east, …) instead of -rel")
+		maxPrint  = flag.Int("maxprint", 20, "print at most this many matching oids")
+	)
+	flag.Parse()
+
+	if *dataPath == "" {
+		fatal(fmt.Errorf("-data is required"))
+	}
+	rels, err := parseRelSet(*relName)
+	if err != nil {
+		fatal(err)
+	}
+	kind, err := parseKind(*tree)
+	if err != nil {
+		fatal(err)
+	}
+	items, err := readItems(*dataPath)
+	if err != nil {
+		fatal(err)
+	}
+	idx, err := index.NewWithPageSize(kind, *pageSize)
+	if err != nil {
+		fatal(err)
+	}
+	if err := index.Load(idx, items); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("loaded %d rectangles into %s (height %d)\n", idx.Len(), idx.Name(), idx.Height())
+
+	// kNN mode.
+	if *knnSpec != "" {
+		parts := strings.Split(*knnSpec, ",")
+		if len(parts) != 3 {
+			fatal(fmt.Errorf("-knn needs k,x,y"))
+		}
+		k, err := strconv.Atoi(strings.TrimSpace(parts[0]))
+		if err != nil {
+			fatal(err)
+		}
+		x, err := strconv.ParseFloat(strings.TrimSpace(parts[1]), 64)
+		if err != nil {
+			fatal(err)
+		}
+		y, err := strconv.ParseFloat(strings.TrimSpace(parts[2]), 64)
+		if err != nil {
+			fatal(err)
+		}
+		idx.ResetIOStats()
+		nn, err := idx.Nearest(geom.Point{X: x, Y: y}, k)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%d nearest to (%g, %g) — %d page reads:\n", len(nn), x, y, idx.IOStats().Reads)
+		for i, nb := range nn {
+			fmt.Printf("  %2d. oid %-6d dist %-8.3f %v\n", i+1, nb.OID, nb.Dist, nb.Rect)
+		}
+		return
+	}
+
+	proc := &query.Processor{Idx: idx, NonCrisp: *nonCrisp, NonContiguous: *nonContig}
+
+	// Direction mode.
+	if *dirName != "" {
+		rel, err := parseDirection(*dirName)
+		if err != nil {
+			fatal(err)
+		}
+		ref, err := parseRect(*refSpec)
+		if err != nil {
+			fatal(err)
+		}
+		res, err := proc.QueryDirection(rel, ref)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("direction %s of %v: %d objects, %d node accesses\n",
+			rel, ref, len(res.Matches), res.Stats.NodeAccesses)
+		for i, m := range res.Matches {
+			if i >= *maxPrint {
+				fmt.Printf("  … %d more\n", len(res.Matches)-i)
+				break
+			}
+			fmt.Printf("  oid %d  %v\n", m.OID, m.Rect)
+		}
+		return
+	}
+
+	var refs []geom.Rect
+	switch {
+	case *refSpec != "":
+		r, err := parseRect(*refSpec)
+		if err != nil {
+			fatal(err)
+		}
+		refs = []geom.Rect{r}
+	case *queryPath != "":
+		f, err := os.Open(*queryPath)
+		if err != nil {
+			fatal(err)
+		}
+		refs, err = workload.ReadRectsCSV(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+	default:
+		fatal(fmt.Errorf("provide -ref or -queries"))
+	}
+
+	var totalAcc uint64
+	var totalHits int
+	for i, ref := range refs {
+		res, err := proc.QuerySetMBR(rels, ref)
+		if err != nil {
+			fatal(err)
+		}
+		totalAcc += res.Stats.NodeAccesses
+		totalHits += res.Stats.Candidates
+		if len(refs) == 1 {
+			fmt.Printf("query %v relation %s: %d candidates, %d node accesses\n",
+				ref, *relName, res.Stats.Candidates, res.Stats.NodeAccesses)
+			for j, m := range res.Matches {
+				if j >= *maxPrint {
+					fmt.Printf("  … %d more\n", len(res.Matches)-j)
+					break
+				}
+				fmt.Printf("  oid %d  %v\n", m.OID, m.Rect)
+			}
+		} else if i < 5 {
+			fmt.Printf("query %3d: %5d candidates, %4d accesses\n",
+				i, res.Stats.Candidates, res.Stats.NodeAccesses)
+		}
+	}
+	if len(refs) > 1 {
+		fmt.Printf("batch of %d queries: mean %.1f candidates, mean %.1f node accesses (serial scan: %d pages)\n",
+			len(refs),
+			float64(totalHits)/float64(len(refs)),
+			float64(totalAcc)/float64(len(refs)),
+			index.SerialPages(idx.Len(), (*pageSize-8)/40))
+	}
+}
+
+func readItems(path string) ([]index.Item, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return workload.ReadItemsCSV(f)
+}
+
+func parseRelSet(s string) (topo.Set, error) {
+	switch strings.ToLower(s) {
+	case "in":
+		return topo.In, nil
+	case "not_disjoint", "notdisjoint", "window":
+		return topo.NotDisjoint, nil
+	}
+	r, err := topo.ParseRelation(strings.ToLower(s))
+	if err != nil {
+		return 0, err
+	}
+	return topo.NewSet(r), nil
+}
+
+func parseDirection(s string) (direction.Relation, error) {
+	for _, r := range direction.All() {
+		if r.String() == strings.ToLower(s) {
+			return r, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown direction %q", s)
+}
+
+func parseKind(s string) (index.Kind, error) {
+	switch strings.ToLower(s) {
+	case "rtree", "r":
+		return index.KindRTree, nil
+	case "rplus", "r+":
+		return index.KindRPlus, nil
+	case "rstar", "r*":
+		return index.KindRStar, nil
+	}
+	return 0, fmt.Errorf("unknown tree %q", s)
+}
+
+func parseRect(s string) (geom.Rect, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != 4 {
+		return geom.Rect{}, fmt.Errorf("ref needs 4 comma-separated coordinates, got %q", s)
+	}
+	vals := make([]float64, 4)
+	for i, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return geom.Rect{}, fmt.Errorf("bad coordinate %q: %w", p, err)
+		}
+		vals[i] = v
+	}
+	r := geom.R(vals[0], vals[1], vals[2], vals[3])
+	if !r.Valid() {
+		return geom.Rect{}, fmt.Errorf("degenerate reference MBR %v", r)
+	}
+	return r, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "topoquery:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,108 @@
+// Archipelago example (the paper's Section 7): non-contiguous regions
+// such as countries with islands. The contiguous filter theory would
+// MISS answers here — an island nation flanking a strait is disjoint
+// from it although their MBRs stand in a crossing configuration that
+// contiguous regions cannot exhibit while disjoint. The processor's
+// NonContiguous mode uses the relaxed candidate tables and stays exact.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mbrtopo"
+)
+
+func main() {
+	idx, err := mbrtopo.NewRStar()
+	if err != nil {
+		log.Fatal(err)
+	}
+	store := mbrtopo.RegionStore{}
+
+	add := func(oid uint64, r mbrtopo.Region) {
+		if err := r.Validate(); err != nil {
+			log.Fatalf("oid %d: %v", oid, err)
+		}
+		store[oid] = r
+		if err := idx.Insert(r.Bounds(), oid); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// The strait: a narrow vertical sea lane.
+	strait := mbrtopo.R(45, 0, 55, 100).Polygon()
+
+	// An island nation with territory on both shores of the strait —
+	// its MBR covers the strait's x-projection while sitting inside the
+	// strait's y-projection (configuration R5_9).
+	twoShores := mbrtopo.MultiPolygon{
+		mbrtopo.R(20, 40, 44, 60).Polygon(),
+		mbrtopo.R(56, 40, 80, 60).Polygon(),
+	}
+	add(1, twoShores)
+
+	// An archipelago inside a bay (all components within the strait).
+	inStrait := mbrtopo.MultiPolygon{
+		mbrtopo.R(47, 10, 49, 13).Polygon(),
+		mbrtopo.R(51, 20, 53, 24).Polygon(),
+	}
+	add(2, inStrait)
+
+	// A coastal state meeting the strait's west bank.
+	coastal := mbrtopo.MultiPolygon{
+		mbrtopo.R(30, 70, 45, 90).Polygon(),
+		mbrtopo.R(25, 60, 35, 68).Polygon(),
+	}
+	add(3, coastal)
+
+	// A far-away island group.
+	add(4, mbrtopo.MultiPolygon{
+		mbrtopo.R(85, 85, 90, 90).Polygon(),
+		mbrtopo.R(92, 92, 97, 97).Polygon(),
+	})
+
+	fmt.Println("territories vs the strait (exact):")
+	for oid := uint64(1); oid <= 4; oid++ {
+		fmt.Printf("  oid %d: %v (MBR config %v)\n",
+			oid, mbrtopo.RelateRegions(store[oid], strait),
+			mbrtopo.ConfigOf(store[oid].Bounds(), strait.Bounds()))
+	}
+
+	contiguous := &mbrtopo.Processor{Idx: idx, Objects: store}
+	relaxed := &mbrtopo.Processor{Idx: idx, Objects: store, NonContiguous: true}
+
+	fmt.Println("\nquery: territories DISJOINT from the strait")
+	res, err := contiguous.Query(mbrtopo.Disjoint, strait)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  contiguous tables:     %v   ← misses oid 1 (crossing config excluded)\n", oidsOf(res))
+	res, err = relaxed.Query(mbrtopo.Disjoint, strait)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  non-contiguous tables: %v\n", oidsOf(res))
+
+	fmt.Println("\nquery: territories INSIDE the strait")
+	res, err = relaxed.Query(mbrtopo.Inside, strait)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  non-contiguous tables: %v\n", oidsOf(res))
+
+	fmt.Println("\nquery: territories that MEET the strait")
+	res, err = relaxed.Query(mbrtopo.Meet, strait)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  non-contiguous tables: %v\n", oidsOf(res))
+}
+
+func oidsOf(r mbrtopo.Result) []uint64 {
+	out := make([]uint64, 0, len(r.Matches))
+	for _, m := range r.Matches {
+		out = append(out, m.OID)
+	}
+	return out
+}

@@ -1,0 +1,78 @@
+// Non-crisp MBRs example (the paper's Section 6): when stored MBRs are
+// slightly larger than the true minimum bounding rectangles (inexact
+// geometry code, rounding, integer snapping), a crisp filter can MISS
+// answers. The NonCrisp processor expands the candidate configurations
+// by 2-degree conceptual neighbourhoods (Table 5) and recovers them,
+// at a measurable extra retrieval cost.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"mbrtopo"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(5))
+
+	store := mbrtopo.MapStore{}
+	crispIdx, err := mbrtopo.NewRTree()
+	if err != nil {
+		log.Fatal(err)
+	}
+	noisyIdx, err := mbrtopo.NewRTree()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The reference region and an object exactly equal to it.
+	ref := mbrtopo.R(400, 400, 480, 460).Polygon()
+	store[1] = ref
+
+	// Background objects.
+	for oid := uint64(2); oid <= 400; oid++ {
+		x := rng.Float64() * 950
+		y := rng.Float64() * 950
+		b := mbrtopo.R(x, y, x+5+rng.Float64()*40, y+5+rng.Float64()*40).Polygon()
+		store[oid] = b
+	}
+
+	// Load both indexes: one with crisp MBRs, one with MBRs enlarged by
+	// a tiny epsilon on random sides — the imprecision the paper
+	// describes ("slightly larger than required").
+	enlarge := func(r mbrtopo.Rect) mbrtopo.Rect {
+		e := func() float64 { return rng.Float64() * 1e-6 }
+		return mbrtopo.Rect{
+			Min: mbrtopo.Point{X: r.Min.X - e(), Y: r.Min.Y - e()},
+			Max: mbrtopo.Point{X: r.Max.X + e(), Y: r.Max.Y + e()},
+		}
+	}
+	for oid, pg := range store {
+		if err := crispIdx.Insert(pg.Bounds(), oid); err != nil {
+			log.Fatal(err)
+		}
+		if err := noisyIdx.Insert(enlarge(pg.Bounds()), oid); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	run := func(name string, proc *mbrtopo.Processor) {
+		res, err := proc.Query(mbrtopo.Equal, ref)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-34s → %d matches (candidates %d, accesses %d)\n",
+			name, len(res.Matches), res.Stats.Candidates, res.Stats.NodeAccesses)
+	}
+
+	fmt.Println("query: find all objects EQUAL to the reference region")
+	run("crisp index, crisp filter", &mbrtopo.Processor{Idx: crispIdx, Objects: store})
+	run("NOISY index, crisp filter (wrong!)", &mbrtopo.Processor{Idx: noisyIdx, Objects: store})
+	run("noisy index, 2-neighbourhood filter", &mbrtopo.Processor{Idx: noisyIdx, Objects: store, NonCrisp: true})
+
+	fmt.Println("\nThe crisp filter on the noisy index misses the equal object: its")
+	fmt.Println("stored configuration drifted away from R7_7. The Table 5 expansion")
+	fmt.Println("(81 configurations instead of 1 for equal) recovers it.")
+}

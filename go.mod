@@ -1,0 +1,3 @@
+module mbrtopo
+
+go 1.22

@@ -1,0 +1,143 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"mbrtopo/internal/interval"
+	"mbrtopo/internal/mbr"
+	"mbrtopo/internal/topo"
+)
+
+// This file regenerates the paper's conceptual figures and tables
+// (Figures 2–10, Tables 1–2) as verified enumerations: the structures
+// are derived in code, so printing them *is* reproducing them.
+
+// RenderFig1 lists the eight topological relations of mt2 with their
+// 9-intersection matrices (Figure 1).
+func RenderFig1() string {
+	var b strings.Builder
+	b.WriteString("Figure 1 — the topological relations of mt2 (9-intersection model)\n\n")
+	t := &table{header: []string{"relation", "converse", "9IM matrix", "shares interior"}}
+	for _, r := range relationOrder {
+		t.addRow(r.String(), r.Converse().String(), r.Matrix().String(),
+			fmt.Sprintf("%v", r.SharesInterior()))
+	}
+	b.WriteString(t.String())
+	b.WriteString("\nthe relations are pairwise disjoint and provide a complete coverage.\n")
+	return b.String()
+}
+
+// RenderFig2 lists the thirteen 1D interval relations (Figure 2).
+func RenderFig2() string {
+	var b strings.Builder
+	b.WriteString("Figure 2 — the 13 relations between intervals in 1D space\n\n")
+	q := interval.Interval{Lo: 10, Hi: 20}
+	for _, r := range interval.All() {
+		fmt.Fprintf(&b, "  R%-2d %-13s converse=R%d\n", int(r), r, int(r.Converse()))
+	}
+	fmt.Fprintf(&b, "\nreference interval [%g, %g]; relations are pairwise disjoint and complete.\n", q.Lo, q.Hi)
+	return b.String()
+}
+
+// RenderFig3 summarises the 169 MBR projection relations (Figure 3).
+func RenderFig3() string {
+	var b strings.Builder
+	b.WriteString("Figure 3 — the 169 (13×13) projection relations between two MBRs\n\n")
+	b.WriteString("R i_j: x-projections in relation Ri, y-projections in Rj\n")
+	fmt.Fprintf(&b, "total configurations: %d\n", len(mbr.AllConfigs()))
+	return b.String()
+}
+
+// RenderFig4 prints the classification of the 169 configurations into
+// the eight rectangle-level topological relations (Figure 4).
+func RenderFig4() string {
+	var b strings.Builder
+	b.WriteString("Figure 4 — topological relation between the MBRs, per configuration\n\n")
+	counts := map[topo.Relation]int{}
+	// 13×13 grid, rows = x relation, columns = y relation.
+	b.WriteString("      ")
+	for y := 1; y <= interval.NumRelations; y++ {
+		fmt.Fprintf(&b, "%-4s", fmt.Sprintf("y%d", y))
+	}
+	b.WriteByte('\n')
+	for x := 1; x <= interval.NumRelations; x++ {
+		fmt.Fprintf(&b, "  x%-3d", x)
+		for y := 1; y <= interval.NumRelations; y++ {
+			c := mbr.Config{X: interval.Relation(x), Y: interval.Relation(y)}
+			rel := c.Topo()
+			counts[rel]++
+			fmt.Fprintf(&b, "%-4s", abbrev[rel])
+		}
+		b.WriteByte('\n')
+	}
+	b.WriteString("\npartition sizes: ")
+	for _, rel := range relationOrder {
+		fmt.Fprintf(&b, "%s=%d ", rel, counts[rel])
+	}
+	fmt.Fprintf(&b, "(total %d)\n", mbr.NumConfigs)
+	fmt.Fprintf(&b, "legend: %s\n", legend())
+	return b.String()
+}
+
+// RenderTable1 prints the candidate configuration sets (Table 1,
+// Figures 5–8) with the refinement-free subsets (Figure 9).
+func RenderTable1() string {
+	var b strings.Builder
+	b.WriteString("Table 1 — MBR configurations to retrieve per topological relation\n\n")
+	t := &table{header: []string{"relation", "#configs", "#refinement-free", "x relations", "y relations"}}
+	for _, rel := range relationOrder {
+		c := mbr.Candidates(rel)
+		t.addRow(
+			rel.String(),
+			fmt.Sprintf("%d", c.Len()),
+			fmt.Sprintf("%d", mbr.NoRefinementSet(rel).Len()),
+			c.XRelations().String(),
+			c.YRelations().String(),
+		)
+	}
+	b.WriteString(t.String())
+	b.WriteString("\nFigure 5 check — objects with equal MBRs may satisfy: ")
+	b.WriteString(mbr.PossibleRelations(mbr.Config{X: interval.Equal, Y: interval.Equal}).String())
+	b.WriteByte('\n')
+	b.WriteString("Figure 9 — refinement-free sets: disjoint on MBR-disjoint configs (48), ")
+	fmt.Fprintf(&b, "overlap on %v\n", mbr.NoRefinementSet(topo.Overlap))
+	return b.String()
+}
+
+// RenderTable2 prints the derived intermediate-node propagation
+// relations (Table 2, Figure 10).
+func RenderTable2() string {
+	var b strings.Builder
+	b.WriteString("Table 2 — relations for the intermediate nodes (derived per axis)\n\n")
+	t := &table{header: []string{"leaf relation", "node classes to follow", "#node configs"}}
+	for _, rel := range relationOrder {
+		t.addRow(
+			rel.String(),
+			mbr.NodeRelations(rel).String(),
+			fmt.Sprintf("%d", mbr.PropagationFor(rel).Len()),
+		)
+	}
+	b.WriteString(t.String())
+	b.WriteString("\npropagation is idempotent: the same test applies at every tree level.\n")
+	return b.String()
+}
+
+// RenderFig14 prints the conceptual neighbourhood graphs (Figure 14)
+// and the first/second-degree neighbour sets behind Table 5.
+func RenderFig14() string {
+	var b strings.Builder
+	b.WriteString("Figure 14 — conceptual neighbourhoods of the 1D relations\n\n")
+	t := &table{header: []string{"relation", "grow primary", "grow reference", "1st degree", "2nd degree"}}
+	for _, r := range interval.All() {
+		t.addRow(
+			fmt.Sprintf("R%d %s", int(r), r),
+			interval.GrowPrimaryNeighbours(r).String(),
+			interval.GrowReferenceNeighbours(r).String(),
+			interval.FirstDegreeNeighbours(r).String(),
+			interval.SecondDegreeNeighbours(r).String(),
+		)
+	}
+	b.WriteString(t.String())
+	return b.String()
+}

@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"mbrtopo/internal/mbr"
+	"mbrtopo/internal/topo"
+)
+
+// Fig12Result reproduces the paper's Figure 12: the subset lattice of
+// the Table 1 output-MBR sets, which governs when a disjunctive query
+// costs no more than one of its members.
+type Fig12Result struct {
+	// Edges are the Hasse-diagram edges: Sub's candidate set is a
+	// proper subset of Super's, with no relation strictly between.
+	Edges []LatticeEdge
+}
+
+// LatticeEdge is one covering relation of the subset lattice.
+type LatticeEdge struct {
+	Sub, Super topo.Relation
+}
+
+// RunFig12 computes the lattice from the Table 1 rows.
+func RunFig12() *Fig12Result {
+	strictSubset := func(a, b topo.Relation) bool {
+		ca, cb := mbr.Candidates(a), mbr.Candidates(b)
+		return ca.SubsetOf(cb) && !cb.SubsetOf(ca)
+	}
+	var edges []LatticeEdge
+	for _, sub := range topo.All() {
+		for _, super := range topo.All() {
+			if sub == super || !strictSubset(sub, super) {
+				continue
+			}
+			// Hasse reduction: skip if something lies strictly between.
+			between := false
+			for _, mid := range topo.All() {
+				if mid != sub && mid != super && strictSubset(sub, mid) && strictSubset(mid, super) {
+					between = true
+					break
+				}
+			}
+			if !between {
+				edges = append(edges, LatticeEdge{Sub: sub, Super: super})
+			}
+		}
+	}
+	return &Fig12Result{Edges: edges}
+}
+
+// Render prints the covering edges and the paper's two worked claims.
+func (r *Fig12Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 12 — subset lattice of output-MBR sets (sub ⊂ super)\n\n")
+	for _, e := range r.Edges {
+		fmt.Fprintf(&b, "  %-10s ⊂ %s\n", e.Sub, e.Super)
+	}
+	b.WriteString("\nderived query-cost identities:\n")
+	in := mbr.CandidatesSet(topo.In)
+	fmt.Fprintf(&b, "  candidates(inside ∨ covered_by) == candidates(covered_by): %v\n",
+		in.Equal(mbr.Candidates(topo.CoveredBy)))
+	u := mbr.CandidatesSet(topo.NewSet(topo.Meet, topo.Contains, topo.Equal, topo.Inside))
+	fmt.Fprintf(&b, "  candidates(meet ∨ contains ∨ equal ∨ inside) == candidates(meet): %v\n",
+		u.Equal(mbr.Candidates(topo.Meet)))
+	return b.String()
+}

@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"mbrtopo/internal/index"
+	"mbrtopo/internal/query"
+	"mbrtopo/internal/topo"
+	"mbrtopo/internal/workload"
+)
+
+// JoinResultExp measures topological spatial joins between two layers:
+// synchronized-traversal cost versus the nested per-object baseline,
+// per relation.
+type JoinResultExp struct {
+	Config Config
+	Class  workload.SizeClass
+	N      int
+	Rows   []JoinRow
+}
+
+// JoinRow is one relation's join measurement.
+type JoinRow struct {
+	Relation topo.Relation
+	// Pairs found at the filter level.
+	Pairs int
+	// JoinAccesses: page reads of the synchronized traversal.
+	JoinAccesses uint64
+	// NestedAccesses: page reads of querying the right index once per
+	// left object.
+	NestedAccesses uint64
+}
+
+// RunJoin measures joins between two independently generated layers of
+// the given class (cardinality capped to keep the nested baseline
+// tractable).
+func RunJoin(cfg Config, class workload.SizeClass) (*JoinResultExp, error) {
+	n := cfg.NData
+	if n > 3000 {
+		n = 3000
+	}
+	left := workload.NewDataset(class, n, 1, cfg.Seed+400)
+	right := workload.NewDataset(class, n, 1, cfg.Seed+401)
+	lIdx, err := cfg.buildIndex(index.KindRStar, left)
+	if err != nil {
+		return nil, err
+	}
+	rIdx, err := cfg.buildIndex(index.KindRStar, right)
+	if err != nil {
+		return nil, err
+	}
+	out := &JoinResultExp{Config: cfg, Class: class, N: n}
+	for _, rel := range []topo.Relation{topo.Meet, topo.Overlap, topo.Inside, topo.Covers, topo.Equal} {
+		row := JoinRow{Relation: rel}
+		res, err := query.JoinTopological(lIdx, rIdx, topo.NewSet(rel), query.JoinOptions{})
+		if err != nil {
+			return nil, err
+		}
+		row.Pairs = len(res.Pairs)
+		row.JoinAccesses = res.Stats.NodeAccesses
+
+		// Nested baseline: one topological query per left object.
+		proc := &query.Processor{Idx: rIdx}
+		before := rIdx.IOStats().Reads
+		for _, it := range left.Items {
+			if _, err := proc.QueryMBR(rel, it.Rect); err != nil {
+				return nil, err
+			}
+		}
+		row.NestedAccesses = rIdx.IOStats().Reads - before
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// Render prints the join comparison.
+func (r *JoinResultExp) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Topological spatial join, two %s layers of %d objects (R*-trees)\n\n", r.Class, r.N)
+	t := &table{header: []string{"relation", "pairs", "join accesses", "nested accesses", "speedup"}}
+	for _, row := range r.Rows {
+		speed := float64(row.NestedAccesses) / float64(row.JoinAccesses)
+		t.addRow(row.Relation.String(),
+			fmt.Sprintf("%d", row.Pairs),
+			fmt.Sprintf("%d", row.JoinAccesses),
+			fmt.Sprintf("%d", row.NestedAccesses),
+			fmt.Sprintf("%.1f×", speed))
+	}
+	b.WriteString(t.String())
+	return b.String()
+}

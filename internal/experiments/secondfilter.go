@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"mbrtopo/internal/geom"
+	"mbrtopo/internal/index"
+	"mbrtopo/internal/query"
+	"mbrtopo/internal/topo"
+	"mbrtopo/internal/workload"
+)
+
+// SecondFilterResult measures the multi-step refinement of Brinkhoff
+// et al. (1994), which the paper cites: how many exact geometry tests
+// the convex-hull second filter saves per relation.
+type SecondFilterResult struct {
+	Config Config
+	N      int
+	Rows   []SecondFilterRow
+}
+
+// SecondFilterRow is one relation's comparison.
+type SecondFilterRow struct {
+	Relation topo.Relation
+	// ExactPlain / ExactHull: mean exact tests per query without/with
+	// the hull filter. HullResolved: candidates the hull test decided.
+	ExactPlain, ExactHull, HullResolved float64
+}
+
+// RunSecondFilter measures the reduction on a polygon-backed medium
+// workload.
+func RunSecondFilter(cfg Config) (*SecondFilterResult, error) {
+	n := cfg.NData
+	if n > 2500 {
+		n = 2500 // exact geometry is materialised for every object
+	}
+	d := workload.NewDataset(workload.Medium, n, cfg.NQueries, cfg.Seed+300)
+	idx, err := cfg.buildIndex(index.KindRTree, d)
+	if err != nil {
+		return nil, err
+	}
+	objs := query.MapStore(d.ObjectsFor(cfg.Seed + 301))
+	plain := &query.Processor{Idx: idx, Objects: objs}
+	hulled := &query.Processor{Idx: idx, Objects: objs, SecondFilter: true}
+
+	// Reference regions: random polygons with search-file-sized MBRs.
+	rng := rand.New(rand.NewSource(cfg.Seed + 302))
+	refs := make([]geom.Polygon, 0, len(d.Queries))
+	for _, q := range d.Queries {
+		refs = append(refs, workload.PolygonInRect(rng, q, 6+rng.Intn(6)))
+	}
+
+	out := &SecondFilterResult{Config: cfg, N: n}
+	for _, rel := range relationOrder {
+		row := SecondFilterRow{Relation: rel}
+		for _, ref := range refs {
+			res, err := plain.Query(rel, ref)
+			if err != nil {
+				return nil, err
+			}
+			row.ExactPlain += float64(res.Stats.RefinementTests)
+			res, err = hulled.Query(rel, ref)
+			if err != nil {
+				return nil, err
+			}
+			row.ExactHull += float64(res.Stats.RefinementTests)
+			row.HullResolved += float64(res.Stats.HullResolved)
+		}
+		k := float64(len(refs))
+		row.ExactPlain /= k
+		row.ExactHull /= k
+		row.HullResolved /= k
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// Render prints the exact-test reduction.
+func (r *SecondFilterResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Convex-hull second filter (Brinkhoff et al. 1994), %d objects, medium data\n\n", r.N)
+	t := &table{header: []string{"relation", "exact tests plain", "exact tests w/ hull", "hull-resolved", "saved"}}
+	for _, row := range r.Rows {
+		saved := "0%"
+		if row.ExactPlain > 0 {
+			saved = pct(1 - row.ExactHull/row.ExactPlain)
+		}
+		t.addRow(row.Relation.String(), f1(row.ExactPlain), f1(row.ExactHull), f1(row.HullResolved), saved)
+	}
+	b.WriteString(t.String())
+	return b.String()
+}

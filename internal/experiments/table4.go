@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"mbrtopo/internal/topo"
+)
+
+// Table4Result reproduces the paper's Table 4: for each pair of
+// relations (r1, r2) in a two-reference conjunction, the set of
+// relations between the references for which the result is provably
+// empty (the complement of the composition r1˘ ∘ r2).
+type Table4Result struct {
+	// Empty[r1][r2] is the guaranteed-empty set.
+	Empty [topo.NumRelations][topo.NumRelations]topo.Set
+}
+
+// RunTable4 derives the table from the composition algebra.
+func RunTable4() *Table4Result {
+	out := &Table4Result{}
+	for _, r1 := range topo.All() {
+		for _, r2 := range topo.All() {
+			out.Empty[r1][r2] = topo.EmptyConjunction(r1, r2)
+		}
+	}
+	return out
+}
+
+// abbrev maps relations to the paper's two-letter codes.
+var abbrev = map[topo.Relation]string{
+	topo.Disjoint:  "d",
+	topo.Meet:      "m",
+	topo.Equal:     "e",
+	topo.Overlap:   "o",
+	topo.Contains:  "ct",
+	topo.Inside:    "i",
+	topo.Covers:    "cv",
+	topo.CoveredBy: "cb",
+}
+
+func abbrevSet(s topo.Set) string {
+	if s.IsEmpty() {
+		return "---"
+	}
+	parts := make([]string, 0, s.Len())
+	for _, r := range s.Relations() {
+		parts = append(parts, abbrev[r])
+	}
+	return strings.Join(parts, "∨")
+}
+
+// Render prints the 8×8 grid: rows r1(p,q1), columns r2(p,q2), cells
+// the reference relations yielding a provably empty result.
+func (r *Table4Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Table 4 — conjunctions with guaranteed-empty results\n")
+	b.WriteString("cell (r1, r2): relations rel(q1,q2) for which r1(p,q1) ∧ r2(p,q2) is empty\n\n")
+	t := &table{header: []string{"r1 \\ r2"}}
+	for _, r2 := range topo.All() {
+		t.header = append(t.header, abbrev[r2])
+	}
+	for _, r1 := range topo.All() {
+		row := []string{r1.String()}
+		for _, r2 := range topo.All() {
+			row = append(row, abbrevSet(r.Empty[r1][r2]))
+		}
+		t.addRow(row...)
+	}
+	b.WriteString(t.String())
+	fmt.Fprintf(&b, "\nlegend: %s\n", legend())
+	return b.String()
+}
+
+func legend() string {
+	parts := make([]string, 0, topo.NumRelations)
+	for _, r := range topo.All() {
+		parts = append(parts, fmt.Sprintf("%s=%s", abbrev[r], r))
+	}
+	return strings.Join(parts, ", ")
+}

@@ -1,0 +1,212 @@
+package geom
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRectBasics(t *testing.T) {
+	r := R(0, 0, 4, 2)
+	if !r.Valid() || r.Area() != 8 || r.Width() != 4 || r.Height() != 2 || r.Margin() != 6 {
+		t.Fatalf("rect basics broken: %v", r)
+	}
+	if r.Center() != (Point{2, 1}) {
+		t.Fatalf("center: %v", r.Center())
+	}
+	if !R(0, 0, 1, 1).Valid() == false && R(1, 1, 1, 2).Valid() {
+		t.Fatal("degenerate rect considered valid")
+	}
+	s := R(2, 1, 6, 5)
+	if got := r.Union(s); got != R(0, 0, 6, 5) {
+		t.Fatalf("union: %v", got)
+	}
+	if got, ok := r.Intersect(s); !ok || got != R(2, 1, 4, 2) {
+		t.Fatalf("intersect: %v %v", got, ok)
+	}
+	if _, ok := r.Intersect(R(4, 0, 5, 2)); ok {
+		t.Fatal("edge-sharing rects should have no interior intersection")
+	}
+	if !r.Intersects(R(4, 0, 5, 2)) {
+		t.Fatal("edge-sharing rects do share points")
+	}
+	if r.IntersectsInterior(R(4, 0, 5, 2)) {
+		t.Fatal("edge-sharing rects share no interior")
+	}
+	if !r.ContainsRect(R(1, 0, 2, 1)) || r.ContainsRect(R(1, 0, 5, 1)) {
+		t.Fatal("ContainsRect broken")
+	}
+	if !r.ContainsPoint(Point{4, 2}) || r.ContainsPoint(Point{4.1, 2}) {
+		t.Fatal("ContainsPoint broken")
+	}
+	if got := r.Enlarge(R(0, 0, 8, 2)); got != 8 {
+		t.Fatalf("Enlarge: %v", got)
+	}
+	if got := r.OverlapArea(s); got != 2 {
+		t.Fatalf("OverlapArea: %v", got)
+	}
+	if got := r.OverlapArea(R(10, 10, 11, 11)); got != 0 {
+		t.Fatalf("OverlapArea disjoint: %v", got)
+	}
+	if got := r.Grow(1); got != R(-1, -1, 5, 3) {
+		t.Fatalf("Grow: %v", got)
+	}
+	if got := r.Polygon().Area(); got != 8 {
+		t.Fatalf("rect polygon area: %v", got)
+	}
+	if r.XInterval().Length() != 4 || r.YInterval().Length() != 2 {
+		t.Fatal("projections broken")
+	}
+}
+
+func TestSegmentPredicates(t *testing.T) {
+	s := Segment{Point{0, 0}, Point{4, 0}}
+	if s.Length() != 4 || s.Midpoint() != (Point{2, 0}) {
+		t.Fatal("segment basics broken")
+	}
+	if d := s.DistToPoint(Point{2, 3}); d != 3 {
+		t.Fatalf("DistToPoint: %v", d)
+	}
+	if d := s.DistToPoint(Point{-3, 4}); d != 5 {
+		t.Fatalf("DistToPoint beyond endpoint: %v", d)
+	}
+	if !s.ContainsPoint(Point{1, 0}) || s.ContainsPoint(Point{1, 0.1}) {
+		t.Fatal("ContainsPoint broken")
+	}
+}
+
+func TestSegmentIntersections(t *testing.T) {
+	cases := []struct {
+		name    string
+		s, u    Segment
+		npts    int
+		crosses bool
+	}{
+		{"disjoint", Segment{Point{0, 0}, Point{1, 0}}, Segment{Point{0, 1}, Point{1, 1}}, 0, false},
+		{"proper cross", Segment{Point{0, 0}, Point{2, 2}}, Segment{Point{0, 2}, Point{2, 0}}, 1, true},
+		{"T touch", Segment{Point{0, 0}, Point{2, 0}}, Segment{Point{1, 0}, Point{1, 2}}, 1, false},
+		{"endpoint touch", Segment{Point{0, 0}, Point{1, 1}}, Segment{Point{1, 1}, Point{2, 0}}, 1, false},
+		{"collinear overlap", Segment{Point{0, 0}, Point{2, 0}}, Segment{Point{1, 0}, Point{3, 0}}, 2, false},
+		{"collinear disjoint", Segment{Point{0, 0}, Point{1, 0}}, Segment{Point{2, 0}, Point{3, 0}}, 0, false},
+		{"collinear contained", Segment{Point{0, 0}, Point{4, 0}}, Segment{Point{1, 0}, Point{2, 0}}, 2, false},
+		{"parallel", Segment{Point{0, 0}, Point{2, 0}}, Segment{Point{0, 1}, Point{2, 1}}, 0, false},
+	}
+	for _, c := range cases {
+		pts, crosses := c.s.Intersections(c.u)
+		if len(pts) != c.npts || crosses != c.crosses {
+			t.Errorf("%s: got %d pts (%v) crosses=%v, want %d crosses=%v",
+				c.name, len(pts), pts, crosses, c.npts, c.crosses)
+		}
+		// Symmetry.
+		pts2, crosses2 := c.u.Intersections(c.s)
+		if len(pts2) != c.npts || crosses2 != c.crosses {
+			t.Errorf("%s (swapped): got %d pts crosses=%v", c.name, len(pts2), crosses2)
+		}
+	}
+	// The proper crossing point itself.
+	pts, _ := Segment{Point{0, 0}, Point{2, 2}}.Intersections(Segment{Point{0, 2}, Point{2, 0}})
+	if len(pts) != 1 || !pts[0].Eq(Point{1, 1}) {
+		t.Fatalf("crossing point: %v", pts)
+	}
+}
+
+func TestPolygonBasics(t *testing.T) {
+	sq := R(0, 0, 2, 2).Polygon()
+	if sq.Area() != 4 || sq.SignedArea() != 4 {
+		t.Fatalf("square area: %v", sq.Area())
+	}
+	if rev := sq.Reverse(); rev.SignedArea() != -4 || rev.Area() != 4 {
+		t.Fatal("Reverse broken")
+	}
+	if got := sq.Bounds(); got != R(0, 0, 2, 2) {
+		t.Fatalf("Bounds: %v", got)
+	}
+	if got := sq.Translate(Point{1, 1}).Bounds(); got != R(1, 1, 3, 3) {
+		t.Fatalf("Translate: %v", got)
+	}
+	if got := sq.ScaleAbout(Point{1, 1}, 0.5).Bounds(); got != R(0.5, 0.5, 1.5, 1.5) {
+		t.Fatalf("ScaleAbout: %v", got)
+	}
+	if got := sq.Rotate(2); got.Area() != 4 || got[0] != sq[2] {
+		t.Fatal("Rotate broken")
+	}
+	if err := sq.Validate(); err != nil {
+		t.Fatalf("square should validate: %v", err)
+	}
+	if err := (Polygon{{0, 0}, {1, 0}}).Validate(); err == nil {
+		t.Fatal("2-gon should not validate")
+	}
+	bowtie := Polygon{{0, 0}, {2, 2}, {2, 0}, {0, 2}}
+	if bowtie.IsSimple() {
+		t.Fatal("bowtie should not be simple")
+	}
+	if err := bowtie.Validate(); err == nil {
+		t.Fatal("bowtie should not validate")
+	}
+	if err := (Polygon{{0, 0}, {0, 0}, {1, 0}, {1, 1}}).Validate(); err == nil {
+		t.Fatal("repeated vertex should not validate")
+	}
+}
+
+func TestLocatePoint(t *testing.T) {
+	// Concave L-shape.
+	L := Polygon{{0, 0}, {3, 0}, {3, 1}, {1, 1}, {1, 3}, {0, 3}}
+	if err := L.Validate(); err != nil {
+		t.Fatalf("L should validate: %v", err)
+	}
+	cases := []struct {
+		p    Point
+		want PointLocation
+	}{
+		{Point{0.5, 0.5}, PointInside},
+		{Point{2, 0.5}, PointInside},
+		{Point{0.5, 2}, PointInside},
+		{Point{2, 2}, PointOutside},
+		{Point{-1, 1}, PointOutside},
+		{Point{1, 1}, PointOnBoundary},
+		{Point{1.5, 1}, PointOnBoundary},
+		{Point{0, 0}, PointOnBoundary},
+		{Point{3, 0.5}, PointOnBoundary},
+		{Point{1, 2}, PointOnBoundary},
+	}
+	for _, c := range cases {
+		if got := L.LocatePoint(c.p); got != c.want {
+			t.Errorf("LocatePoint(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	// Orientation must not matter.
+	for _, c := range cases {
+		if got := L.Reverse().LocatePoint(c.p); got != c.want {
+			t.Errorf("reversed LocatePoint(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestInteriorPoint(t *testing.T) {
+	shapes := []Polygon{
+		R(0, 0, 1, 1).Polygon(),
+		{{0, 0}, {3, 0}, {3, 1}, {1, 1}, {1, 3}, {0, 3}}, // L
+		{{0, 0}, {4, 0}, {4, 4}, {2, 1}, {0, 4}},         // concave "M"
+	}
+	for i, pg := range shapes {
+		p, ok := pg.InteriorPoint()
+		if !ok || pg.LocatePoint(p) != PointInside {
+			t.Errorf("shape %d: InteriorPoint = %v ok=%v loc=%v", i, p, ok, pg.LocatePoint(p))
+		}
+	}
+}
+
+func TestPointOps(t *testing.T) {
+	p, q := Point{1, 2}, Point{3, 5}
+	if p.Add(q) != (Point{4, 7}) || q.Sub(p) != (Point{2, 3}) || p.Scale(2) != (Point{2, 4}) {
+		t.Fatal("point arithmetic broken")
+	}
+	if p.Dot(q) != 13 || p.Cross(q) != -1 {
+		t.Fatal("products broken")
+	}
+	if math.Abs(p.Dist(q)-math.Sqrt(13)) > 1e-15 {
+		t.Fatal("Dist broken")
+	}
+	if !p.Eq(Point{1 + 1e-12, 2}) || p.Eq(Point{1.1, 2}) {
+		t.Fatal("Eq broken")
+	}
+}

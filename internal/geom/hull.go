@@ -1,0 +1,115 @@
+package geom
+
+import (
+	"sort"
+
+	"mbrtopo/internal/topo"
+)
+
+// This file implements convex hulls and the hull-level relation
+// reasoning behind the multi-step query processing of Brinkhoff,
+// Kriegel, Schneider and Seeger (1994), which the paper cites as the
+// refinement-reducing extension of the basic filter/refine strategy:
+// between the MBR filter and the exact geometry test, a cheaper test
+// on convex-hull approximations resolves many candidates.
+
+// ConvexHull returns the convex hull of the region's vertices as a
+// counter-clockwise polygon (Andrew's monotone chain). The hull of a
+// region is its minimal convex superset, and — like the MBR — it is a
+// *crisp* approximation: every hull vertex lies on the region.
+func ConvexHull(points []Point) Polygon {
+	pts := make([]Point, len(points))
+	copy(pts, points)
+	sort.Slice(pts, func(i, j int) bool {
+		if pts[i].X != pts[j].X {
+			return pts[i].X < pts[j].X
+		}
+		return pts[i].Y < pts[j].Y
+	})
+	// Deduplicate.
+	uniq := pts[:0]
+	for i, p := range pts {
+		if i == 0 || p != pts[i-1] {
+			uniq = append(uniq, p)
+		}
+	}
+	pts = uniq
+	if len(pts) < 3 {
+		return Polygon(pts)
+	}
+	var lower, upper []Point
+	for _, p := range pts {
+		for len(lower) >= 2 && cross2(lower[len(lower)-2], lower[len(lower)-1], p) <= 0 {
+			lower = lower[:len(lower)-1]
+		}
+		lower = append(lower, p)
+	}
+	for i := len(pts) - 1; i >= 0; i-- {
+		p := pts[i]
+		for len(upper) >= 2 && cross2(upper[len(upper)-2], upper[len(upper)-1], p) <= 0 {
+			upper = upper[:len(upper)-1]
+		}
+		upper = append(upper, p)
+	}
+	hull := append(lower[:len(lower)-1], upper[:len(upper)-1]...)
+	return Polygon(hull)
+}
+
+// HullOf returns the convex hull of a region (the hull of its
+// effective boundary vertices; for multi-part regions this is the hull
+// of the union).
+func HullOf(r Region) Polygon {
+	var pts []Point
+	for _, seg := range r.BoundarySegments() {
+		pts = append(pts, seg.A, seg.B)
+	}
+	return ConvexHull(pts)
+}
+
+// IsConvex reports whether the polygon is convex (all turns in one
+// orientation, collinear vertices allowed).
+func (pg Polygon) IsConvex() bool {
+	n := len(pg)
+	if n < 3 {
+		return false
+	}
+	sign := 0.0
+	for i := 0; i < n; i++ {
+		c := cross2(pg[i], pg[(i+1)%n], pg[(i+2)%n])
+		if c == 0 {
+			continue
+		}
+		if sign == 0 {
+			sign = c
+		} else if (c > 0) != (sign > 0) {
+			return false
+		}
+	}
+	return true
+}
+
+// PossibleGivenHulls returns the region relations possible between two
+// regions whose convex hulls stand in relation h. The rules are sound
+// consequences of p ⊆ hull(p) and convexity (a region contained in a
+// convex set has its hull contained there too):
+//
+//   - hulls disjoint ⇒ regions disjoint;
+//   - hull interiors disjoint (meet) ⇒ regions disjoint or meet;
+//   - q ⊆ p requires hull(q) ⊆ hull(p), so containment relations are
+//     refuted whenever the hulls lack the corresponding containment.
+func PossibleGivenHulls(h topo.Relation) topo.Set {
+	switch h {
+	case topo.Disjoint:
+		return topo.NewSet(topo.Disjoint)
+	case topo.Meet:
+		return topo.NewSet(topo.Disjoint, topo.Meet)
+	}
+	out := topo.FullSet()
+	if !h.ContainsRef() {
+		out = out.Minus(topo.NewSet(topo.Contains, topo.Covers, topo.Equal))
+	}
+	if !h.InsideRef() {
+		out = out.Minus(topo.NewSet(topo.Inside, topo.CoveredBy, topo.Equal))
+	}
+	return out
+}

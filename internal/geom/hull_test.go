@@ -1,0 +1,130 @@
+package geom
+
+import (
+	"math/rand"
+	"testing"
+
+	"mbrtopo/internal/topo"
+)
+
+func TestConvexHullBasics(t *testing.T) {
+	// A square with an interior point and a duplicate vertex.
+	pts := []Point{{0, 0}, {4, 0}, {4, 4}, {0, 4}, {2, 2}, {0, 0}}
+	hull := ConvexHull(pts)
+	if len(hull) != 4 {
+		t.Fatalf("hull has %d vertices: %v", len(hull), hull)
+	}
+	if !hull.IsConvex() {
+		t.Fatal("hull not convex")
+	}
+	if hull.SignedArea() <= 0 {
+		t.Fatal("hull not counter-clockwise")
+	}
+	if hull.Area() != 16 {
+		t.Fatalf("hull area %v", hull.Area())
+	}
+	// Degenerate inputs.
+	if got := ConvexHull([]Point{{1, 1}}); len(got) != 1 {
+		t.Fatalf("single point hull: %v", got)
+	}
+	if got := ConvexHull([]Point{{0, 0}, {1, 1}, {0, 0}}); len(got) != 2 {
+		t.Fatalf("two point hull: %v", got)
+	}
+}
+
+// TestConvexHullContainsAllPoints: random point clouds.
+func TestConvexHullContainsAllPoints(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 200; trial++ {
+		n := 3 + rng.Intn(30)
+		pts := make([]Point, n)
+		for i := range pts {
+			pts[i] = Point{X: rng.Float64() * 20, Y: rng.Float64() * 20}
+		}
+		hull := ConvexHull(pts)
+		if len(hull) < 3 {
+			continue
+		}
+		if err := hull.Validate(); err != nil {
+			t.Fatalf("hull invalid: %v", err)
+		}
+		if !hull.IsConvex() {
+			t.Fatal("hull not convex")
+		}
+		for _, p := range pts {
+			if hull.LocatePoint(p) == PointOutside {
+				t.Fatalf("hull misses point %v", p)
+			}
+		}
+	}
+}
+
+// TestHullOfRegion: the hull of a region contains the region and is
+// crisp (same MBR).
+func TestHullOfRegion(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	shapes := []Region{
+		randomStar(rng, Point{5, 5}, 4, 9),
+		Polygon{{0, 0}, {6, 0}, {6, 1}, {1, 1}, {1, 6}, {0, 6}}, // L
+		ring4(),
+		MultiPolygon{R(0, 0, 1, 1).Polygon(), R(5, 5, 6, 6).Polygon()},
+	}
+	for i, rg := range shapes {
+		hull := HullOf(rg)
+		if err := hull.Validate(); err != nil {
+			t.Fatalf("shape %d: hull invalid: %v", i, err)
+		}
+		if hull.Bounds() != rg.Bounds() {
+			t.Fatalf("shape %d: hull MBR %v != region MBR %v", i, hull.Bounds(), rg.Bounds())
+		}
+		rel := RelateRegions(rg, hull)
+		if rel != topo.Equal && rel != topo.CoveredBy && rel != topo.Inside {
+			t.Fatalf("shape %d: region not inside its hull: %v", i, rel)
+		}
+	}
+}
+
+// TestPossibleGivenHullsSound: for random region pairs, the actual
+// relation is always admitted by the hull-level table.
+func TestPossibleGivenHullsSound(t *testing.T) {
+	rng := rand.New(rand.NewSource(27))
+	resolved := 0
+	for trial := 0; trial < 600; trial++ {
+		p := randomStar(rng, Point{rng.Float64() * 12, rng.Float64() * 12}, 1+rng.Float64()*4, 5+rng.Intn(6))
+		q := randomStar(rng, Point{rng.Float64() * 12, rng.Float64() * 12}, 1+rng.Float64()*4, 5+rng.Intn(6))
+		if p.Validate() != nil || q.Validate() != nil {
+			continue
+		}
+		h := Relate(HullOf(p), HullOf(q))
+		poss := PossibleGivenHulls(h)
+		actual := Relate(p, q)
+		if !poss.Has(actual) {
+			t.Fatalf("hull relation %v admits %v but actual is %v", h, poss, actual)
+		}
+		if poss.Len() == 1 {
+			resolved++
+		}
+	}
+	if resolved == 0 {
+		t.Fatal("hull table never resolved a pair; check the disjoint rule")
+	}
+}
+
+// TestPossibleGivenHullsTable pins the derived rows.
+func TestPossibleGivenHullsTable(t *testing.T) {
+	if got := PossibleGivenHulls(topo.Disjoint); got != topo.NewSet(topo.Disjoint) {
+		t.Errorf("disjoint row: %v", got)
+	}
+	if got := PossibleGivenHulls(topo.Meet); got != topo.NewSet(topo.Disjoint, topo.Meet) {
+		t.Errorf("meet row: %v", got)
+	}
+	if got := PossibleGivenHulls(topo.Overlap); got != topo.NewSet(topo.Disjoint, topo.Meet, topo.Overlap) {
+		t.Errorf("overlap row: %v", got)
+	}
+	if got := PossibleGivenHulls(topo.Contains); got.Has(topo.Equal) || got.Has(topo.Inside) || !got.Has(topo.Covers) {
+		t.Errorf("contains row: %v", got)
+	}
+	if got := PossibleGivenHulls(topo.Equal); got != topo.FullSet() {
+		t.Errorf("equal row: %v", got)
+	}
+}

@@ -1,0 +1,181 @@
+package geom
+
+import (
+	"math/rand"
+	"testing"
+
+	"mbrtopo/internal/topo"
+)
+
+func TestPolyLineValidate(t *testing.T) {
+	good := PolyLine{{0, 0}, {2, 1}, {4, 0}, {5, 3}}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("good polyline: %v", err)
+	}
+	cases := []struct {
+		name string
+		pl   PolyLine
+	}{
+		{"too short", PolyLine{{0, 0}}},
+		{"repeated vertex", PolyLine{{0, 0}, {0, 0}, {1, 1}}},
+		{"closed ring", PolyLine{{0, 0}, {1, 0}, {1, 1}, {0, 0}}},
+		{"self crossing", PolyLine{{0, 0}, {2, 2}, {2, 0}, {0, 2}}},
+		{"touching earlier segment", PolyLine{{0, 0}, {4, 0}, {4, 2}, {2, 0}}},
+	}
+	for _, c := range cases {
+		if err := c.pl.Validate(); err == nil {
+			t.Errorf("%s: validated unexpectedly", c.name)
+		}
+	}
+}
+
+func TestPolyLineBasics(t *testing.T) {
+	pl := PolyLine{{0, 0}, {3, 0}, {3, 4}}
+	if pl.NumSegs() != 2 || pl.Length() != 7 {
+		t.Fatalf("segs=%d length=%v", pl.NumSegs(), pl.Length())
+	}
+	if got := pl.Bounds(); got != R(0, 0, 3, 4) {
+		t.Fatalf("bounds: %v", got)
+	}
+	if got := pl.Translate(Point{1, 1}).Bounds(); got != R(1, 1, 4, 5) {
+		t.Fatalf("translate: %v", got)
+	}
+	if got := pl.Seg(1); got != (Segment{Point{3, 0}, Point{3, 4}}) {
+		t.Fatalf("seg: %v", got)
+	}
+}
+
+func TestRelateLineRegionFixtures(t *testing.T) {
+	region := R(0, 0, 10, 10).Polygon()
+	L := Polygon{{0, 0}, {6, 0}, {6, 2}, {2, 2}, {2, 6}, {0, 6}} // concave host
+	cases := []struct {
+		name   string
+		line   PolyLine
+		region Region
+		want   LineRegionRelation
+	}{
+		{"far away", PolyLine{{20, 20}, {25, 25}}, region, LRDisjoint},
+		{"crosses through", PolyLine{{-2, 5}, {12, 5}}, region, LRCross},
+		{"enters and stays", PolyLine{{-2, 5}, {5, 5}}, region, LRCross},
+		{"strictly within", PolyLine{{2, 2}, {8, 3}, {5, 8}}, region, LRWithin},
+		{"within touching wall", PolyLine{{0, 5}, {5, 5}}, region, LRCoveredBy},
+		{"chord between boundary points", PolyLine{{0, 2}, {5, 5}, {10, 2}}, region, LRCoveredBy},
+		{"endpoint touch from outside", PolyLine{{-5, 5}, {0, 5}}, region, LRTouch},
+		{"interior-point touch from outside", PolyLine{{-5, -5}, {0, 5}, {-5, 15}}, region, LRTouch},
+		{"runs along edge", PolyLine{{0, 2}, {0, 8}}, region, LROnBoundary},
+		{"along edge then away", PolyLine{{-3, 0}, {0, 2}, {0, 8}}, region, LRTouch},
+		{"corner clip of concave host", PolyLine{{4, -1}, {4, 1}, {8, 1}}, L, LRCross},
+		{"through the notch", PolyLine{{4, 4}, {8, 8}}, L, LRDisjoint},
+		{"notch wall ride", PolyLine{{2, 3}, {2, 5}}, L, LROnBoundary},
+	}
+	for _, c := range cases {
+		if err := c.line.Validate(); err != nil {
+			t.Fatalf("%s: bad fixture: %v", c.name, err)
+		}
+		got, m := RelateLineRegion(c.line, c.region)
+		if got != c.want {
+			t.Errorf("%s: relation %v, want %v (matrix %v)", c.name, got, c.want, m)
+		}
+		// Structural matrix facts.
+		if !m[topo.Exterior][topo.Exterior] || !m[topo.Exterior][topo.Interior] || !m[topo.Exterior][topo.Boundary] {
+			t.Errorf("%s: line exterior must meet all region parts", c.name)
+		}
+	}
+}
+
+// TestRelateLineRegionMatrixConsistency: the named relation must be a
+// function of the returned matrix's point-set content.
+func TestRelateLineRegionMatrixConsistency(t *testing.T) {
+	region := R(0, 0, 10, 10).Polygon()
+	rng := rand.New(rand.NewSource(8))
+	seen := map[LineRegionRelation]int{}
+	for i := 0; i < 3000; i++ {
+		n := 2 + rng.Intn(4)
+		pl := make(PolyLine, n)
+		for j := range pl {
+			pl[j] = Point{X: rng.Float64()*24 - 7, Y: rng.Float64()*24 - 7}
+		}
+		if pl.Validate() != nil {
+			continue
+		}
+		rel, m := RelateLineRegion(pl, region)
+		if !rel.Valid() {
+			t.Fatalf("invalid relation for %v", pl)
+		}
+		seen[rel]++
+		insideAny := m[topo.Interior][topo.Interior] || m[topo.Boundary][topo.Interior]
+		outsideAny := m[topo.Interior][topo.Exterior] || m[topo.Boundary][topo.Exterior]
+		switch rel {
+		case LRDisjoint:
+			if insideAny || m[topo.Interior][topo.Boundary] || m[topo.Boundary][topo.Boundary] {
+				t.Fatalf("disjoint with contact: %v %v", pl, m)
+			}
+		case LRCross:
+			if !insideAny || !outsideAny {
+				t.Fatalf("cross without in/out: %v %v", pl, m)
+			}
+		case LRWithin:
+			if !insideAny || outsideAny || m[topo.Interior][topo.Boundary] || m[topo.Boundary][topo.Boundary] {
+				t.Fatalf("within with contact/outside: %v %v", pl, m)
+			}
+		case LRTouch:
+			if insideAny || !outsideAny {
+				t.Fatalf("touch with interior points: %v %v", pl, m)
+			}
+		}
+	}
+	// Random float lines realise at least these three.
+	for _, rel := range []LineRegionRelation{LRDisjoint, LRCross, LRWithin} {
+		if seen[rel] == 0 {
+			t.Errorf("relation %v never generated: %v", rel, seen)
+		}
+	}
+}
+
+// TestRelateLineRegionMultiHost: lines against a non-contiguous host.
+func TestRelateLineRegionMultiHost(t *testing.T) {
+	ring := ring4()
+	cases := []struct {
+		name string
+		line PolyLine
+		want LineRegionRelation
+	}{
+		{"inside the hole", PolyLine{{2.5, 2.5}, {3.5, 3.5}}, LRDisjoint},
+		{"spanning the hole wall to wall", PolyLine{{2, 3}, {4, 3}}, LRTouch},
+		{"through a bar", PolyLine{{3, 0}, {3, 2.5}}, LRCross},
+		{"within the bottom bar", PolyLine{{2, 1.5}, {4, 1.5}}, LRWithin},
+		{"across the whole ring", PolyLine{{0, 3}, {6, 3}}, LRCross},
+	}
+	for _, c := range cases {
+		if got, _ := RelateLineRegion(c.line, ring); got != c.want {
+			t.Errorf("%s: %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestRelatePointRegion(t *testing.T) {
+	region := R(0, 0, 4, 4).Polygon()
+	if got := RelatePointRegion(Point{2, 2}, region); got != PointInside {
+		t.Errorf("center: %v", got)
+	}
+	if got := RelatePointRegion(Point{0, 2}, region); got != PointOnBoundary {
+		t.Errorf("edge: %v", got)
+	}
+	if got := RelatePointRegion(Point{9, 9}, region); got != PointOutside {
+		t.Errorf("far: %v", got)
+	}
+}
+
+func TestLineRegionRelationNames(t *testing.T) {
+	for _, r := range AllLineRegionRelations() {
+		if !r.Valid() || r.String() == "" {
+			t.Errorf("relation %d invalid", r)
+		}
+	}
+	if LineRegionRelation(99).Valid() {
+		t.Error("out-of-range relation valid")
+	}
+	if LineRegionRelation(99).String() != "geom.LineRegionRelation(99)" {
+		t.Error("out-of-range String broken")
+	}
+}

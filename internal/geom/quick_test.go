@@ -1,0 +1,114 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// rectGen makes Rect implement quick.Generator with sane coordinates.
+type rectGen struct{ R Rect }
+
+// Generate implements quick.Generator.
+func (rectGen) Generate(rng *rand.Rand, _ int) reflect.Value {
+	x := rng.Float64()*200 - 100
+	y := rng.Float64()*200 - 100
+	w := 0.01 + rng.Float64()*50
+	h := 0.01 + rng.Float64()*50
+	return reflect.ValueOf(rectGen{R: R(x, y, x+w, y+h)})
+}
+
+func quickCfg() *quick.Config {
+	return &quick.Config{MaxCount: 5000}
+}
+
+// TestQuickRectUnion: the union contains both operands, is commutative
+// and idempotent.
+func TestQuickRectUnion(t *testing.T) {
+	f := func(a, b rectGen) bool {
+		u := a.R.Union(b.R)
+		return u.ContainsRect(a.R) && u.ContainsRect(b.R) &&
+			u == b.R.Union(a.R) && u.Union(a.R) == u
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickRectIntersect: an interior intersection lies inside both
+// operands and its area equals OverlapArea.
+func TestQuickRectIntersect(t *testing.T) {
+	f := func(a, b rectGen) bool {
+		got, ok := a.R.Intersect(b.R)
+		if ok != a.R.IntersectsInterior(b.R) {
+			return false
+		}
+		if !ok {
+			return a.R.OverlapArea(b.R) == 0 ||
+				// Touching rectangles have zero overlap area too.
+				!a.R.IntersectsInterior(b.R)
+		}
+		return a.R.ContainsRect(got) && b.R.ContainsRect(got) &&
+			math.Abs(got.Area()-a.R.OverlapArea(b.R)) < 1e-9*(1+got.Area())
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickRectDist: DistToPoint is zero exactly on containment, and
+// symmetric under translation.
+func TestQuickRectDist(t *testing.T) {
+	f := func(a rectGen, px, py float64) bool {
+		p := Point{X: math.Mod(px, 300), Y: math.Mod(py, 300)}
+		if math.IsNaN(p.X) || math.IsNaN(p.Y) {
+			p = Point{}
+		}
+		d := a.R.DistToPoint(p)
+		if (d == 0) != a.R.ContainsPoint(p) {
+			return false
+		}
+		// Translation invariance.
+		v := Point{X: 17.5, Y: -3.25}
+		moved := Rect{Min: a.R.Min.Add(v), Max: a.R.Max.Add(v)}
+		return math.Abs(moved.DistToPoint(p.Add(v))-d) < 1e-9
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickEnlargeNonNegative: enlargement is never negative and zero
+// exactly when the rectangle already covers the other.
+func TestQuickEnlargeNonNegative(t *testing.T) {
+	f := func(a, b rectGen) bool {
+		e := a.R.Enlarge(b.R)
+		if e < -1e-9 {
+			return false
+		}
+		if a.R.ContainsRect(b.R) {
+			return e < 1e-9
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickSegmentIntersectionSymmetry: intersection results are
+// symmetric in the operands.
+func TestQuickSegmentIntersectionSymmetry(t *testing.T) {
+	f := func(ax, ay, bx, by, cx, cy, dx, dy uint8) bool {
+		s := Segment{Point{float64(ax % 16), float64(ay % 16)}, Point{float64(bx % 16), float64(by % 16)}}
+		u := Segment{Point{float64(cx % 16), float64(cy % 16)}, Point{float64(dx % 16), float64(dy % 16)}}
+		p1, c1 := s.Intersections(u)
+		p2, c2 := u.Intersections(s)
+		return len(p1) == len(p2) && c1 == c2
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Fatal(err)
+	}
+}

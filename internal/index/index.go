@@ -1,0 +1,200 @@
+// Package index defines the access-method interface shared by the
+// R-tree family and convenience constructors with the paper's
+// experimental settings (page capacity 50, R-tree quadratic split with
+// m = 40%, R*-tree with m = 40%, R+-tree with the minimal-split cost
+// function).
+package index
+
+import (
+	"fmt"
+
+	"mbrtopo/internal/geom"
+	"mbrtopo/internal/pagefile"
+	"mbrtopo/internal/rtree"
+)
+
+// Index is an MBR-based spatial access method over a simulated disk.
+type Index interface {
+	// Insert stores a rectangle under an object id.
+	Insert(r geom.Rect, oid uint64) error
+	// Delete removes the entry with exactly this rectangle and id.
+	Delete(r geom.Rect, oid uint64) error
+	// Update moves an object to a new rectangle (delete + insert).
+	Update(oldRect, newRect geom.Rect, oid uint64) error
+	// Search traverses the structure, descending into internal entries
+	// whose rectangles satisfy nodePred and emitting leaf entries whose
+	// rectangles satisfy leafPred. Implementations with duplicate
+	// entries (R+-tree) may emit the same object several times.
+	Search(nodePred, leafPred func(geom.Rect) bool, emit func(geom.Rect, uint64) bool) error
+	// Len returns the number of distinct stored objects.
+	Len() int
+	// Height returns the number of levels.
+	Height() int
+	// Bounds returns the MBR of the stored rectangles.
+	Bounds() (geom.Rect, bool)
+	// Name identifies the access method.
+	Name() string
+	// CoveringNodeRects reports whether internal entry rectangles cover
+	// all data rectangles stored beneath them (true for R-/R*-trees,
+	// false for the partition-region R+-tree). Query processors select
+	// the node predicate accordingly.
+	CoveringNodeRects() bool
+	// IOStats exposes the page file counters (reads = the paper's disk
+	// accesses).
+	IOStats() pagefile.Stats
+	// ResetIOStats zeroes the counters.
+	ResetIOStats()
+	// Nearest returns the k stored rectangles closest to p (best-first
+	// branch-and-bound on MINDIST).
+	Nearest(p geom.Point, k int) ([]rtree.Neighbour, error)
+}
+
+// Static interface checks.
+var (
+	_ Index = (*rtree.Tree)(nil)
+	_ Index = (*rtree.RPlusTree)(nil)
+)
+
+// PaperPageSize is the page size giving the paper's node capacity of
+// 50 entries (the serial baseline is then ⌈10000/50⌉ = 200 pages).
+const PaperPageSize = 2008
+
+// Kind selects an access method.
+type Kind int
+
+// The implemented access methods.
+const (
+	KindRTree Kind = iota
+	KindRPlus
+	KindRStar
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindRTree:
+		return "R-tree"
+	case KindRPlus:
+		return "R+-tree"
+	case KindRStar:
+		return "R*-tree"
+	}
+	return fmt.Sprintf("index.Kind(%d)", int(k))
+}
+
+// AllKinds returns the three access methods in the paper's order.
+func AllKinds() []Kind { return []Kind{KindRTree, KindRPlus, KindRStar} }
+
+// New creates an index of the given kind with the paper's settings
+// over a fresh in-memory page file.
+func New(kind Kind) (Index, error) { return NewWithPageSize(kind, PaperPageSize) }
+
+// NewWithPageSize creates an index with a specific page size.
+func NewWithPageSize(kind Kind, pageSize int) (Index, error) {
+	file := pagefile.NewMemFile(pageSize)
+	switch kind {
+	case KindRTree:
+		return rtree.NewRTree(file)
+	case KindRPlus:
+		return rtree.NewRPlus(file, rtree.Options{})
+	case KindRStar:
+		return rtree.NewRStar(file)
+	}
+	return nil, fmt.Errorf("index: unknown kind %v", kind)
+}
+
+// Item is a rectangle with its object id.
+type Item struct {
+	Rect geom.Rect
+	OID  uint64
+}
+
+// Load bulk-inserts items into the index one by one (the build the
+// paper's experiments use).
+func Load(idx Index, items []Item) error {
+	for _, it := range items {
+		if err := idx.Insert(it.Rect, it.OID); err != nil {
+			return fmt.Errorf("index: loading oid %d: %w", it.OID, err)
+		}
+	}
+	return nil
+}
+
+// NewOnFile creates an index of the given kind over an existing page
+// file (e.g. a pagefile.DiskFile for persistence or a BufferPool).
+func NewOnFile(kind Kind, file pagefile.File) (Index, error) {
+	switch kind {
+	case KindRTree:
+		return rtree.NewRTree(file)
+	case KindRPlus:
+		return rtree.NewRPlus(file, rtree.Options{})
+	case KindRStar:
+		return rtree.NewRStar(file)
+	}
+	return nil, fmt.Errorf("index: unknown kind %v", kind)
+}
+
+// NewPacked bulk-loads items into a fresh Sort-Tile-Recursive packed
+// tree over an in-memory page file. Only the covering-rectangle
+// variants support packing; KindRPlus returns an error.
+func NewPacked(kind Kind, pageSize int, items []Item) (Index, error) {
+	file := pagefile.NewMemFile(pageSize)
+	recs := make([]rtree.Record, len(items))
+	for i, it := range items {
+		recs[i] = rtree.Record{Rect: it.Rect, OID: it.OID}
+	}
+	switch kind {
+	case KindRTree:
+		return rtree.BulkLoad(file, rtree.Options{Split: rtree.SplitQuadratic}, "R-tree/packed", recs)
+	case KindRStar:
+		return rtree.BulkLoad(file, rtree.Options{
+			Split:              rtree.SplitRStar,
+			RStarChooseSubtree: true,
+			ForcedReinsert:     true,
+		}, "R*-tree/packed", recs)
+	case KindRPlus:
+		return nil, fmt.Errorf("index: the R+-tree has no STR packing (partition build differs)")
+	}
+	return nil, fmt.Errorf("index: unknown kind %v", kind)
+}
+
+// Persist stores the index's metadata in the disk file's header, so
+// OpenPersistent can resume it later. The page file must be the one
+// the index was built on.
+func Persist(idx Index, file *pagefile.DiskFile) error {
+	switch t := idx.(type) {
+	case *rtree.Tree:
+		return file.SetUserMeta(rtree.EncodeMeta(t.Meta()))
+	case *rtree.RPlusTree:
+		return file.SetUserMeta(rtree.EncodeMeta(t.Meta()))
+	}
+	return fmt.Errorf("index: cannot persist %T", idx)
+}
+
+// OpenPersistent resumes an index of the given kind from a disk file
+// whose header was written by Persist.
+func OpenPersistent(kind Kind, file *pagefile.DiskFile) (Index, error) {
+	m := rtree.DecodeMeta(file.UserMeta())
+	switch kind {
+	case KindRTree:
+		return rtree.Open(file, rtree.Options{Split: rtree.SplitQuadratic}, "R-tree", m)
+	case KindRStar:
+		return rtree.Open(file, rtree.Options{
+			Split:              rtree.SplitRStar,
+			RStarChooseSubtree: true,
+			ForcedReinsert:     true,
+		}, "R*-tree", m)
+	case KindRPlus:
+		return rtree.OpenRPlus(file, rtree.Options{}, m)
+	}
+	return nil, fmt.Errorf("index: unknown kind %v", kind)
+}
+
+// SerialPages returns the disk accesses of a serial scan of a data
+// file with n rectangles at the given page capacity — the paper's
+// baseline of 200 pages for 10,000 rectangles at 50 per page.
+func SerialPages(n, capacity int) int {
+	if capacity <= 0 {
+		return 0
+	}
+	return (n + capacity - 1) / capacity
+}

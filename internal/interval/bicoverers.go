@@ -1,0 +1,49 @@
+package interval
+
+// This file derives the two-sided analogue of Coverers, needed for
+// spatial joins over two R-trees: if p has relation r to q, which
+// relations can hold between an interval P ⊇ p and an interval Q ⊇ q?
+// During a synchronized traversal both sides of a candidate pair are
+// covered by their respective node rectangles, so a node pair can lead
+// to leaf pairs in relation r only if the nodes' own relation lies in
+// BiCoverers(r).
+//
+// Like Coverers, the derivation enumerates an integer grid fine enough
+// to realise every ordering, making the table exact.
+
+var biCoverersTable [NumRelations + 1]Set
+
+// BiCoverers returns the set of relations possible between P ⊇ p and
+// Q ⊇ q when p has relation r to q.
+func BiCoverers(r Relation) Set {
+	if !r.Valid() {
+		panic("interval.BiCoverers: invalid relation")
+	}
+	return biCoverersTable[r]
+}
+
+func deriveBiCoverers() {
+	q := Interval{refLo, refHi}
+	for _, r := range All() {
+		p := representative(r)
+		var s Set
+		// Enumerate enclosing intervals on both sides. All thresholds
+		// are integers, so a unit-step integer grid realises every
+		// ordering of the four endpoints.
+		for a := p.Lo; a >= -4; a-- {
+			for b := p.Hi; b <= 34; b++ {
+				P := Interval{a, b}
+				for c := q.Lo; c >= -4; c-- {
+					for d := q.Hi; d <= 34; d++ {
+						s = s.Add(Relate(P, Interval{c, d}))
+					}
+				}
+			}
+		}
+		biCoverersTable[r] = s
+	}
+}
+
+func init() {
+	deriveBiCoverers()
+}

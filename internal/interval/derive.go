@@ -1,0 +1,271 @@
+package interval
+
+// This file derives, by exhaustive enumeration over an integer grid,
+// two pieces of machinery the paper needs:
+//
+//  1. coverers: for a primary interval p with relation r to the
+//     reference q, the set of relations that an interval P ⊇ p can have
+//     with q. This is the 1D kernel of the paper's Table 2 (which
+//     relations an intermediate R-tree node must satisfy so that it may
+//     contain a qualifying MBR): an intermediate node's rectangle covers
+//     the rectangles below it, per axis.
+//
+//  2. the conceptual-neighbourhood graphs of Figure 14: the relation
+//     reached first when the primary (14a) or the reference (14b)
+//     interval is continuously enlarged, from which first- and
+//     second-degree neighbours (Section 6, non-crisp MBRs) follow.
+//
+// Both derivations are exact, not sampled: interval relations are
+// order types of four endpoints, so an integer grid fine enough to
+// realise every ordering enumerates the full configuration space. The
+// results depend only on the relation (its sign pattern), never on the
+// chosen representative; TestDeriveRepresentativeIndependence verifies
+// this.
+
+// refLo, refHi delimit the canonical reference interval used by all
+// derivations. Representatives keep a margin of ≥2 grid units from
+// every threshold on strict inequalities so that enumeration realises
+// every sign pattern.
+const (
+	refLo = 10.0
+	refHi = 20.0
+)
+
+// representative returns a canonical primary interval standing in
+// relation r to the canonical reference [refLo, refHi].
+func representative(r Relation) Interval {
+	switch r {
+	case Before:
+		return Interval{2, 6}
+	case Meets:
+		return Interval{4, 10}
+	case Overlaps:
+		return Interval{6, 14}
+	case FinishedBy:
+		return Interval{6, 20}
+	case Contains:
+		return Interval{6, 24}
+	case Starts:
+		return Interval{10, 14}
+	case Equal:
+		return Interval{10, 20}
+	case StartedBy:
+		return Interval{10, 24}
+	case During:
+		return Interval{13, 17}
+	case Finishes:
+		return Interval{14, 20}
+	case OverlappedBy:
+		return Interval{14, 24}
+	case MetBy:
+		return Interval{20, 26}
+	case After:
+		return Interval{24, 28}
+	}
+	panic("interval: no representative for invalid relation")
+}
+
+// coverersTable[r] is the set of relations an enclosing interval P ⊇ p
+// may have with the reference, given that p has relation r. Computed at
+// package initialisation by deriveCoverers.
+var coverersTable [NumRelations + 1]Set
+
+// Coverers returns the set of relations that an interval containing an
+// interval in relation r to the reference may itself have to the
+// reference. This is the per-axis propagation rule behind the paper's
+// Table 2: an R-tree node rectangle contains every MBR stored beneath
+// it, so a node can lead to MBRs in relation r only if the node's own
+// relation is in Coverers(r).
+func Coverers(r Relation) Set {
+	if !r.Valid() {
+		panic("interval.Coverers: invalid relation")
+	}
+	return coverersTable[r]
+}
+
+func deriveCoverers() {
+	q := Interval{refLo, refHi}
+	for _, r := range All() {
+		p := representative(r)
+		var s Set
+		// Enumerate all grid intervals [a, b] with a ≤ p.Lo, b ≥ p.Hi.
+		// Grid step 1 over [0, 32] realises every ordering of a and b
+		// against the thresholds refLo and refHi.
+		for a := 0.0; a <= p.Lo; a++ {
+			for b := p.Hi; b <= 32; b++ {
+				s = s.Add(Relate(Interval{a, b}, q))
+			}
+		}
+		coverersTable[r] = s
+	}
+}
+
+// growPrimaryEdges[r] / growReferenceEdges[r] are the directed edges of
+// the conceptual-neighbourhood graphs of the paper's Figure 14: the
+// relations reached first when one endpoint of the primary (resp.
+// reference) interval is continuously enlarged.
+var (
+	growPrimaryEdges   [NumRelations + 1]Set
+	growReferenceEdges [NumRelations + 1]Set
+)
+
+// GrowPrimaryNeighbours returns the relations reachable from r by a
+// single continuous enlargement of the primary interval (Figure 14a).
+func GrowPrimaryNeighbours(r Relation) Set {
+	if !r.Valid() {
+		panic("interval.GrowPrimaryNeighbours: invalid relation")
+	}
+	return growPrimaryEdges[r]
+}
+
+// GrowReferenceNeighbours returns the relations reachable from r by a
+// single continuous enlargement of the reference interval (Figure 14b).
+func GrowReferenceNeighbours(r Relation) Set {
+	if !r.Valid() {
+		panic("interval.GrowReferenceNeighbours: invalid relation")
+	}
+	return growReferenceEdges[r]
+}
+
+// firstNeighbour simulates growing one endpoint along trajectory f(t)
+// (t > 0) and returns the first relation different from the current one,
+// or 0 if the relation never changes. eps must be small enough not to
+// cross any threshold from a strict position; events lists the
+// thresholds the moving endpoint can cross, in the order encountered.
+func firstNeighbour(cur Relation, classify func(t float64) Relation, eps float64, events []float64) Relation {
+	if n := classify(eps); n != cur {
+		return n
+	}
+	for _, t := range events {
+		if n := classify(t); n != cur {
+			return n
+		}
+	}
+	return 0
+}
+
+func deriveNeighbourhoods() {
+	q := Interval{refLo, refHi}
+	for _, r := range All() {
+		p := representative(r)
+
+		var prim Set
+		// Enlarge primary rightwards: p.Hi + t crosses refLo then refHi.
+		{
+			var events []float64
+			for _, v := range []float64{refLo, refHi} {
+				if v > p.Hi {
+					events = append(events, v-p.Hi)
+				}
+			}
+			if n := firstNeighbour(r, func(t float64) Relation {
+				return Relate(Interval{p.Lo, p.Hi + t}, q)
+			}, 0.5, events); n != 0 {
+				prim = prim.Add(n)
+			}
+		}
+		// Enlarge primary leftwards: p.Lo − t crosses refHi then refLo.
+		{
+			var events []float64
+			for _, v := range []float64{refHi, refLo} {
+				if v < p.Lo {
+					events = append(events, p.Lo-v)
+				}
+			}
+			if n := firstNeighbour(r, func(t float64) Relation {
+				return Relate(Interval{p.Lo - t, p.Hi}, q)
+			}, 0.5, events); n != 0 {
+				prim = prim.Add(n)
+			}
+		}
+		growPrimaryEdges[r] = prim
+
+		var ref Set
+		// Enlarge reference rightwards: q.Hi + t crosses p.Lo, p.Hi.
+		{
+			var events []float64
+			for _, v := range []float64{p.Lo, p.Hi} {
+				if v > refHi {
+					events = append(events, v-refHi)
+				}
+			}
+			if n := firstNeighbour(r, func(t float64) Relation {
+				return Relate(p, Interval{refLo, refHi + t})
+			}, 0.5, events); n != 0 {
+				ref = ref.Add(n)
+			}
+		}
+		// Enlarge reference leftwards: q.Lo − t crosses p.Hi, p.Lo.
+		{
+			var events []float64
+			for _, v := range []float64{p.Hi, p.Lo} {
+				if v < refLo {
+					events = append(events, refLo-v)
+				}
+			}
+			if n := firstNeighbour(r, func(t float64) Relation {
+				return Relate(p, Interval{refLo - t, refHi})
+			}, 0.5, events); n != 0 {
+				ref = ref.Add(n)
+			}
+		}
+		growReferenceEdges[r] = ref
+	}
+}
+
+var (
+	firstDegreeTable  [NumRelations + 1]Set
+	secondDegreeTable [NumRelations + 1]Set
+)
+
+// FirstDegreeNeighbours returns the first-degree conceptual neighbours
+// of r: relations reachable via a directed edge in either neighbourhood
+// graph (paper, Section 6).
+func FirstDegreeNeighbours(r Relation) Set {
+	if !r.Valid() {
+		panic("interval.FirstDegreeNeighbours: invalid relation")
+	}
+	return firstDegreeTable[r]
+}
+
+// SecondDegreeNeighbours returns the second-degree conceptual
+// neighbours of r: relations (other than r and its first-degree
+// neighbours) that share at least two first-degree neighbours with r.
+func SecondDegreeNeighbours(r Relation) Set {
+	if !r.Valid() {
+		panic("interval.SecondDegreeNeighbours: invalid relation")
+	}
+	return secondDegreeTable[r]
+}
+
+// Neighbourhood2 returns {r} ∪ first-degree ∪ second-degree neighbours
+// of r: the set of relations a slightly-larger-than-crisp MBR pair may
+// exhibit per axis when the crisp pair exhibits r (Table 5 expansion).
+func Neighbourhood2(r Relation) Set {
+	return NewSet(r).Union(FirstDegreeNeighbours(r)).Union(SecondDegreeNeighbours(r))
+}
+
+func deriveDegrees() {
+	for _, r := range All() {
+		firstDegreeTable[r] = growPrimaryEdges[r].Union(growReferenceEdges[r])
+	}
+	for _, r := range All() {
+		var second Set
+		n1 := firstDegreeTable[r]
+		for _, j := range All() {
+			if j == r || n1.Has(j) {
+				continue
+			}
+			if firstDegreeTable[j].Intersect(n1).Len() >= 2 {
+				second = second.Add(j)
+			}
+		}
+		secondDegreeTable[r] = second
+	}
+}
+
+func init() {
+	deriveCoverers()
+	deriveNeighbourhoods()
+	deriveDegrees()
+}

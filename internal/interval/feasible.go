@@ -1,0 +1,42 @@
+package interval
+
+import "math"
+
+// reachableSpan returns the union of the interiors of all intervals
+// standing in relation r to the reference q, as an open interval
+// (lo, hi). For example, every interval before q has its interior in
+// (−∞, q.Lo), and the union over all of them is exactly that span.
+// These spans drive the R+-tree node predicate: a partition region can
+// lead to an MBR in relation r exactly when the region's interior
+// meets the reachable span (per axis).
+func reachableSpan(r Relation, q Interval) (lo, hi float64) {
+	switch r {
+	case Before, Meets:
+		return math.Inf(-1), q.Lo
+	case Overlaps, FinishedBy:
+		return math.Inf(-1), q.Hi
+	case Contains:
+		return math.Inf(-1), math.Inf(1)
+	case Starts, Equal, During, Finishes:
+		return q.Lo, q.Hi
+	case StartedBy, OverlappedBy:
+		return q.Lo, math.Inf(1)
+	case MetBy, After:
+		return q.Hi, math.Inf(1)
+	}
+	panic("interval.reachableSpan: invalid relation")
+}
+
+// FeasibleWithin returns the set of relations r for which some
+// interval standing in relation r to q has interior points inside the
+// open region (region.Lo, region.Hi).
+func FeasibleWithin(region, q Interval) Set {
+	var s Set
+	for _, r := range All() {
+		lo, hi := reachableSpan(r, q)
+		if lo < region.Hi && region.Lo < hi {
+			s = s.Add(r)
+		}
+	}
+	return s
+}

@@ -1,0 +1,70 @@
+package interval
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestFeasibleWithinSound: whenever an interval p in relation r to q
+// shares interior points with a region, FeasibleWithin(region, q) must
+// contain r; and every feasible relation must be witnessed by some
+// interval (sampled on a grid including the thresholds).
+func TestFeasibleWithinSound(t *testing.T) {
+	q := Interval{refLo, refHi}
+	var grid []float64
+	for v := -2.0; v <= 34; v += 0.5 {
+		grid = append(grid, v)
+	}
+	regions := []Interval{
+		{0, 5}, {0, 10}, {5, 15}, {10, 20}, {9, 11}, {19, 21},
+		{12, 18}, {20, 30}, {25, 30}, {-2, 34}, {9.75, 10.25},
+	}
+	for _, reg := range regions {
+		feas := FeasibleWithin(reg, q)
+		// Refine the grid near the region's edges so that narrow
+		// regions still get witnesses.
+		local := append([]float64(nil), grid...)
+		for _, v := range []float64{reg.Lo - 0.1, reg.Lo + 0.1, reg.Hi - 0.1, reg.Hi + 0.1, (reg.Lo + reg.Hi) / 2} {
+			local = append(local, v)
+		}
+		var witnessed Set
+		for _, lo := range local {
+			for _, hi := range local {
+				if hi <= lo {
+					continue
+				}
+				p := Interval{lo, hi}
+				overlapsRegion := p.Lo < reg.Hi && reg.Lo < p.Hi
+				r := Relate(p, q)
+				if overlapsRegion {
+					if !feas.Has(r) {
+						t.Fatalf("region %v: interval %v (relation %v) meets region but FeasibleWithin = %v",
+							reg, p, r, feas)
+					}
+					witnessed = witnessed.Add(r)
+				}
+			}
+		}
+		if missing := feas.Minus(witnessed); !missing.IsEmpty() {
+			t.Errorf("region %v: feasible relations %v never witnessed", reg, missing)
+		}
+	}
+}
+
+// TestFeasibleWithinMonotone: growing the region can only add feasible
+// relations (needed for sound pruning at upper R+-tree levels, where a
+// node's region contains all descendant regions).
+func TestFeasibleWithinMonotone(t *testing.T) {
+	q := Interval{refLo, refHi}
+	rng := rand.New(rand.NewSource(13))
+	for i := 0; i < 20000; i++ {
+		lo := rng.Float64()*30 - 2
+		hi := lo + 0.1 + rng.Float64()*20
+		inner := Interval{lo, hi}
+		outer := Interval{lo - rng.Float64()*5, hi + rng.Float64()*5}
+		in, out := FeasibleWithin(inner, q), FeasibleWithin(outer, q)
+		if in.Minus(out) != 0 {
+			t.Fatalf("inner %v feasible %v ⊄ outer %v feasible %v", inner, in, outer, out)
+		}
+	}
+}

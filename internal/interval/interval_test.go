@@ -1,0 +1,395 @@
+package interval
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// gridIntervals enumerates all non-degenerate intervals with integer
+// endpoints in [0, n).
+func gridIntervals(n int) []Interval {
+	var out []Interval
+	for lo := 0; lo < n; lo++ {
+		for hi := lo + 1; hi < n; hi++ {
+			out = append(out, Interval{float64(lo), float64(hi)})
+		}
+	}
+	return out
+}
+
+// TestRelateCompleteAndDisjoint verifies, exhaustively over an integer
+// grid realising every endpoint ordering, that Relate always yields
+// exactly one of the thirteen relations and that all thirteen occur
+// (the paper's claim that the 1D relations are pairwise disjoint and
+// provide a complete coverage).
+func TestRelateCompleteAndDisjoint(t *testing.T) {
+	ivs := gridIntervals(8)
+	seen := make(map[Relation]int)
+	for _, p := range ivs {
+		for _, q := range ivs {
+			r := Relate(p, q)
+			if !r.Valid() {
+				t.Fatalf("Relate(%v,%v) = invalid %d", p, q, r)
+			}
+			seen[r]++
+		}
+	}
+	if len(seen) != NumRelations {
+		t.Fatalf("realised %d relations on the grid, want %d: %v", len(seen), NumRelations, seen)
+	}
+}
+
+// TestRelateMatchesDefinition cross-checks the classifier against the
+// defining inequalities of each relation.
+func TestRelateMatchesDefinition(t *testing.T) {
+	def := func(p, q Interval) Relation {
+		switch {
+		case p.Hi < q.Lo:
+			return Before
+		case p.Hi == q.Lo:
+			return Meets
+		case p.Lo < q.Lo && q.Lo < p.Hi && p.Hi < q.Hi:
+			return Overlaps
+		case p.Lo < q.Lo && p.Hi == q.Hi:
+			return FinishedBy
+		case p.Lo < q.Lo && p.Hi > q.Hi:
+			return Contains
+		case p.Lo == q.Lo && p.Hi < q.Hi:
+			return Starts
+		case p.Lo == q.Lo && p.Hi == q.Hi:
+			return Equal
+		case p.Lo == q.Lo && p.Hi > q.Hi:
+			return StartedBy
+		case q.Lo < p.Lo && p.Hi < q.Hi:
+			return During
+		case q.Lo < p.Lo && p.Lo < q.Hi && p.Hi == q.Hi:
+			return Finishes
+		case q.Lo < p.Lo && p.Lo < q.Hi && p.Hi > q.Hi:
+			return OverlappedBy
+		case p.Lo == q.Hi:
+			return MetBy
+		default:
+			return After
+		}
+	}
+	for _, p := range gridIntervals(8) {
+		for _, q := range gridIntervals(8) {
+			if got, want := Relate(p, q), def(p, q); got != want {
+				t.Fatalf("Relate(%v,%v) = %v, want %v", p, q, got, want)
+			}
+		}
+	}
+}
+
+func TestConverseExhaustive(t *testing.T) {
+	for _, p := range gridIntervals(8) {
+		for _, q := range gridIntervals(8) {
+			if got, want := Relate(p, q).Converse(), Relate(q, p); got != want {
+				t.Fatalf("converse mismatch for p=%v q=%v: %v vs %v", p, q, got, want)
+			}
+		}
+	}
+}
+
+func TestConverseInvolution(t *testing.T) {
+	for _, r := range All() {
+		if r.Converse().Converse() != r {
+			t.Errorf("%v: converse not an involution", r)
+		}
+	}
+}
+
+func TestRelatePanicsOnDegenerate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Relate on a degenerate interval did not panic")
+		}
+	}()
+	Relate(Interval{1, 1}, Interval{0, 2})
+}
+
+// TestPredicates checks the derived boolean views of a relation against
+// a direct point-set interpretation on representatives.
+func TestPredicates(t *testing.T) {
+	q := Interval{refLo, refHi}
+	for _, r := range All() {
+		p := representative(r)
+		sharesPts := p.Hi >= q.Lo && q.Hi >= p.Lo
+		if got := r.SharesPoints(); got != sharesPts {
+			t.Errorf("%v: SharesPoints = %v, want %v", r, got, sharesPts)
+		}
+		sharesInt := p.Hi > q.Lo && q.Hi > p.Lo
+		if got := r.SharesInterior(); got != sharesInt {
+			t.Errorf("%v: SharesInterior = %v, want %v", r, got, sharesInt)
+		}
+		covers := p.Lo <= q.Lo && p.Hi >= q.Hi
+		if got := r.CoversRef(); got != covers {
+			t.Errorf("%v: CoversRef = %v, want %v", r, got, covers)
+		}
+		covered := q.Lo <= p.Lo && q.Hi >= p.Hi
+		if got := r.CoveredByRef(); got != covered {
+			t.Errorf("%v: CoveredByRef = %v, want %v", r, got, covered)
+		}
+	}
+}
+
+func TestSetOperations(t *testing.T) {
+	s := NewSet(Before, Equal, After)
+	if s.Len() != 3 || !s.Has(Equal) || s.Has(Meets) {
+		t.Fatalf("basic set ops broken: %v", s)
+	}
+	u := s.Union(NewSet(Meets))
+	if u.Len() != 4 || !u.Has(Meets) {
+		t.Fatalf("union broken: %v", u)
+	}
+	if got := s.Minus(NewSet(Equal)); got.Len() != 2 || got.Has(Equal) {
+		t.Fatalf("minus broken: %v", got)
+	}
+	if got := s.Intersect(NewSet(Equal, Meets)); got != NewSet(Equal) {
+		t.Fatalf("intersect broken: %v", got)
+	}
+	if FullSet().Len() != NumRelations {
+		t.Fatalf("full set has %d members", FullSet().Len())
+	}
+	if got := NewSet(Before, Meets).Converse(); got != NewSet(After, MetBy) {
+		t.Fatalf("set converse broken: %v", got)
+	}
+	if got := NewSet(Overlaps).String(); got != "{overlaps}" {
+		t.Fatalf("set String = %q", got)
+	}
+}
+
+// TestCoverersKnownRows checks the derived per-axis propagation sets
+// against rows that follow directly from the definitions.
+func TestCoverersKnownRows(t *testing.T) {
+	cases := []struct {
+		r    Relation
+		want Set
+	}{
+		// P ⊇ p with p entirely before q: P.Lo stays before q, P.Hi is free.
+		{Before, NewSet(Before, Meets, Overlaps, FinishedBy, Contains)},
+		// P ⊇ p = q: P covers q.
+		{Equal, NewSet(FinishedBy, Contains, Equal, StartedBy)},
+		// P ⊇ p ⊂ int(q): P shares interior with q, anything else free.
+		{During, NewSet(Overlaps, FinishedBy, Contains, Starts, Equal, StartedBy, During, Finishes, OverlappedBy)},
+		// Mirror of Before.
+		{After, NewSet(After, MetBy, OverlappedBy, StartedBy, Contains)},
+		// p contains q, so P contains q.
+		{Contains, NewSet(Contains)},
+	}
+	for _, c := range cases {
+		if got := Coverers(c.r); got != c.want {
+			t.Errorf("Coverers(%v) = %v, want %v", c.r, got, c.want)
+		}
+	}
+}
+
+// TestCoverersSound verifies by random sampling that every enclosing
+// interval's relation is in the derived coverer set, and that every
+// member of the set is witnessed.
+func TestCoverersSound(t *testing.T) {
+	q := Interval{refLo, refHi}
+	witnessed := make(map[Relation]Set)
+	// A half-unit grid includes the exact thresholds refLo and refHi, so
+	// equality relations (measure zero under float sampling) are hit.
+	var grid []float64
+	for v := -1.0; v <= 33; v += 0.5 {
+		grid = append(grid, v)
+	}
+	for _, lo := range grid {
+		for _, hi := range grid {
+			if hi <= lo {
+				continue
+			}
+			p := Interval{lo, hi}
+			r := Relate(p, q)
+			for _, a := range grid {
+				if a > lo {
+					continue
+				}
+				for _, b := range grid {
+					if b < hi {
+						continue
+					}
+					pr := Relate(Interval{a, b}, q)
+					if !Coverers(r).Has(pr) {
+						t.Fatalf("P=[%v,%v] ⊇ p=%v: relation %v not in Coverers(%v)=%v",
+							a, b, p, pr, r, Coverers(r))
+					}
+					witnessed[r] = witnessed[r].Add(pr)
+				}
+			}
+		}
+	}
+	for _, r := range All() {
+		if missing := Coverers(r).Minus(witnessed[r]); !missing.IsEmpty() {
+			t.Errorf("Coverers(%v): members %v never witnessed by sampling", r, missing)
+		}
+	}
+}
+
+// TestCoverersMonotone: the coverer set of any relation must contain
+// the relation's own "identity coverage" (P = p).
+func TestCoverersReflexive(t *testing.T) {
+	for _, r := range All() {
+		if !Coverers(r).Has(r) {
+			t.Errorf("Coverers(%v) does not contain %v itself", r, r)
+		}
+	}
+}
+
+// TestDeriveRepresentativeIndependence re-derives coverer sets from
+// random representatives and checks they match the canonical table.
+func TestDeriveRepresentativeIndependence(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	q := Interval{refLo, refHi}
+	for _, r := range All() {
+		canon := representative(r)
+		for trial := 0; trial < 50; trial++ {
+			// Perturb the representative without changing its relation.
+			p := canon
+			dl := (rng.Float64() - 0.5) * 1.5
+			dh := (rng.Float64() - 0.5) * 1.5
+			cand := Interval{p.Lo + dl, p.Hi + dh}
+			if !cand.Valid() || Relate(cand, q) != r {
+				continue
+			}
+			// Enumerate enclosing endpoints over a grid that includes the
+			// exact thresholds, so equality relations are realised.
+			as := []float64{cand.Lo, refLo, refHi, refLo - 2, refLo + 2, refHi - 2, -2}
+			bs := []float64{cand.Hi, refLo, refHi, refLo + 2, refHi - 2, refHi + 2, 33}
+			var s Set
+			for _, a := range as {
+				if a > cand.Lo {
+					continue
+				}
+				for _, b := range bs {
+					if b < cand.Hi {
+						continue
+					}
+					s = s.Add(Relate(Interval{a, b}, q))
+				}
+			}
+			if s != coverersTable[r] {
+				t.Fatalf("relation %v: coverers from representative %v = %v, canonical %v",
+					r, cand, s, coverersTable[r])
+			}
+		}
+	}
+}
+
+// TestNeighbourhoodGraphPaperExamples checks the derived graphs against
+// every concrete example the paper states in Section 6.
+func TestNeighbourhoodGraphPaperExamples(t *testing.T) {
+	// "if the relation between the objects is R1, then extending the
+	// primary object ... gradually leads to relations R2, R3, R4 and R5".
+	chain := []Relation{Before, Meets, Overlaps, FinishedBy, Contains}
+	for i := 0; i+1 < len(chain); i++ {
+		if got := GrowPrimaryNeighbours(chain[i]); !got.Has(chain[i+1]) {
+			t.Errorf("grow-primary from %v should reach %v, got %v", chain[i], chain[i+1], got)
+		}
+	}
+	// "relation 7 has four first-degree conceptual neighbours (relations
+	// 4 and 8 if we enlarge the primary object, and relations 6 and 10 if
+	// we enlarge the reference object)".
+	if got := GrowPrimaryNeighbours(Equal); got != NewSet(FinishedBy, StartedBy) {
+		t.Errorf("grow-primary(equal) = %v, want {finishedBy startedBy}", got)
+	}
+	if got := GrowReferenceNeighbours(Equal); got != NewSet(Starts, Finishes) {
+		t.Errorf("grow-reference(equal) = %v, want {starts finishes}", got)
+	}
+	if got := FirstDegreeNeighbours(Equal); got != NewSet(FinishedBy, Starts, StartedBy, Finishes) {
+		t.Errorf("N1(equal) = %v, want {4 6 8 10}", got)
+	}
+	// "the second-degree conceptual neighbours of relation 7 comprise
+	// relations 3, 5, 9 and 11".
+	if got := SecondDegreeNeighbours(Equal); got != NewSet(Overlaps, Contains, During, OverlappedBy) {
+		t.Errorf("N2(equal) = %v, want {3 5 9 11}", got)
+	}
+	// "relation 2 has one first-degree conceptual neighbour, relation 3,
+	// which is obtained by enlarging either object".
+	if got := FirstDegreeNeighbours(Meets); got != NewSet(Overlaps) {
+		t.Errorf("N1(meets) = %v, want {overlaps}", got)
+	}
+	if !GrowPrimaryNeighbours(Meets).Has(Overlaps) || !GrowReferenceNeighbours(Meets).Has(Overlaps) {
+		t.Error("meets should reach overlaps by enlarging either object")
+	}
+	// "relation 2 does not have any second-degree neighbours".
+	if got := SecondDegreeNeighbours(Meets); !got.IsEmpty() {
+		t.Errorf("N2(meets) = %v, want empty", got)
+	}
+}
+
+// TestNeighbourhoodEnlargementSound: growing either interval slightly
+// must land in {r} ∪ N1(r).
+func TestNeighbourhoodEnlargementSound(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	q := Interval{refLo, refHi}
+	for i := 0; i < 100000; i++ {
+		lo := rng.Float64()*34 - 1
+		hi := lo + 0.05 + rng.Float64()*34
+		p := Interval{lo, hi}
+		r := Relate(p, q)
+		allowed := NewSet(r).Union(FirstDegreeNeighbours(r))
+		// A single tiny enlargement of one endpoint.
+		const eps = 1e-9
+		for _, p2 := range []Interval{{lo - eps, hi}, {lo, hi + eps}} {
+			if r2 := Relate(p2, q); !allowed.Has(r2) {
+				t.Fatalf("p=%v → %v: tiny primary growth reached %v ∉ %v", p, r, r2, allowed)
+			}
+		}
+		for _, q2 := range []Interval{{q.Lo - eps, q.Hi}, {q.Lo, q.Hi + eps}} {
+			if r2 := Relate(p, q2); !allowed.Has(r2) {
+				t.Fatalf("p=%v → %v: tiny reference growth reached %v ∉ %v", p, r, r2, allowed)
+			}
+		}
+	}
+}
+
+func TestNeighbourhood2ContainsSelf(t *testing.T) {
+	for _, r := range All() {
+		n := Neighbourhood2(r)
+		if !n.Has(r) {
+			t.Errorf("Neighbourhood2(%v) misses %v", r, r)
+		}
+		if n.Intersect(FirstDegreeNeighbours(r)) != FirstDegreeNeighbours(r) {
+			t.Errorf("Neighbourhood2(%v) misses first-degree members", r)
+		}
+	}
+}
+
+func TestQuickRelateTotal(t *testing.T) {
+	f := func(a, c float64, w1, w2 uint8) bool {
+		// Clamp positions to a range where adding a small width cannot
+		// be absorbed by floating-point rounding.
+		a = math.Mod(a, 1000)
+		c = math.Mod(c, 1000)
+		if math.IsNaN(a) {
+			a = 0
+		}
+		if math.IsNaN(c) {
+			c = 0
+		}
+		p := Interval{a, a + 0.5 + float64(w1)}
+		q := Interval{c, c + 0.5 + float64(w2)}
+		r := Relate(p, q)
+		return r.Valid() && Relate(q, p) == r.Converse()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStringNames(t *testing.T) {
+	if Before.String() != "before" || After.String() != "after" || Equal.String() != "equal" {
+		t.Fatal("relation names broken")
+	}
+	if Relation(0).Valid() || Relation(14).Valid() {
+		t.Fatal("validity range broken")
+	}
+	if got := Relation(99).String(); got != "interval.Relation(99)" {
+		t.Fatalf("out-of-range String = %q", got)
+	}
+}

@@ -1,0 +1,88 @@
+package interval
+
+import "strings"
+
+// Set is a set of interval relations, represented as a bitmask over
+// R1..R13. The zero value is the empty set.
+type Set uint16
+
+// NewSet builds a set from the given relations.
+func NewSet(rs ...Relation) Set {
+	var s Set
+	for _, r := range rs {
+		s = s.Add(r)
+	}
+	return s
+}
+
+// FullSet contains all thirteen relations.
+func FullSet() Set { return Set(1<<NumRelations) - 1 }
+
+// Add returns s with r included.
+func (s Set) Add(r Relation) Set { return s | 1<<(r-1) }
+
+// Has reports whether r is in the set.
+func (s Set) Has(r Relation) bool { return s&(1<<(r-1)) != 0 }
+
+// Union returns the union of the two sets.
+func (s Set) Union(t Set) Set { return s | t }
+
+// Intersect returns the intersection of the two sets.
+func (s Set) Intersect(t Set) Set { return s & t }
+
+// Minus returns s with all members of t removed.
+func (s Set) Minus(t Set) Set { return s &^ t }
+
+// IsEmpty reports whether the set has no members.
+func (s Set) IsEmpty() bool { return s == 0 }
+
+// Len returns the number of relations in the set.
+func (s Set) Len() int {
+	n := 0
+	for r := Relation(1); r <= NumRelations; r++ {
+		if s.Has(r) {
+			n++
+		}
+	}
+	return n
+}
+
+// Relations returns the members in numeric order.
+func (s Set) Relations() []Relation {
+	out := make([]Relation, 0, s.Len())
+	for r := Relation(1); r <= NumRelations; r++ {
+		if s.Has(r) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Converse returns the set of converses of the members.
+func (s Set) Converse() Set {
+	var out Set
+	for r := Relation(1); r <= NumRelations; r++ {
+		if s.Has(r) {
+			out = out.Add(r.Converse())
+		}
+	}
+	return out
+}
+
+// String renders the set as "{before meets ...}".
+func (s Set) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	for r := Relation(1); r <= NumRelations; r++ {
+		if s.Has(r) {
+			if !first {
+				b.WriteByte(' ')
+			}
+			b.WriteString(r.String())
+			first = false
+		}
+	}
+	b.WriteByte('}')
+	return b.String()
+}

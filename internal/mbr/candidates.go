@@ -1,0 +1,154 @@
+package mbr
+
+import (
+	"mbrtopo/internal/interval"
+	"mbrtopo/internal/topo"
+)
+
+// This file encodes the paper's Table 1: for each topological relation
+// r of mt2, the set of MBR configurations that may hold between the
+// MBRs of two contiguous regions standing in relation r. These are the
+// configurations the filter step must retrieve.
+//
+// Derivations (Section 3 of the paper; each is property-tested against
+// random region pairs in candidates_test.go):
+//
+//   - equal(p,q) ⇒ the MBRs are equal: {R7_7}.
+//   - contains(p,q) ⇒ q lies in p's interior, so every extreme point of
+//     q is interior to p and the MBRs are strictly nested: {R5_5}.
+//     Symmetrically inside ⇒ {R9_9}.
+//   - covers(p,q) ⇒ q ⊆ p, so MBR(q) ⊆ MBR(p) with touching allowed in
+//     either axis: i,j ∈ {4,5,7,8}. Symmetrically covered_by:
+//     i,j ∈ {6,7,9,10}.
+//   - disjoint: possible in every configuration except the crossing
+//     set, where p's projection covers q's in one axis while being
+//     covered in the other. Two contiguous regions whose MBRs cross
+//     that way each contain a continuum traversing the common rectangle
+//     transversally, and two such continua must share a point, so the
+//     regions cannot be disjoint.
+//   - meet: the MBRs must share at least a point; additionally the 14
+//     forced-overlap configurations (below) are excluded.
+//   - overlap: the MBRs must share interior in both axes (i,j ∈ 3..11);
+//     every such configuration can host overlapping regions.
+
+var (
+	coversAxes    = interval.NewSet(interval.FinishedBy, interval.Contains, interval.Equal, interval.StartedBy)
+	coveredByAxes = interval.NewSet(interval.Starts, interval.Equal, interval.During, interval.Finishes)
+	interiorAxes  = interval.NewSet(
+		interval.Overlaps, interval.FinishedBy, interval.Contains,
+		interval.Starts, interval.Equal, interval.StartedBy,
+		interval.During, interval.Finishes, interval.OverlappedBy,
+	)
+	touchAxes = interiorAxes.Add(interval.Meets).Add(interval.MetBy)
+)
+
+// crossingSet is the set of configurations where one MBR covers the
+// other's x-projection while being covered in y, or vice versa: 31
+// configurations in which the objects cannot be disjoint.
+func crossingSet() ConfigSet {
+	return ProductSet(coversAxes, coveredByAxes).Union(ProductSet(coveredByAxes, coversAxes))
+}
+
+// forcedOverlapSet returns the 14 configurations in which two
+// contiguous regions with crisp MBRs must overlap (share interior).
+//
+// Derivation. Let S be the rectangle (p'x ∩ q'x) × (p'y ∩ q'y). If p's
+// x-projection covers q's (i ∈ {4,5,7,8}), p contains a continuum
+// crossing S from its left edge to its right edge (p is connected,
+// confined to S's y-range, and reaches both x extremes of S). If
+// moreover p's y-projection lies strictly inside q's (j = 9), the open
+// connected interior of q contains a continuum crossing S vertically
+// all the way (int(q) extends beyond S's y-range on both sides and is
+// confined to S's x-range). Two continua traversing a rectangle in
+// perpendicular directions intersect, so some z ∈ p ∩ int(q); an open
+// ball around z inside q meets int(p) (z ∈ p is a limit of int(p)),
+// hence int(p) ∩ int(q) ≠ ∅ and the regions overlap. The same argument
+// applies under the three symmetric role/axis assignments. When the
+// "interior crosser"'s projection merely touches (j ∈ {6,10}) the
+// argument fails and meeting witnesses exist (see the candidates tests
+// for an explicit construction in R4_6).
+//
+// Note that interiors intersecting rules out meet and disjoint in all
+// 14 configurations, but 4 of them (R5_7, R7_5, R7_9, R9_7) still admit
+// a containment relation (covers/covered_by), so only the remaining 10
+// are overlap-only and refinement-free (Figure 9).
+func forcedOverlapSet() ConfigSet {
+	during := interval.NewSet(interval.During)
+	contains := interval.NewSet(interval.Contains)
+	s := ProductSet(coversAxes, during)              // p covers in x, strictly inside in y
+	s = s.Union(ProductSet(during, coversAxes))      // p covers in y, strictly inside in x
+	s = s.Union(ProductSet(contains, coveredByAxes)) // p strictly wider in x, covered in y
+	s = s.Union(ProductSet(coveredByAxes, contains)) // p strictly taller in y, covered in x
+	return s
+}
+
+var candidatesTable [topo.NumRelations]ConfigSet
+
+func init() {
+	eq := Config{interval.Equal, interval.Equal}
+	candidatesTable[topo.Equal] = NewConfigSet(eq)
+	candidatesTable[topo.Contains] = NewConfigSet(Config{interval.Contains, interval.Contains})
+	candidatesTable[topo.Inside] = NewConfigSet(Config{interval.During, interval.During})
+	candidatesTable[topo.Covers] = ProductSet(coversAxes, coversAxes)
+	candidatesTable[topo.CoveredBy] = ProductSet(coveredByAxes, coveredByAxes)
+	candidatesTable[topo.Disjoint] = FullConfigSet().Minus(crossingSet())
+	candidatesTable[topo.Meet] = ProductSet(touchAxes, touchAxes).Minus(forcedOverlapSet())
+	candidatesTable[topo.Overlap] = ProductSet(interiorAxes, interiorAxes)
+}
+
+// Candidates returns the paper's Table 1 row for relation r: the MBR
+// configurations that two regions in relation r may exhibit, i.e. the
+// configurations the filter step must retrieve when querying for r.
+func Candidates(r topo.Relation) ConfigSet {
+	if !r.Valid() {
+		panic("mbr.Candidates: invalid relation")
+	}
+	return candidatesTable[r]
+}
+
+// CandidatesSet returns the union of Table 1 rows for a disjunction of
+// relations (the paper's Section 5 low-resolution queries).
+func CandidatesSet(s topo.Set) ConfigSet {
+	var out ConfigSet
+	for _, r := range s.Relations() {
+		out = out.Union(Candidates(r))
+	}
+	return out
+}
+
+// PossibleRelations returns, for an observed MBR configuration, the
+// set of topological relations the enclosed objects may satisfy (the
+// dual reading of Table 1; e.g. for equal MBRs: equal, overlap,
+// covered_by, covers or meet — the paper's Figure 5).
+func PossibleRelations(c Config) topo.Set {
+	var out topo.Set
+	for _, r := range topo.All() {
+		if candidatesTable[r].Has(c) {
+			out = out.Add(r)
+		}
+	}
+	return out
+}
+
+// RefinementNeeded reports whether a candidate retrieved in
+// configuration c for a query on relation r needs the exact-geometry
+// refinement step. It is false exactly when c admits no relation other
+// than r — the paper's Figure 9 (the 48 MBR-disjoint configurations
+// for disjoint queries, and the 14 forced-overlap configurations for
+// overlap queries).
+func RefinementNeeded(c Config, r topo.Relation) bool {
+	poss := PossibleRelations(c)
+	return poss != topo.NewSet(r)
+}
+
+// NoRefinementSet returns the configurations for which a query on r
+// can skip refinement entirely (Figure 9).
+func NoRefinementSet(r topo.Relation) ConfigSet {
+	var out ConfigSet
+	for _, c := range Candidates(r).Configs() {
+		if !RefinementNeeded(c, r) {
+			out.Add(c)
+		}
+	}
+	return out
+}

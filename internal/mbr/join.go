@@ -1,0 +1,17 @@
+package mbr
+
+import "mbrtopo/internal/interval"
+
+// JoinPropagation returns the configurations a pair of covering node
+// rectangles (one from each tree of a spatial join) may exhibit while
+// their subtrees can still contain a leaf pair whose configuration
+// lies in s. Per axis, both sides of the pair are covered by their
+// nodes, so the admissible node-pair relations are the BiCoverers of
+// the leaf-pair relations.
+func JoinPropagation(s ConfigSet) ConfigSet {
+	var out ConfigSet
+	for _, c := range s.Configs() {
+		out = out.Union(ProductSet(interval.BiCoverers(c.X), interval.BiCoverers(c.Y)))
+	}
+	return out
+}

@@ -1,0 +1,76 @@
+package mbr
+
+import "mbrtopo/internal/topo"
+
+// This file implements the paper's Section 7 extension to
+// non-contiguous regions ("countries with islands"): the filter-step
+// theory when objects may consist of several disconnected components.
+//
+// The containment rows are unchanged — q ⊆ p still nests the MBRs, and
+// q ⊂ int(p) still nests them strictly, component by component. What
+// changes is everything that relied on connectedness:
+//
+//   - the crossing-configuration argument needs a *continuum* of each
+//     region traversing the common rectangle; a region split into
+//     components on either side traverses nothing, so disjoint becomes
+//     possible in every configuration (all 169);
+//   - likewise the forced-overlap configurations can host merely
+//     touching multi-part regions, so meet covers all 121
+//     point-sharing configurations.
+//
+// As the paper puts it: "the number of MBRs to be retrieved for some
+// relations increases since the relaxation of the contiguity
+// constraint qualifies more MBRs as potential candidates."
+
+var nonContiguousTable [topo.NumRelations]ConfigSet
+
+func init() {
+	nonContiguousTable = candidatesTable
+	nonContiguousTable[topo.Disjoint] = FullConfigSet()
+	nonContiguousTable[topo.Meet] = ProductSet(touchAxes, touchAxes)
+}
+
+// CandidatesNonContiguous returns the Table 1 row for relation r when
+// objects may be non-contiguous regions.
+func CandidatesNonContiguous(r topo.Relation) ConfigSet {
+	if !r.Valid() {
+		panic("mbr.CandidatesNonContiguous: invalid relation")
+	}
+	return nonContiguousTable[r]
+}
+
+// CandidatesNonContiguousSet returns the union of non-contiguous rows
+// for a disjunction.
+func CandidatesNonContiguousSet(s topo.Set) ConfigSet {
+	var out ConfigSet
+	for _, r := range s.Relations() {
+		out = out.Union(CandidatesNonContiguous(r))
+	}
+	return out
+}
+
+// PossibleRelationsNonContiguous returns the relations that
+// non-contiguous objects in MBR configuration c may satisfy.
+func PossibleRelationsNonContiguous(c Config) topo.Set {
+	var out topo.Set
+	for _, r := range topo.All() {
+		if nonContiguousTable[r].Has(c) {
+			out = out.Add(r)
+		}
+	}
+	return out
+}
+
+// NoRefinementSetNonContiguous returns the configurations for which a
+// query on r skips refinement under the non-contiguous tables: only
+// the 48 MBR-disjoint configurations (for disjoint) survive — the
+// forced-overlap guarantee needs contiguity.
+func NoRefinementSetNonContiguous(r topo.Relation) ConfigSet {
+	var out ConfigSet
+	for _, c := range CandidatesNonContiguous(r).Configs() {
+		if PossibleRelationsNonContiguous(c) == topo.NewSet(r) {
+			out.Add(c)
+		}
+	}
+	return out
+}

@@ -1,0 +1,136 @@
+package mbr
+
+import (
+	"testing"
+
+	"mbrtopo/internal/geom"
+	"mbrtopo/internal/interval"
+	"mbrtopo/internal/topo"
+)
+
+func TestNonContiguousCardinalities(t *testing.T) {
+	want := map[topo.Relation]int{
+		topo.Equal:     1,
+		topo.Contains:  1,
+		topo.Inside:    1,
+		topo.Covers:    16,
+		topo.CoveredBy: 16,
+		topo.Disjoint:  169, // contiguity no longer excludes crossings
+		topo.Meet:      121, // forced overlap needs contiguity
+		topo.Overlap:   81,
+	}
+	for r, n := range want {
+		if got := CandidatesNonContiguous(r).Len(); got != n {
+			t.Errorf("non-contiguous |%v| = %d, want %d", r, got, n)
+		}
+	}
+	// The contiguous rows are always subsets of the non-contiguous ones.
+	for _, r := range topo.All() {
+		if !Candidates(r).SubsetOf(CandidatesNonContiguous(r)) {
+			t.Errorf("%v: contiguous row not a subset", r)
+		}
+	}
+}
+
+// TestNonContiguousWitnesses constructs the multi-part configurations
+// that the contiguous theory excludes and verifies the relaxed rows
+// accept them.
+func TestNonContiguousWitnesses(t *testing.T) {
+	q := geom.R(10, 10, 20, 20)
+	qPoly := q.Polygon()
+
+	// Disjoint in the strict crossing configuration R5_9: two blobs
+	// flanking q left and right, vertically inside q's projection.
+	flank := geom.MultiPolygon{
+		geom.R(2, 12, 8, 18).Polygon(),
+		geom.R(22, 12, 28, 18).Polygon(),
+	}
+	if err := flank.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cfg := ConfigOf(flank.Bounds(), q)
+	if cfg != (Config{interval.Contains, interval.During}) {
+		t.Fatalf("flank config = %v, want R5_9", cfg)
+	}
+	if got := geom.RelateRegions(flank, qPoly); got != topo.Disjoint {
+		t.Fatalf("flank relates as %v, want disjoint", got)
+	}
+	if Candidates(topo.Disjoint).Has(cfg) {
+		t.Fatal("contiguous disjoint row should exclude R5_9")
+	}
+	if !CandidatesNonContiguous(topo.Disjoint).Has(cfg) {
+		t.Fatal("non-contiguous disjoint row must include R5_9")
+	}
+
+	// Meet in R5_9: the same flanks, now touching q's edges.
+	touching := geom.MultiPolygon{
+		geom.R(2, 12, 10, 18).Polygon(),
+		geom.R(20, 12, 28, 18).Polygon(),
+	}
+	if got := geom.RelateRegions(touching, qPoly); got != topo.Meet {
+		t.Fatalf("touching flanks relate as %v, want meet", got)
+	}
+	cfg = ConfigOf(touching.Bounds(), q)
+	if Candidates(topo.Meet).Has(cfg) {
+		t.Fatal("contiguous meet row should exclude the forced-overlap config")
+	}
+	if !CandidatesNonContiguous(topo.Meet).Has(cfg) {
+		t.Fatal("non-contiguous meet row must include it")
+	}
+
+	// Disjoint with equal MBRs (R7_7): opposite corner pairs.
+	p := geom.MultiPolygon{
+		geom.R(10, 10, 12, 12).Polygon(),
+		geom.R(18, 18, 20, 20).Polygon(),
+	}
+	qq := geom.MultiPolygon{
+		geom.R(18, 10, 20, 12).Polygon(),
+		geom.R(10, 18, 12, 20).Polygon(),
+	}
+	if got := geom.RelateRegions(p, qq); got != topo.Disjoint {
+		t.Fatalf("corner pairs relate as %v", got)
+	}
+	cfg = ConfigOf(p.Bounds(), qq.Bounds())
+	if cfg != (Config{interval.Equal, interval.Equal}) {
+		t.Fatalf("corner pairs config = %v, want R7_7", cfg)
+	}
+	if !CandidatesNonContiguous(topo.Disjoint).Has(cfg) {
+		t.Fatal("non-contiguous disjoint row must include R7_7")
+	}
+}
+
+// TestNonContiguousRefinementFree: only the MBR-disjoint
+// configurations stay refinement-free for disjoint; overlap loses its
+// forced configurations.
+func TestNonContiguousRefinementFree(t *testing.T) {
+	if got := NoRefinementSetNonContiguous(topo.Disjoint).Len(); got != 48 {
+		t.Errorf("disjoint refinement-free = %d, want 48", got)
+	}
+	for _, r := range topo.All() {
+		if r == topo.Disjoint {
+			continue
+		}
+		if got := NoRefinementSetNonContiguous(r); !got.IsEmpty() {
+			t.Errorf("%v: refinement-free %v, want empty", r, got)
+		}
+	}
+	// MBR-disjoint ⇒ disjoint holds regardless of contiguity.
+	for _, c := range NoRefinementSetNonContiguous(topo.Disjoint).Configs() {
+		if c.Topo() != topo.Disjoint {
+			t.Errorf("config %v kept but MBRs are %v", c, c.Topo())
+		}
+	}
+}
+
+// TestNonContiguousConverse: the relaxed rows remain self-converse.
+func TestNonContiguousConverse(t *testing.T) {
+	for _, r := range topo.All() {
+		var conv ConfigSet
+		for _, c := range CandidatesNonContiguous(r).Configs() {
+			conv.Add(c.Converse())
+		}
+		if !conv.Equal(CandidatesNonContiguous(r.Converse())) {
+			t.Errorf("non-contiguous rows not self-converse at %v", r)
+		}
+	}
+}

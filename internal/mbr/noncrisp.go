@@ -1,0 +1,42 @@
+package mbr
+
+import (
+	"mbrtopo/internal/interval"
+	"mbrtopo/internal/topo"
+)
+
+// This file implements the paper's Section 6 (non-crisp MBRs): when
+// stored MBRs may be slightly larger than the crisp minimum bounding
+// rectangles (inexact geometry code, floating-point rounding, integer
+// snapping), the filter step must also retrieve the configurations
+// reachable from the crisp ones by up to two conceptual-neighbourhood
+// steps of enlargement per axis — the paper's Table 5.
+
+// Expand1 returns s expanded per axis by first-degree conceptual
+// neighbours (enlargement of either rectangle by up to one step).
+func Expand1(s ConfigSet) ConfigSet {
+	return expand(s, func(r interval.Relation) interval.Set {
+		return interval.NewSet(r).Union(interval.FirstDegreeNeighbours(r))
+	})
+}
+
+// Expand2 returns s expanded per axis by first- and second-degree
+// conceptual neighbours: the paper's Table 5 retrieval sets, tolerant
+// to 2-degree relation deformation.
+func Expand2(s ConfigSet) ConfigSet {
+	return expand(s, interval.Neighbourhood2)
+}
+
+func expand(s ConfigSet, nbh func(interval.Relation) interval.Set) ConfigSet {
+	var out ConfigSet
+	for _, c := range s.Configs() {
+		out = out.Union(ProductSet(nbh(c.X), nbh(c.Y)))
+	}
+	return out
+}
+
+// CandidatesNonCrisp returns the Table 5 row for relation r: the crisp
+// Table 1 configurations expanded by 2-degree neighbourhoods.
+func CandidatesNonCrisp(r topo.Relation) ConfigSet {
+	return Expand2(Candidates(r))
+}

@@ -1,0 +1,176 @@
+package mbr
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"mbrtopo/internal/geom"
+	"mbrtopo/internal/topo"
+)
+
+// rectPair generates rectangle pairs on a half-unit grid so equality
+// configurations occur with positive probability.
+type rectPair struct{ P, Q geom.Rect }
+
+// Generate implements quick.Generator.
+func (rectPair) Generate(rng *rand.Rand, _ int) reflect.Value {
+	mk := func() geom.Rect {
+		x := float64(rng.Intn(40)) / 2
+		y := float64(rng.Intn(40)) / 2
+		w := 0.5 + float64(rng.Intn(20))/2
+		h := 0.5 + float64(rng.Intn(20))/2
+		return geom.R(x, y, x+w, y+h)
+	}
+	return reflect.ValueOf(rectPair{P: mk(), Q: mk()})
+}
+
+// TestQuickConfigConverse: ConfigOf(q,p) is the converse of
+// ConfigOf(p,q), and Topo respects relation converses.
+func TestQuickConfigConverse(t *testing.T) {
+	f := func(pair rectPair) bool {
+		c := ConfigOf(pair.P, pair.Q)
+		return ConfigOf(pair.Q, pair.P) == c.Converse() &&
+			c.Converse().Topo() == c.Topo().Converse()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickPossibleRelationsContainTopo: the rectangles themselves are
+// regions with crisp MBRs, so their exact relation (Topo of the
+// configuration) must be admitted by the candidate tables — both the
+// contiguous and the relaxed ones.
+func TestQuickPossibleRelationsContainTopo(t *testing.T) {
+	f := func(pair rectPair) bool {
+		c := ConfigOf(pair.P, pair.Q)
+		rel := c.Topo()
+		return PossibleRelations(c).Has(rel) && PossibleRelationsNonContiguous(c).Has(rel)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickConfigSetAlgebra: set-algebra laws on random config sets.
+func TestQuickConfigSetAlgebra(t *testing.T) {
+	gen := func(rng *rand.Rand) ConfigSet {
+		var s ConfigSet
+		for i := 0; i < 30; i++ {
+			s.Add(ConfigFromIndex(rng.Intn(NumConfigs)))
+		}
+		return s
+	}
+	rng := rand.New(rand.NewSource(19))
+	for i := 0; i < 5000; i++ {
+		a, b := gen(rng), gen(rng)
+		if !a.Intersect(b).SubsetOf(a) || !a.SubsetOf(a.Union(b)) {
+			t.Fatal("lattice laws broken")
+		}
+		if !a.Minus(b).Intersect(b).IsEmpty() {
+			t.Fatal("minus law broken")
+		}
+		if a.Union(b).Len()+a.Intersect(b).Len() != a.Len()+b.Len() {
+			t.Fatal("inclusion-exclusion broken")
+		}
+		if !a.Complement().Complement().Equal(a) {
+			t.Fatal("double complement broken")
+		}
+	}
+}
+
+// TestQuickPropagationMonotone: propagation is monotone in the
+// candidate set.
+func TestQuickPropagationMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for i := 0; i < 300; i++ {
+		var a ConfigSet
+		for j := 0; j < 10; j++ {
+			a.Add(ConfigFromIndex(rng.Intn(NumConfigs)))
+		}
+		b := a
+		for j := 0; j < 5; j++ {
+			b.Add(ConfigFromIndex(rng.Intn(NumConfigs)))
+		}
+		if !Propagation(a).SubsetOf(Propagation(b)) {
+			t.Fatal("propagation not monotone")
+		}
+	}
+}
+
+// TestQuickRegionFeasibleConsistent: if a stored rect's config is in
+// the candidate set and its interior meets a region, the region must
+// be feasible (no false pruning for partition trees).
+func TestQuickRegionFeasibleConsistent(t *testing.T) {
+	f := func(pair rectPair, rx, ry, rw, rh uint8) bool {
+		ref := pair.Q
+		stored := pair.P
+		region := geom.R(float64(rx%30), float64(ry%30),
+			float64(rx%30)+0.5+float64(rw%20), float64(ry%30)+0.5+float64(rh%20))
+		cfg := ConfigOf(stored, ref)
+		s := NewConfigSet(cfg)
+		if stored.IntersectsInterior(region) {
+			return RegionFeasible(s, region, ref)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickPartitionPredicateSound verifies the true soundness
+// statement behind the R+-tree node predicate: for ANY partition of
+// the plane into grid cells and any candidate rectangle admissible for
+// the queried relation, at least one cell whose interior meets the
+// rectangle (i.e. one of the leaves the rectangle is registered in)
+// satisfies the predicate. Pruning other registrations is fine — one
+// reachable copy suffices.
+func TestQuickPartitionPredicateSound(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for i := 0; i < 4000; i++ {
+		mk := func() geom.Rect {
+			x := float64(rng.Intn(40)) / 2
+			y := float64(rng.Intn(40)) / 2
+			return geom.R(x, y, x+0.5+float64(rng.Intn(16))/2, y+0.5+float64(rng.Intn(16))/2)
+		}
+		ref, stored := mk(), mk()
+		// A random grid partition of a bounding world.
+		cutsX := []float64{-1, 31}
+		cutsY := []float64{-1, 31}
+		for j := 0; j < 4; j++ {
+			cutsX = append(cutsX, float64(rng.Intn(60))/2)
+			cutsY = append(cutsY, float64(rng.Intn(60))/2)
+		}
+		sort.Float64s(cutsX)
+		sort.Float64s(cutsY)
+
+		cfg := ConfigOf(stored, ref)
+		for _, rel := range topo.All() {
+			s := Candidates(rel)
+			if !s.Has(cfg) {
+				continue
+			}
+			pred := PartitionNodePredicate(s, ref)
+			found := false
+			for xi := 0; xi+1 < len(cutsX) && !found; xi++ {
+				for yi := 0; yi+1 < len(cutsY) && !found; yi++ {
+					cell := geom.R(cutsX[xi], cutsY[yi], cutsX[xi+1], cutsY[yi+1])
+					if !cell.Valid() || !cell.IntersectsInterior(stored) {
+						continue
+					}
+					if pred(cell) {
+						found = true
+					}
+				}
+			}
+			if !found {
+				t.Fatalf("no reachable registration: rel %v cfg %v stored %v ref %v",
+					rel, cfg, stored, ref)
+			}
+		}
+	}
+}

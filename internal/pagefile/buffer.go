@@ -1,0 +1,135 @@
+package pagefile
+
+import (
+	"container/list"
+	"sync"
+)
+
+// BufferPool is an LRU page cache layered over a File. Reads that hit
+// the pool do not touch the underlying device; writes go through
+// (write-through policy) and update the cached copy. The pool lets the
+// experiment harness contrast the paper's raw node-access counts with
+// the accesses a buffered real system would perform.
+type BufferPool struct {
+	mu     sync.Mutex
+	base   File
+	frames int
+	lru    *list.List // front = most recent; values are *frame
+	index  map[PageID]*list.Element
+	hits   uint64
+	misses uint64
+}
+
+type frame struct {
+	id   PageID
+	data []byte
+}
+
+// NewBufferPool wraps base with an LRU cache of the given number of
+// page frames (must be positive).
+func NewBufferPool(base File, frames int) *BufferPool {
+	if frames <= 0 {
+		panic("pagefile: buffer pool needs at least one frame")
+	}
+	return &BufferPool{
+		base:   base,
+		frames: frames,
+		lru:    list.New(),
+		index:  make(map[PageID]*list.Element),
+	}
+}
+
+// PageSize returns the underlying page size.
+func (b *BufferPool) PageSize() int { return b.base.PageSize() }
+
+// Alloc passes through to the underlying file.
+func (b *BufferPool) Alloc() (PageID, error) { return b.base.Alloc() }
+
+// Read serves the page from cache when possible.
+func (b *BufferPool) Read(id PageID, buf []byte) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if el, ok := b.index[id]; ok {
+		b.lru.MoveToFront(el)
+		copy(buf, el.Value.(*frame).data)
+		b.hits++
+		return nil
+	}
+	if err := b.base.Read(id, buf); err != nil {
+		return err
+	}
+	b.misses++
+	b.install(id, buf[:b.base.PageSize()])
+	return nil
+}
+
+// Write is write-through: the device and the cached copy both update.
+func (b *BufferPool) Write(id PageID, data []byte) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if err := b.base.Write(id, data); err != nil {
+		return err
+	}
+	if el, ok := b.index[id]; ok {
+		f := el.Value.(*frame)
+		copy(f.data, data)
+		for i := len(data); i < len(f.data); i++ {
+			f.data[i] = 0
+		}
+		b.lru.MoveToFront(el)
+	} else {
+		page := make([]byte, b.base.PageSize())
+		copy(page, data)
+		b.installOwned(id, page)
+	}
+	return nil
+}
+
+// install caches a copy of data under id, evicting the LRU page if the
+// pool is full. Caller holds the lock.
+func (b *BufferPool) install(id PageID, data []byte) {
+	page := make([]byte, b.base.PageSize())
+	copy(page, data)
+	b.installOwned(id, page)
+}
+
+func (b *BufferPool) installOwned(id PageID, page []byte) {
+	if b.lru.Len() >= b.frames {
+		back := b.lru.Back()
+		b.lru.Remove(back)
+		delete(b.index, back.Value.(*frame).id)
+	}
+	b.index[id] = b.lru.PushFront(&frame{id: id, data: page})
+}
+
+// Free drops the page from the cache and the underlying file.
+func (b *BufferPool) Free(id PageID) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if el, ok := b.index[id]; ok {
+		b.lru.Remove(el)
+		delete(b.index, id)
+	}
+	return b.base.Free(id)
+}
+
+// Stats reports the underlying device counters (physical accesses).
+func (b *BufferPool) Stats() Stats { return b.base.Stats() }
+
+// ResetStats zeroes the device counters and the hit/miss counters.
+func (b *BufferPool) ResetStats() {
+	b.mu.Lock()
+	b.hits, b.misses = 0, 0
+	b.mu.Unlock()
+	b.base.ResetStats()
+}
+
+// NumPages returns the number of live pages on the device.
+func (b *BufferPool) NumPages() int { return b.base.NumPages() }
+
+// HitMiss returns the cache hit and miss counts since the last reset.
+func (b *BufferPool) HitMiss() (hits, misses uint64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.hits, b.misses
+}

@@ -1,0 +1,140 @@
+package pagefile
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestBufferPoolWriteInstall(t *testing.T) {
+	base := NewMemFile(32)
+	pool := NewBufferPool(base, 2)
+	a, _ := pool.Alloc()
+	// A write to an uncached page installs it.
+	if err := pool.Write(a, []byte("hi")); err != nil {
+		t.Fatal(err)
+	}
+	base.ResetStats()
+	buf := make([]byte, 32)
+	if err := pool.Read(a, buf); err != nil {
+		t.Fatal(err)
+	}
+	if base.Stats().Reads != 0 {
+		t.Fatal("write did not install the page in the pool")
+	}
+	if !bytes.HasPrefix(buf, []byte("hi")) {
+		t.Fatal("cached content wrong")
+	}
+	// A write shorter than the previous content zero-fills the cached tail.
+	if err := pool.Write(a, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := pool.Read(a, buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 'x' || buf[1] != 0 {
+		t.Fatalf("cached overwrite not zero-filled: %q", buf[:3])
+	}
+}
+
+func TestBufferPoolEvictionOrder(t *testing.T) {
+	base := NewMemFile(32)
+	pool := NewBufferPool(base, 2)
+	ids := make([]PageID, 3)
+	for i := range ids {
+		ids[i], _ = pool.Alloc()
+		_ = pool.Write(ids[i], []byte{byte('a' + i)})
+	}
+	buf := make([]byte, 32)
+	// Access order: 0, 1 → 2 was evicted (pool held {1,2}, writing 0...).
+	// After the three writes the pool holds the two most recent: 1, 2.
+	base.ResetStats()
+	_ = pool.Read(ids[1], buf)
+	_ = pool.Read(ids[2], buf)
+	if base.Stats().Reads != 0 {
+		t.Fatalf("recent pages not cached: %v", base.Stats())
+	}
+	// Touch 1 so 2 becomes LRU, then read 0 (miss) evicting 2.
+	_ = pool.Read(ids[1], buf)
+	_ = pool.Read(ids[0], buf)
+	base.ResetStats()
+	_ = pool.Read(ids[2], buf)
+	if base.Stats().Reads != 1 {
+		t.Fatalf("expected 2 to be evicted: %v", base.Stats())
+	}
+}
+
+func TestBufferPoolErrorPaths(t *testing.T) {
+	base := NewMemFile(32)
+	pool := NewBufferPool(base, 2)
+	buf := make([]byte, 32)
+	if err := pool.Read(42, buf); !errors.Is(err, ErrPageNotFound) {
+		t.Fatalf("read missing: %v", err)
+	}
+	if err := pool.Write(42, buf); !errors.Is(err, ErrPageNotFound) {
+		t.Fatalf("write missing: %v", err)
+	}
+	if err := pool.Free(42); !errors.Is(err, ErrPageNotFound) {
+		t.Fatalf("free missing: %v", err)
+	}
+	if pool.PageSize() != 32 || pool.NumPages() != 0 {
+		t.Fatal("pass-through accessors broken")
+	}
+	pool.ResetStats()
+	if h, m := pool.HitMiss(); h != 0 || m != 0 {
+		t.Fatal("ResetStats did not clear hit/miss")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero-frame pool accepted")
+		}
+	}()
+	NewBufferPool(base, 0)
+}
+
+func TestFaultFilePassThrough(t *testing.T) {
+	base := NewMemFile(32)
+	f := NewFaultFile(base)
+	if f.PageSize() != 32 {
+		t.Fatal("PageSize passthrough")
+	}
+	id, err := f.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Write(id, []byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 32)
+	if err := f.Read(id, buf); err != nil || buf[0] != 'o' {
+		t.Fatalf("read: %v %q", err, buf[:2])
+	}
+	if f.NumPages() != 1 || f.Stats().Writes != 1 {
+		t.Fatal("stats passthrough broken")
+	}
+	f.ResetStats()
+	if f.Stats() != (Stats{}) {
+		t.Fatal("reset passthrough broken")
+	}
+	// Armed fault fires exactly once at the right operation.
+	f.FailAfter(2, true, false, false)
+	if err := f.Read(id, buf); err != nil {
+		t.Fatalf("first read should pass: %v", err)
+	}
+	if f.Fired() {
+		t.Fatal("fired too early")
+	}
+	if err := f.Read(id, buf); !errors.Is(err, ErrInjected) {
+		t.Fatalf("second read should fail: %v", err)
+	}
+	if !f.Fired() {
+		t.Fatal("not marked fired")
+	}
+	if err := f.Read(id, buf); err != nil {
+		t.Fatalf("post-fault read should pass: %v", err)
+	}
+	// Free passes through.
+	if err := f.Free(id); err != nil {
+		t.Fatal(err)
+	}
+}

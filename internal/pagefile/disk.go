@@ -1,0 +1,291 @@
+package pagefile
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// DiskFile is a File backed by an operating-system file, giving the
+// access methods real persistence. Layout:
+//
+//	offset 0:               header (one page slot)
+//	offset id*pageSize:     page id (ids start at 1)
+//
+// Header: magic (8) | pageSize u32 | next u32 | freeHead u32 |
+// userMeta (32 bytes). Freed pages form a linked list threaded through
+// their first four bytes; the whole list is loaded at open so that
+// reads of freed pages are detected, like MemFile does.
+//
+// The header is flushed by Sync and Close (and after every Alloc/Free
+// so a crashed process loses at most unsynced page payloads, not the
+// allocation state).
+type DiskFile struct {
+	mu       sync.Mutex
+	f        *os.File
+	pageSize int
+	next     PageID
+	freeHead PageID
+	freeSet  map[PageID]PageID // id → next free
+	userMeta [UserMetaSize]byte
+	stats    Stats
+}
+
+// UserMetaSize is the number of user metadata bytes persisted in the
+// header (enough for an access method's root/depth/size record).
+const UserMetaSize = 32
+
+const (
+	diskMagic      = "MBRTOPO1"
+	diskHeaderSize = 8 + 4 + 4 + 4 + UserMetaSize
+)
+
+var errClosed = errors.New("pagefile: file is closed")
+
+// CreateDiskFile creates (or truncates) a disk-backed page file.
+func CreateDiskFile(path string, pageSize int) (*DiskFile, error) {
+	if pageSize < diskHeaderSize {
+		return nil, fmt.Errorf("pagefile: page size %d below header size %d", pageSize, diskHeaderSize)
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	d := &DiskFile{
+		f:        f,
+		pageSize: pageSize,
+		next:     1,
+		freeSet:  map[PageID]PageID{},
+	}
+	if err := d.writeHeader(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return d, nil
+}
+
+// OpenDiskFile opens an existing disk-backed page file.
+func OpenDiskFile(path string) (*DiskFile, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return nil, err
+	}
+	hdr := make([]byte, diskHeaderSize)
+	if _, err := f.ReadAt(hdr, 0); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("pagefile: reading header: %w", err)
+	}
+	if string(hdr[:8]) != diskMagic {
+		f.Close()
+		return nil, fmt.Errorf("pagefile: %s is not a page file", path)
+	}
+	d := &DiskFile{
+		f:        f,
+		pageSize: int(binary.LittleEndian.Uint32(hdr[8:12])),
+		next:     PageID(binary.LittleEndian.Uint32(hdr[12:16])),
+		freeHead: PageID(binary.LittleEndian.Uint32(hdr[16:20])),
+		freeSet:  map[PageID]PageID{},
+	}
+	copy(d.userMeta[:], hdr[20:])
+	// Walk the free list so freed-page accesses are detected.
+	buf := make([]byte, 4)
+	for id := d.freeHead; id != NilPage; {
+		if _, err := f.ReadAt(buf, d.offset(id)); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("pagefile: walking free list: %w", err)
+		}
+		next := PageID(binary.LittleEndian.Uint32(buf))
+		d.freeSet[id] = next
+		id = next
+	}
+	return d, nil
+}
+
+func (d *DiskFile) offset(id PageID) int64 {
+	return int64(id) * int64(d.pageSize)
+}
+
+func (d *DiskFile) writeHeader() error {
+	hdr := make([]byte, diskHeaderSize)
+	copy(hdr, diskMagic)
+	binary.LittleEndian.PutUint32(hdr[8:12], uint32(d.pageSize))
+	binary.LittleEndian.PutUint32(hdr[12:16], uint32(d.next))
+	binary.LittleEndian.PutUint32(hdr[16:20], uint32(d.freeHead))
+	copy(hdr[20:], d.userMeta[:])
+	_, err := d.f.WriteAt(hdr, 0)
+	return err
+}
+
+// PageSize returns the page size in bytes.
+func (d *DiskFile) PageSize() int { return d.pageSize }
+
+// UserMeta returns the persisted user metadata block.
+func (d *DiskFile) UserMeta() [UserMetaSize]byte {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.userMeta
+}
+
+// SetUserMeta persists the user metadata block.
+func (d *DiskFile) SetUserMeta(m [UserMetaSize]byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.f == nil {
+		return errClosed
+	}
+	d.userMeta = m
+	return d.writeHeader()
+}
+
+// Alloc reserves a fresh zeroed page.
+func (d *DiskFile) Alloc() (PageID, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.f == nil {
+		return NilPage, errClosed
+	}
+	var id PageID
+	if d.freeHead != NilPage {
+		id = d.freeHead
+		d.freeHead = d.freeSet[id]
+		delete(d.freeSet, id)
+	} else {
+		id = d.next
+		d.next++
+	}
+	zero := make([]byte, d.pageSize)
+	if _, err := d.f.WriteAt(zero, d.offset(id)); err != nil {
+		return NilPage, err
+	}
+	d.stats.Allocs++
+	return id, d.writeHeader()
+}
+
+// Read copies the page into buf.
+func (d *DiskFile) Read(id PageID, buf []byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.f == nil {
+		return errClosed
+	}
+	if err := d.checkLive(id); err != nil {
+		return err
+	}
+	if len(buf) < d.pageSize {
+		return ErrBadSize
+	}
+	if _, err := d.f.ReadAt(buf[:d.pageSize], d.offset(id)); err != nil {
+		return err
+	}
+	d.stats.Reads++
+	return nil
+}
+
+// Write replaces the page contents.
+func (d *DiskFile) Write(id PageID, data []byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.f == nil {
+		return errClosed
+	}
+	if err := d.checkLive(id); err != nil {
+		return err
+	}
+	if len(data) > d.pageSize {
+		return ErrBadSize
+	}
+	page := make([]byte, d.pageSize)
+	copy(page, data)
+	if _, err := d.f.WriteAt(page, d.offset(id)); err != nil {
+		return err
+	}
+	d.stats.Writes++
+	return nil
+}
+
+// Free releases the page onto the free list.
+func (d *DiskFile) Free(id PageID) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.f == nil {
+		return errClosed
+	}
+	if err := d.checkLive(id); err != nil {
+		return err
+	}
+	var buf [4]byte
+	binary.LittleEndian.PutUint32(buf[:], uint32(d.freeHead))
+	if _, err := d.f.WriteAt(buf[:], d.offset(id)); err != nil {
+		return err
+	}
+	d.freeSet[id] = d.freeHead
+	d.freeHead = id
+	d.stats.Frees++
+	return d.writeHeader()
+}
+
+func (d *DiskFile) checkLive(id PageID) error {
+	if id == NilPage || id >= d.next {
+		return fmt.Errorf("%w: %d", ErrPageNotFound, id)
+	}
+	if _, freed := d.freeSet[id]; freed {
+		return fmt.Errorf("%w: %d", ErrPageFreed, id)
+	}
+	return nil
+}
+
+// Stats returns a snapshot of the counters.
+func (d *DiskFile) Stats() Stats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.stats
+}
+
+// ResetStats zeroes the counters.
+func (d *DiskFile) ResetStats() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.stats = Stats{}
+}
+
+// NumPages returns the number of live pages.
+func (d *DiskFile) NumPages() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return int(d.next) - 1 - len(d.freeSet)
+}
+
+// Sync flushes the header and file contents to stable storage.
+func (d *DiskFile) Sync() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.f == nil {
+		return errClosed
+	}
+	if err := d.writeHeader(); err != nil {
+		return err
+	}
+	return d.f.Sync()
+}
+
+// Close flushes and closes the underlying file.
+func (d *DiskFile) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.f == nil {
+		return nil
+	}
+	if err := d.writeHeader(); err != nil {
+		d.f.Close()
+		d.f = nil
+		return err
+	}
+	err := d.f.Close()
+	d.f = nil
+	return err
+}
+
+// DiskFile implements File.
+var _ File = (*DiskFile)(nil)

@@ -1,0 +1,207 @@
+package pagefile
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func newDisk(t *testing.T, pageSize int) (*DiskFile, string) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "pages.db")
+	d, err := CreateDiskFile(path, pageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, path
+}
+
+func TestDiskFileRoundTrip(t *testing.T) {
+	d, path := newDisk(t, 128)
+	id, err := d.Alloc()
+	if err != nil || id == NilPage {
+		t.Fatalf("alloc: %v %v", id, err)
+	}
+	if err := d.Write(id, []byte("persistent")); err != nil {
+		t.Fatal(err)
+	}
+	var meta [UserMetaSize]byte
+	copy(meta[:], "tree-meta")
+	if err := d.SetUserMeta(meta); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Operations after close fail cleanly.
+	if _, err := d.Alloc(); !errors.Is(err, errClosed) {
+		t.Fatalf("alloc after close: %v", err)
+	}
+
+	re, err := OpenDiskFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.PageSize() != 128 {
+		t.Fatal("page size lost")
+	}
+	if got := re.UserMeta(); !bytes.HasPrefix(got[:], []byte("tree-meta")) {
+		t.Fatalf("user meta lost: %q", got[:12])
+	}
+	buf := make([]byte, 128)
+	if err := re.Read(id, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(buf, []byte("persistent")) {
+		t.Fatalf("page content lost: %q", buf[:12])
+	}
+}
+
+func TestDiskFileFreeListPersistence(t *testing.T) {
+	d, path := newDisk(t, 64)
+	var ids []PageID
+	for i := 0; i < 5; i++ {
+		id, err := d.Alloc()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	// Free two pages and reopen.
+	if err := d.Free(ids[1]); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Free(ids[3]); err != nil {
+		t.Fatal(err)
+	}
+	if d.NumPages() != 3 {
+		t.Fatalf("NumPages = %d", d.NumPages())
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := OpenDiskFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.NumPages() != 3 {
+		t.Fatalf("NumPages after reopen = %d", re.NumPages())
+	}
+	buf := make([]byte, 64)
+	if err := re.Read(ids[1], buf); !errors.Is(err, ErrPageFreed) {
+		t.Fatalf("read freed page: %v", err)
+	}
+	if err := re.Write(ids[3], buf); !errors.Is(err, ErrPageFreed) {
+		t.Fatalf("write freed page: %v", err)
+	}
+	// Freed pages are reused (LIFO).
+	a, err := re.Alloc()
+	if err != nil || a != ids[3] {
+		t.Fatalf("reuse: %v %v (want %v)", a, err, ids[3])
+	}
+	b, err := re.Alloc()
+	if err != nil || b != ids[1] {
+		t.Fatalf("reuse: %v %v (want %v)", b, err, ids[1])
+	}
+	// Reused pages come back zeroed.
+	if err := re.Read(a, buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range buf {
+		if x != 0 {
+			t.Fatal("reused page not zeroed")
+		}
+	}
+}
+
+func TestDiskFileErrors(t *testing.T) {
+	d, _ := newDisk(t, 64)
+	defer d.Close()
+	buf := make([]byte, 64)
+	if err := d.Read(99, buf); !errors.Is(err, ErrPageNotFound) {
+		t.Fatalf("read missing: %v", err)
+	}
+	if err := d.Read(NilPage, buf); !errors.Is(err, ErrPageNotFound) {
+		t.Fatalf("read nil: %v", err)
+	}
+	id, _ := d.Alloc()
+	if err := d.Write(id, make([]byte, 65)); !errors.Is(err, ErrBadSize) {
+		t.Fatalf("oversize write: %v", err)
+	}
+	if err := d.Read(id, make([]byte, 10)); !errors.Is(err, ErrBadSize) {
+		t.Fatalf("undersize buf: %v", err)
+	}
+	if _, err := CreateDiskFile(filepath.Join(t.TempDir(), "x.db"), 8); err == nil {
+		t.Fatal("tiny page size accepted")
+	}
+	if _, err := OpenDiskFile(filepath.Join(t.TempDir(), "missing.db")); err == nil {
+		t.Fatal("missing file opened")
+	}
+	// Not a page file.
+	bad := filepath.Join(t.TempDir(), "bad.db")
+	if err := writeFileHelper(bad, []byte("this is not a page file at all, just text")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenDiskFile(bad); err == nil {
+		t.Fatal("garbage file opened")
+	}
+}
+
+// TestDiskFileMatchesMemFile: a random operation sequence must behave
+// identically on MemFile and DiskFile.
+func TestDiskFileMatchesMemFile(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	disk, _ := newDisk(t, 64)
+	defer disk.Close()
+	mem := NewMemFile(64)
+	var live []PageID
+	buf1 := make([]byte, 64)
+	buf2 := make([]byte, 64)
+	for i := 0; i < 3000; i++ {
+		switch op := rng.Intn(4); {
+		case op == 0 || len(live) == 0:
+			a, err1 := disk.Alloc()
+			b, err2 := mem.Alloc()
+			if (err1 == nil) != (err2 == nil) || a != b {
+				t.Fatalf("alloc divergence: %v/%v %v/%v", a, err1, b, err2)
+			}
+			live = append(live, a)
+		case op == 1:
+			id := live[rng.Intn(len(live))]
+			data := make([]byte, rng.Intn(65))
+			rng.Read(data)
+			if err1, err2 := disk.Write(id, data), mem.Write(id, data); (err1 == nil) != (err2 == nil) {
+				t.Fatalf("write divergence: %v %v", err1, err2)
+			}
+		case op == 2:
+			id := live[rng.Intn(len(live))]
+			if err1, err2 := disk.Read(id, buf1), mem.Read(id, buf2); (err1 == nil) != (err2 == nil) {
+				t.Fatalf("read divergence: %v %v", err1, err2)
+			} else if err1 == nil && !bytes.Equal(buf1, buf2) {
+				t.Fatalf("content divergence on page %d", id)
+			}
+		default:
+			k := rng.Intn(len(live))
+			id := live[k]
+			if err1, err2 := disk.Free(id), mem.Free(id); (err1 == nil) != (err2 == nil) {
+				t.Fatalf("free divergence: %v %v", err1, err2)
+			}
+			live = append(live[:k], live[k+1:]...)
+		}
+		if disk.NumPages() != mem.NumPages() {
+			t.Fatalf("page count divergence: %d vs %d", disk.NumPages(), mem.NumPages())
+		}
+	}
+}
+
+func writeFileHelper(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644)
+}

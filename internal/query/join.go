@@ -1,0 +1,121 @@
+package query
+
+import (
+	"fmt"
+
+	"mbrtopo/internal/geom"
+	"mbrtopo/internal/index"
+	"mbrtopo/internal/mbr"
+	"mbrtopo/internal/rtree"
+	"mbrtopo/internal/topo"
+)
+
+// JoinPair is one result of a topological spatial join.
+type JoinPair struct {
+	LeftOID, RightOID   uint64
+	LeftRect, RightRect geom.Rect
+}
+
+// JoinResult bundles join pairs with cost statistics.
+type JoinResult struct {
+	Pairs []JoinPair
+	Stats Stats
+}
+
+// JoinOptions configure JoinTopological.
+type JoinOptions struct {
+	// LeftObjects / RightObjects enable exact refinement. When nil the
+	// join returns filter-level candidate pairs (configurations
+	// admissible for the relation set).
+	LeftObjects, RightObjects ObjectStore
+	// NonContiguous selects the Section 7 candidate tables.
+	NonContiguous bool
+	// KeepSelfPairs keeps (o, o) pairs in self-joins (by default a pair
+	// with equal OIDs from joining an index with itself is dropped).
+	KeepSelfPairs bool
+}
+
+// JoinTopological finds all pairs (l, r) of objects from the two
+// indexes with rel(l, r) for some rel in rels, by synchronized
+// traversal of both trees with configuration-based pruning (the
+// two-sided analogue of the paper's Table 2, derived per axis). Both
+// indexes must be covering-rectangle trees (R-tree or R*-tree); join
+// an R+-tree by running per-object queries instead.
+func JoinTopological(left, right index.Index, rels topo.Set, opts JoinOptions) (JoinResult, error) {
+	if rels.IsEmpty() {
+		return JoinResult{}, fmt.Errorf("query: empty relation set")
+	}
+	t1, ok1 := left.(*rtree.Tree)
+	t2, ok2 := right.(*rtree.Tree)
+	if !ok1 || !ok2 {
+		return JoinResult{}, fmt.Errorf("query: join requires covering-rectangle trees (got %s, %s)",
+			left.Name(), right.Name())
+	}
+
+	var cands mbr.ConfigSet
+	if opts.NonContiguous {
+		cands = mbr.CandidatesNonContiguousSet(rels)
+	} else {
+		cands = mbr.CandidatesSet(rels)
+	}
+	prop := mbr.JoinPropagation(cands)
+
+	selfJoin := left == right
+	before := left.IOStats().Reads + right.IOStats().Reads
+	var out JoinResult
+	err := rtree.Join(t1, t2,
+		func(a, b geom.Rect) bool { return prop.Has(mbr.ConfigOf(a, b)) },
+		func(a, b geom.Rect) bool { return cands.Has(mbr.ConfigOf(a, b)) },
+		func(aRect geom.Rect, aOID uint64, bRect geom.Rect, bOID uint64) bool {
+			if selfJoin && !opts.KeepSelfPairs && aOID == bOID {
+				return true
+			}
+			out.Pairs = append(out.Pairs, JoinPair{
+				LeftOID: aOID, RightOID: bOID, LeftRect: aRect, RightRect: bRect,
+			})
+			return true
+		})
+	if err != nil {
+		return JoinResult{}, err
+	}
+	after := left.IOStats().Reads + right.IOStats().Reads
+	if selfJoin {
+		after = left.IOStats().Reads
+		before /= 2
+	}
+	out.Stats.NodeAccesses = after - before
+	out.Stats.Candidates = len(out.Pairs)
+
+	// Refinement.
+	if opts.LeftObjects != nil && opts.RightObjects != nil {
+		kept := out.Pairs[:0]
+		for _, p := range out.Pairs {
+			cfg := mbr.ConfigOf(p.LeftRect, p.RightRect)
+			poss := mbr.PossibleRelations(cfg)
+			if opts.NonContiguous {
+				poss = mbr.PossibleRelationsNonContiguous(cfg)
+			}
+			if poss.SubsetOf(rels) {
+				out.Stats.DirectAccepts++
+				kept = append(kept, p)
+				continue
+			}
+			lo, ok := opts.LeftObjects.Object(p.LeftOID)
+			if !ok {
+				return JoinResult{}, fmt.Errorf("query: join refinement needs left object %d", p.LeftOID)
+			}
+			ro, ok := opts.RightObjects.Object(p.RightOID)
+			if !ok {
+				return JoinResult{}, fmt.Errorf("query: join refinement needs right object %d", p.RightOID)
+			}
+			out.Stats.RefinementTests++
+			if rels.Has(geom.RelateRegions(lo, ro)) {
+				kept = append(kept, p)
+			} else {
+				out.Stats.FalseHits++
+			}
+		}
+		out.Pairs = kept
+	}
+	return out, nil
+}

@@ -1,0 +1,65 @@
+package query
+
+import (
+	"fmt"
+
+	"mbrtopo/internal/geom"
+)
+
+// QueryPoint finds all stored objects whose region contains the point
+// (strictly inside, on the boundary, or both, per want). The filter
+// step descends into nodes and accepts MBRs containing the point; the
+// refinement classifies the point against the exact geometry. This is
+// the point-data query of the paper's Section 7 seen from the region
+// side ("which districts is this facility in?").
+//
+// want must contain geom.PointInside, geom.PointOnBoundary, or both.
+func (p *Processor) QueryPoint(pt geom.Point, want ...geom.PointLocation) (Result, error) {
+	if p.Objects == nil {
+		return Result{}, fmt.Errorf("query: point queries need an ObjectStore for refinement")
+	}
+	accept := map[geom.PointLocation]bool{}
+	for _, w := range want {
+		if w != geom.PointInside && w != geom.PointOnBoundary {
+			return Result{}, fmt.Errorf("query: point queries accept inside/boundary, got %v", w)
+		}
+		accept[w] = true
+	}
+	if len(accept) == 0 {
+		accept[geom.PointInside] = true
+		accept[geom.PointOnBoundary] = true
+	}
+
+	pred := func(r geom.Rect) bool { return r.ContainsPoint(pt) }
+	before := p.Idx.IOStats()
+	seen := make(map[uint64]bool)
+	var matches []Match
+	err := p.Idx.Search(pred, pred, func(r geom.Rect, oid uint64) bool {
+		if !seen[oid] {
+			seen[oid] = true
+			matches = append(matches, Match{OID: oid, Rect: r})
+		}
+		return true
+	})
+	if err != nil {
+		return Result{}, fmt.Errorf("query: point filter: %w", err)
+	}
+	stats := Stats{
+		NodeAccesses: p.Idx.IOStats().Sub(before).Reads,
+		Candidates:   len(matches),
+	}
+	out := matches[:0:0]
+	for _, m := range matches {
+		obj, ok := p.Objects.Object(m.OID)
+		if !ok {
+			return Result{}, fmt.Errorf("query: refinement needs object %d, not in store", m.OID)
+		}
+		stats.RefinementTests++
+		if accept[obj.LocatePoint(pt)] {
+			out = append(out, m)
+		} else {
+			stats.FalseHits++
+		}
+	}
+	return Result{Matches: out, Stats: stats}, nil
+}

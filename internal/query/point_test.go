@@ -1,0 +1,73 @@
+package query
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"mbrtopo/internal/geom"
+)
+
+// TestQueryPointAgainstBruteForce across all trees and location modes.
+func TestQueryPointAgainstBruteForce(t *testing.T) {
+	sc := buildScenario(t, 71, 400)
+	rng := rand.New(rand.NewSource(1))
+	pts := make([]geom.Point, 40)
+	for i := range pts {
+		pts[i] = geom.Point{X: rng.Float64() * 100, Y: rng.Float64() * 100}
+	}
+	// Also points exactly on some boundaries (polygon vertices).
+	for oid := uint64(1); oid <= 5; oid++ {
+		pts = append(pts, sc.objects[oid][0])
+	}
+	brute := func(pt geom.Point, accept map[geom.PointLocation]bool) []uint64 {
+		var out []uint64
+		for oid, pg := range sc.objects {
+			if accept[pg.LocatePoint(pt)] {
+				out = append(out, oid)
+			}
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+		return out
+	}
+	modes := []struct {
+		name   string
+		want   []geom.PointLocation
+		accept map[geom.PointLocation]bool
+	}{
+		{"inside", []geom.PointLocation{geom.PointInside},
+			map[geom.PointLocation]bool{geom.PointInside: true}},
+		{"boundary", []geom.PointLocation{geom.PointOnBoundary},
+			map[geom.PointLocation]bool{geom.PointOnBoundary: true}},
+		{"either", nil,
+			map[geom.PointLocation]bool{geom.PointInside: true, geom.PointOnBoundary: true}},
+	}
+	for name, idx := range sc.indexes {
+		proc := &Processor{Idx: idx, Objects: sc.objects}
+		for _, mode := range modes {
+			for _, pt := range pts {
+				res, err := proc.QueryPoint(pt, mode.want...)
+				if err != nil {
+					t.Fatalf("%s/%s: %v", name, mode.name, err)
+				}
+				want := brute(pt, mode.accept)
+				if !eqU64(oids(res.Matches), want) {
+					t.Fatalf("%s/%s at %v: got %d, want %d", name, mode.name, pt,
+						len(res.Matches), len(want))
+				}
+			}
+		}
+	}
+}
+
+func TestQueryPointErrors(t *testing.T) {
+	sc := buildScenario(t, 2, 30)
+	noStore := &Processor{Idx: sc.indexes["R-tree"]}
+	if _, err := noStore.QueryPoint(geom.Point{}); err == nil {
+		t.Error("point query without store accepted")
+	}
+	proc := &Processor{Idx: sc.indexes["R-tree"], Objects: sc.objects}
+	if _, err := proc.QueryPoint(geom.Point{}, geom.PointOutside); err == nil {
+		t.Error("outside as wanted location accepted")
+	}
+}

@@ -1,0 +1,280 @@
+// Package query implements the paper's core contribution: the 4-step
+// strategy for retrieving topological relations from MBR-based access
+// methods (Section 4), extended to disjunctive queries, two-reference
+// conjunctions with composition-based empty-result detection
+// (Section 5), and non-crisp MBR retrieval via conceptual
+// neighbourhoods (Section 6).
+//
+// The four steps, for "find all objects p with relation r to q":
+//
+//  1. Compute the MBR configurations that may enclose qualifying
+//     objects (Table 1, package mbr).
+//  2. Determine the acceptance test for leaf MBRs from those
+//     configurations.
+//  3. Prune the tree: descend only into intermediate nodes whose
+//     rectangles can contain qualifying MBRs (Table 2 propagation for
+//     covering node rectangles; region feasibility for R+-trees).
+//  4. Refine the surviving candidates with exact computational
+//     geometry — except in the configurations of Figure 9, where the
+//     MBRs alone decide the relation.
+package query
+
+import (
+	"fmt"
+	"sort"
+
+	"mbrtopo/internal/geom"
+	"mbrtopo/internal/index"
+	"mbrtopo/internal/mbr"
+	"mbrtopo/internal/topo"
+)
+
+// ObjectStore resolves object ids to exact geometry for the
+// refinement step. Objects are Regions: simple polygons (contiguous)
+// or multi-polygons (the Section 7 non-contiguous extension).
+type ObjectStore interface {
+	// Object returns the region stored under oid.
+	Object(oid uint64) (geom.Region, bool)
+}
+
+// MapStore is a trivial in-memory ObjectStore over simple polygons.
+type MapStore map[uint64]geom.Polygon
+
+// Object implements ObjectStore.
+func (m MapStore) Object(oid uint64) (geom.Region, bool) {
+	pg, ok := m[oid]
+	return pg, ok
+}
+
+// RegionStore is an in-memory ObjectStore over arbitrary regions
+// (polygons and multi-polygons).
+type RegionStore map[uint64]geom.Region
+
+// Object implements ObjectStore.
+func (m RegionStore) Object(oid uint64) (geom.Region, bool) {
+	r, ok := m[oid]
+	return r, ok
+}
+
+// Match is one query answer (or filter-step candidate).
+type Match struct {
+	OID  uint64
+	Rect geom.Rect
+}
+
+// Stats describes the work a query performed, in the units the paper
+// reports.
+type Stats struct {
+	// NodeAccesses is the number of tree pages read during the filter
+	// step (the paper's "disk accesses per search").
+	NodeAccesses uint64
+	// Candidates is the number of distinct MBRs the filter retrieved
+	// (the paper's "hits per search", Table 3).
+	Candidates int
+	// RefinementTests counts candidates that needed exact geometry.
+	RefinementTests int
+	// DirectAccepts counts candidates accepted from their MBR
+	// configuration alone (Figure 9).
+	DirectAccepts int
+	// FalseHits counts candidates rejected by refinement.
+	FalseHits int
+	// HullResolved counts candidates the convex-hull second filter
+	// (Brinkhoff et al. 1994) resolved without an exact geometry test.
+	HullResolved int
+	// ShortCircuited is set when a conjunction was answered empty from
+	// the composition table without touching the index (Table 4).
+	ShortCircuited bool
+}
+
+// Result bundles matches with the query statistics.
+type Result struct {
+	Matches []Match
+	Stats   Stats
+}
+
+// Processor executes topological queries against one access method.
+type Processor struct {
+	// Idx is the access method holding the object MBRs.
+	Idx index.Index
+	// Objects resolves exact geometry for refinement. When nil, queries
+	// return filter-step candidates without refinement (the mode the
+	// paper's experiments measure, since its data files contain only
+	// MBRs).
+	Objects ObjectStore
+	// NonCrisp enables the Section 6 mode: stored MBRs may be up to two
+	// conceptual-neighbourhood steps larger than crisp, so the filter
+	// uses the Table 5 expanded configuration sets and every candidate
+	// is refined.
+	NonCrisp bool
+	// NonContiguous enables the Section 7 mode: objects may consist of
+	// several disconnected components, so the filter uses the relaxed
+	// candidate tables (disjoint → all configurations, meet → all
+	// point-sharing configurations).
+	NonContiguous bool
+	// SecondFilter enables the convex-hull filter step between the MBR
+	// filter and exact refinement (Brinkhoff et al. 1994, cited by the
+	// paper): candidates whose hull-level relation already decides
+	// membership skip the exact test.
+	SecondFilter bool
+}
+
+// candidateConfigs maps a relation disjunction to the admissible MBR
+// configurations under the processor's modes.
+func (p *Processor) candidateConfigs(rels topo.Set) mbr.ConfigSet {
+	var c mbr.ConfigSet
+	if p.NonContiguous {
+		c = mbr.CandidatesNonContiguousSet(rels)
+	} else {
+		c = mbr.CandidatesSet(rels)
+	}
+	if p.NonCrisp {
+		c = mbr.Expand2(c)
+	}
+	return c
+}
+
+// possibleRelations is the mode-aware dual of Table 1.
+func (p *Processor) possibleRelations(c mbr.Config) topo.Set {
+	if p.NonContiguous {
+		return mbr.PossibleRelationsNonContiguous(c)
+	}
+	return mbr.PossibleRelations(c)
+}
+
+// Query runs the 4-step retrieval for a single relation against a
+// reference region given by its exact geometry (a Polygon or a
+// MultiPolygon).
+func (p *Processor) Query(rel topo.Relation, ref geom.Region) (Result, error) {
+	return p.QuerySet(topo.NewSet(rel), ref)
+}
+
+// QueryMBR runs the filter step only, against a reference MBR — the
+// setting of the paper's experiments, where the data file consists of
+// rectangles. No refinement is possible without geometry.
+func (p *Processor) QueryMBR(rel topo.Relation, refMBR geom.Rect) (Result, error) {
+	return p.querySetMBR(topo.NewSet(rel), refMBR, nil)
+}
+
+// QuerySet runs a disjunctive (low-resolution) query, e.g. the
+// cadastral "in" = inside ∨ covered_by of Section 5.
+func (p *Processor) QuerySet(rels topo.Set, ref geom.Region) (Result, error) {
+	if ref == nil {
+		return Result{}, fmt.Errorf("query: nil reference region")
+	}
+	if err := ref.Validate(); err != nil {
+		return Result{}, fmt.Errorf("query: invalid reference region: %w", err)
+	}
+	return p.querySetMBR(rels, ref.Bounds(), ref)
+}
+
+// QuerySetMBR runs a disjunctive filter step against a reference MBR.
+func (p *Processor) QuerySetMBR(rels topo.Set, refMBR geom.Rect) (Result, error) {
+	return p.querySetMBR(rels, refMBR, nil)
+}
+
+func (p *Processor) querySetMBR(rels topo.Set, refMBR geom.Rect, ref geom.Region) (Result, error) {
+	if rels.IsEmpty() {
+		return Result{}, fmt.Errorf("query: empty relation set")
+	}
+	if !refMBR.Valid() {
+		return Result{}, fmt.Errorf("query: degenerate reference MBR %v", refMBR)
+	}
+	// Step 1: admissible MBR configurations (Table 1, adjusted for the
+	// non-contiguous and non-crisp modes).
+	cands := p.candidateConfigs(rels)
+	// Steps 2+3: prune and collect.
+	matches, stats, err := p.filter(cands, refMBR)
+	if err != nil {
+		return Result{}, err
+	}
+	// Step 4: refinement.
+	if p.Objects != nil && ref != nil {
+		matches, err = p.refine(matches, rels, refMBR, ref, &stats)
+		if err != nil {
+			return Result{}, err
+		}
+	}
+	return Result{Matches: matches, Stats: stats}, nil
+}
+
+// filter is the tree traversal of steps 2 and 3.
+func (p *Processor) filter(cands mbr.ConfigSet, refMBR geom.Rect) ([]Match, Stats, error) {
+	var nodePred func(geom.Rect) bool
+	if p.Idx.CoveringNodeRects() {
+		prop := mbr.Propagation(cands)
+		nodePred = func(r geom.Rect) bool {
+			return prop.Has(mbr.ConfigOf(r, refMBR))
+		}
+	} else {
+		nodePred = mbr.PartitionNodePredicate(cands, refMBR)
+	}
+	leafPred := func(r geom.Rect) bool {
+		return cands.Has(mbr.ConfigOf(r, refMBR))
+	}
+
+	before := p.Idx.IOStats()
+	seen := make(map[uint64]bool)
+	var matches []Match
+	err := p.Idx.Search(nodePred, leafPred, func(r geom.Rect, oid uint64) bool {
+		if !seen[oid] {
+			seen[oid] = true
+			matches = append(matches, Match{OID: oid, Rect: r})
+		}
+		return true
+	})
+	if err != nil {
+		return nil, Stats{}, fmt.Errorf("query: filter step: %w", err)
+	}
+	stats := Stats{
+		NodeAccesses: p.Idx.IOStats().Sub(before).Reads,
+		Candidates:   len(matches),
+	}
+	sort.Slice(matches, func(i, j int) bool { return matches[i].OID < matches[j].OID })
+	return matches, stats, nil
+}
+
+// refine applies step 4 to the candidates, optionally routed through
+// the convex-hull second filter.
+func (p *Processor) refine(cands []Match, rels topo.Set, refMBR geom.Rect, ref geom.Region, stats *Stats) ([]Match, error) {
+	var refHull geom.Polygon
+	if p.SecondFilter {
+		refHull = geom.HullOf(ref)
+	}
+	out := cands[:0:0]
+	for _, m := range cands {
+		cfg := mbr.ConfigOf(m.Rect, refMBR)
+		// Figure 9 generalised to disjunctions: if every relation the
+		// configuration admits is wanted, accept without geometry. Not
+		// applicable in non-crisp mode, where the stored MBR may be
+		// larger than the true one.
+		if !p.NonCrisp && p.possibleRelations(cfg).SubsetOf(rels) {
+			stats.DirectAccepts++
+			out = append(out, m)
+			continue
+		}
+		obj, ok := p.Objects.Object(m.OID)
+		if !ok {
+			return nil, fmt.Errorf("query: refinement needs object %d, not in store", m.OID)
+		}
+		if p.SecondFilter {
+			poss := geom.PossibleGivenHulls(geom.Relate(geom.HullOf(obj), refHull))
+			switch {
+			case poss.Intersect(rels).IsEmpty():
+				stats.HullResolved++
+				stats.FalseHits++
+				continue
+			case poss.SubsetOf(rels):
+				stats.HullResolved++
+				out = append(out, m)
+				continue
+			}
+		}
+		stats.RefinementTests++
+		if rels.Has(geom.RelateRegions(obj, ref)) {
+			out = append(out, m)
+		} else {
+			stats.FalseHits++
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,144 @@
+package rtree
+
+import (
+	"fmt"
+	"sort"
+
+	"mbrtopo/internal/geom"
+	"mbrtopo/internal/pagefile"
+)
+
+// Record is one (rectangle, object id) pair for bulk loading.
+type Record struct {
+	Rect geom.Rect
+	OID  uint64
+}
+
+// BulkLoad builds a Tree by Sort-Tile-Recursive packing (Leutenegger,
+// López, Edgington 1997): records are sorted by x-center, cut into
+// vertical slabs, sorted by y-center within each slab and packed into
+// full leaves; upper levels pack the level below the same way. The
+// result is a valid R-tree (searches, inserts and deletes work as
+// usual) with near-full nodes and little overlap — the classic way a
+// production system loads a static data file, complementing the
+// paper's one-by-one insertion builds.
+//
+// The split/reinsert options only affect later updates; packing itself
+// is parameter-free apart from the node capacity.
+func BulkLoad(file pagefile.File, opts Options, name string, records []Record) (*Tree, error) {
+	t, err := New(file, opts, name)
+	if err != nil {
+		return nil, err
+	}
+	if len(records) == 0 {
+		return t, nil
+	}
+	for _, r := range records {
+		if !r.Rect.Valid() {
+			return nil, fmt.Errorf("rtree: bulk loading degenerate rect %v", r.Rect)
+		}
+	}
+
+	entries := make([]Entry, len(records))
+	for i, r := range records {
+		entries[i] = Entry{Rect: r.Rect, OID: r.OID}
+	}
+	level := 0
+	for {
+		nodes, err := t.packLevel(entries, level)
+		if err != nil {
+			return nil, err
+		}
+		if len(nodes) == 1 {
+			// Free the placeholder root created by New and install the
+			// packed root.
+			old, err := t.st.readNode(t.root)
+			if err != nil {
+				return nil, err
+			}
+			if err := t.st.freeNode(old); err != nil {
+				return nil, err
+			}
+			t.root = nodes[0].id
+			t.depth = level + 1
+			t.size = len(records)
+			return t, nil
+		}
+		next := make([]Entry, len(nodes))
+		for i, n := range nodes {
+			next[i] = Entry{Rect: n.mbr(), Child: n.id}
+		}
+		entries = next
+		level++
+	}
+}
+
+// packLevel tiles entries into written nodes of the given level.
+func (t *Tree) packLevel(entries []Entry, level int) ([]*node, error) {
+	m := t.opts.MaxEntries
+	chunks := strTile(entries, m, t.opts.minEntries())
+	nodes := make([]*node, 0, len(chunks))
+	for _, chunk := range chunks {
+		n, err := t.st.allocNode(level)
+		if err != nil {
+			return nil, err
+		}
+		n.entries = chunk
+		if err := t.st.writeNode(n); err != nil {
+			return nil, err
+		}
+		nodes = append(nodes, n)
+	}
+	return nodes, nil
+}
+
+// strTile groups entries into chunks of at most capacity entries using
+// sort-tile-recursive slabs, guaranteeing every chunk has at least
+// minFill entries (the tail chunk borrows from its predecessor).
+func strTile(entries []Entry, capacity, minFill int) [][]Entry {
+	n := len(entries)
+	if n <= capacity {
+		return [][]Entry{entries}
+	}
+	sorted := make([]Entry, n)
+	copy(sorted, entries)
+	sort.Slice(sorted, func(i, j int) bool {
+		return sorted[i].Rect.Center().X < sorted[j].Rect.Center().X
+	})
+	numNodes := (n + capacity - 1) / capacity
+	numSlabs := intSqrtCeil(numNodes)
+	slabSize := numSlabs * capacity
+
+	var chunks [][]Entry
+	for start := 0; start < n; start += slabSize {
+		end := min(start+slabSize, n)
+		slab := sorted[start:end]
+		sort.Slice(slab, func(i, j int) bool {
+			return slab[i].Rect.Center().Y < slab[j].Rect.Center().Y
+		})
+		for s := 0; s < len(slab); s += capacity {
+			e := min(s+capacity, len(slab))
+			chunk := make([]Entry, e-s)
+			copy(chunk, slab[s:e])
+			chunks = append(chunks, chunk)
+		}
+	}
+	// Rebalance an underfull tail chunk by borrowing from the previous
+	// chunk, so the min-fill invariant holds everywhere.
+	if last := len(chunks) - 1; last > 0 && len(chunks[last]) < minFill {
+		need := minFill - len(chunks[last])
+		prev := chunks[last-1]
+		moved := prev[len(prev)-need:]
+		chunks[last-1] = prev[:len(prev)-need]
+		chunks[last] = append(append([]Entry{}, moved...), chunks[last]...)
+	}
+	return chunks
+}
+
+func intSqrtCeil(n int) int {
+	s := 1
+	for s*s < n {
+		s++
+	}
+	return s
+}

@@ -1,0 +1,130 @@
+package rtree
+
+import (
+	"mbrtopo/internal/geom"
+	"mbrtopo/internal/pagefile"
+)
+
+// Join performs a synchronized traversal of two R-/R*-trees (the
+// classic tree-matching spatial join of Brinkhoff, Kriegel and Seeger,
+// which the paper's multi-step line of work builds on). prune is
+// called on pairs of covering rectangles (node-node, node-leafMBR);
+// when it returns false the pair's subtrees are skipped. accept is
+// called on leaf entry rectangle pairs; matching pairs are passed to
+// emit (return false to stop). Self-joins (t1 == t2) are supported.
+func Join(t1, t2 *Tree,
+	prune func(a, b geom.Rect) bool,
+	accept func(a, b geom.Rect) bool,
+	emit func(aRect geom.Rect, aOID uint64, bRect geom.Rect, bOID uint64) bool,
+) error {
+	t1.mu.Lock()
+	defer t1.mu.Unlock()
+	if t2 != t1 {
+		t2.mu.Lock()
+		defer t2.mu.Unlock()
+	}
+	j := &joiner{t1: t1, t2: t2, prune: prune, accept: accept, emit: emit}
+	r1, err := j.read1(t1.root)
+	if err != nil {
+		return err
+	}
+	r2, err := j.read2(t2.root)
+	if err != nil {
+		return err
+	}
+	if len(r1.entries) == 0 || len(r2.entries) == 0 {
+		return nil
+	}
+	if !prune(r1.mbr(), r2.mbr()) {
+		return nil
+	}
+	_, err = j.join(r1, r2)
+	return err
+}
+
+type joiner struct {
+	t1, t2 *Tree
+	prune  func(a, b geom.Rect) bool
+	accept func(a, b geom.Rect) bool
+	emit   func(geom.Rect, uint64, geom.Rect, uint64) bool
+}
+
+// read1/read2 use each tree's own store (they may share a page file or
+// not). For self-joins both stores are the same object; reads are
+// sequential under the single lock, so the shared read buffer is safe.
+func (j *joiner) read1(id pagefile.PageID) (*node, error) { return j.t1.st.readNode(id) }
+func (j *joiner) read2(id pagefile.PageID) (*node, error) { return j.t2.st.readNode(id) }
+
+// join recurses over a node pair; the pair itself already passed the
+// prune test.
+func (j *joiner) join(n1, n2 *node) (bool, error) {
+	switch {
+	case n1.isLeaf() && n2.isLeaf():
+		for _, e1 := range n1.entries {
+			for _, e2 := range n2.entries {
+				if j.accept(e1.Rect, e2.Rect) {
+					if !j.emit(e1.Rect, e1.OID, e2.Rect, e2.OID) {
+						return false, nil
+					}
+				}
+			}
+		}
+		return true, nil
+	case n1.isLeaf():
+		// Descend the right side only.
+		for _, e2 := range n2.entries {
+			if !j.prune(n1.mbr(), e2.Rect) {
+				continue
+			}
+			c2, err := j.read2(e2.Child)
+			if err != nil {
+				return false, err
+			}
+			cont, err := j.join(n1, c2)
+			if err != nil || !cont {
+				return cont, err
+			}
+		}
+		return true, nil
+	case n2.isLeaf():
+		for _, e1 := range n1.entries {
+			if !j.prune(e1.Rect, n2.mbr()) {
+				continue
+			}
+			c1, err := j.read1(e1.Child)
+			if err != nil {
+				return false, err
+			}
+			cont, err := j.join(c1, n2)
+			if err != nil || !cont {
+				return cont, err
+			}
+		}
+		return true, nil
+	default:
+		for _, e1 := range n1.entries {
+			var c1 *node
+			for _, e2 := range n2.entries {
+				if !j.prune(e1.Rect, e2.Rect) {
+					continue
+				}
+				if c1 == nil {
+					var err error
+					c1, err = j.read1(e1.Child)
+					if err != nil {
+						return false, err
+					}
+				}
+				c2, err := j.read2(e2.Child)
+				if err != nil {
+					return false, err
+				}
+				cont, err := j.join(c1, c2)
+				if err != nil || !cont {
+					return cont, err
+				}
+			}
+		}
+		return true, nil
+	}
+}

@@ -1,0 +1,100 @@
+package rtree
+
+import (
+	"container/heap"
+	"fmt"
+
+	"mbrtopo/internal/geom"
+	"mbrtopo/internal/pagefile"
+)
+
+// This file implements k-nearest-neighbour search by best-first
+// branch-and-bound on MINDIST (Roussopoulos, Kelley, Vincent 1995 —
+// the distance-retrieval line of work the paper contrasts with its
+// topological retrieval).
+
+// Neighbour is one kNN answer.
+type Neighbour struct {
+	Rect geom.Rect
+	OID  uint64
+	// Dist is the Euclidean distance from the query point to the
+	// rectangle (zero if the point lies inside it).
+	Dist float64
+}
+
+// Nearest returns the k stored rectangles closest to p, ordered by
+// distance. Fewer than k results are returned when the tree is
+// smaller.
+func (t *Tree) Nearest(p geom.Point, k int) ([]Neighbour, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return nearestSearch(t.st, t.root, p, k, false)
+}
+
+// Nearest returns the k distinct objects closest to p. Duplicate
+// registrations are skipped; distances are measured on the full object
+// rectangles, and best-first traversal over partition regions remains
+// exact because every rectangle is registered in the region containing
+// its nearest point.
+func (t *RPlusTree) Nearest(p geom.Point, k int) ([]Neighbour, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return nearestSearch(t.st, t.root, p, k, true)
+}
+
+// pqItem is a heap element: either a node to expand or a leaf entry.
+type pqItem struct {
+	dist  float64
+	node  pagefile.PageID // non-nil page: expand
+	entry Neighbour       // valid when node == NilPage
+}
+
+type pq []pqItem
+
+func (q pq) Len() int            { return len(q) }
+func (q pq) Less(i, j int) bool  { return q[i].dist < q[j].dist }
+func (q pq) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *pq) Push(x interface{}) { *q = append(*q, x.(pqItem)) }
+func (q *pq) Pop() interface{} {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+func nearestSearch(st *store, root pagefile.PageID, p geom.Point, k int, dedup bool) ([]Neighbour, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("rtree: Nearest needs k ≥ 1, got %d", k)
+	}
+	var q pq
+	heap.Push(&q, pqItem{dist: 0, node: root})
+	seen := map[uint64]bool{}
+	var out []Neighbour
+	for q.Len() > 0 && len(out) < k {
+		it := heap.Pop(&q).(pqItem)
+		if it.node == pagefile.NilPage {
+			if dedup {
+				if seen[it.entry.OID] {
+					continue
+				}
+				seen[it.entry.OID] = true
+			}
+			out = append(out, it.entry)
+			continue
+		}
+		n, err := st.readNode(it.node)
+		if err != nil {
+			return nil, err
+		}
+		for _, e := range n.entries {
+			d := e.Rect.DistToPoint(p)
+			if n.isLeaf() {
+				heap.Push(&q, pqItem{dist: d, entry: Neighbour{Rect: e.Rect, OID: e.OID, Dist: d}})
+			} else {
+				heap.Push(&q, pqItem{dist: d, node: e.Child})
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,223 @@
+// Package rtree implements the three MBR-based access methods the
+// paper evaluates, all storing their nodes on a simulated disk
+// (package pagefile) so that searches have a faithful disk-access
+// count:
+//
+//   - the original R-tree (Guttman 1984) with quadratic or linear
+//     node splitting,
+//   - the R*-tree (Beckmann, Kriegel, Schneider, Seeger 1990) with
+//     margin-driven splits and forced reinsertion,
+//   - the R+-tree (Sellis, Roussopoulos, Faloutsos 1987), a
+//     zero-overlap variant in which node regions partition space and
+//     data rectangles spanning a partition boundary are registered in
+//     several subtrees.
+//
+// All three expose the same search interface, parameterised by a node
+// predicate and a leaf predicate, which is exactly what the paper's
+// 4-step retrieval strategy needs (Table 2 relations for intermediate
+// nodes, Table 1 configurations for leaf MBRs).
+package rtree
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"mbrtopo/internal/geom"
+	"mbrtopo/internal/pagefile"
+)
+
+// Entry is a node slot: a rectangle plus either a child page (internal
+// nodes) or an object id (leaves). For R-trees and R*-trees the
+// rectangle of an internal entry is the tight MBR of the child's
+// subtree; for R+-trees it is the child's partition region.
+type Entry struct {
+	Rect geom.Rect
+	// Child is the child page for internal entries, NilPage in leaves.
+	Child pagefile.PageID
+	// OID is the object identifier for leaf entries.
+	OID uint64
+}
+
+// node is the in-memory image of one node. A node normally occupies a
+// single page; R+-trees facing Greene's degeneracy (more than M
+// mutually crossing rectangles in one partition region, where no cut
+// line makes progress) spill onto chained overflow pages. chain lists
+// the additional page ids; reading a chained node costs one page read
+// per chain element, which the disk-access accounting reflects.
+type node struct {
+	id      pagefile.PageID
+	chain   []pagefile.PageID // overflow pages (usually empty)
+	level   int               // 0 = leaf
+	entries []Entry
+}
+
+func (n *node) isLeaf() bool { return n.level == 0 }
+
+// mbr returns the tight bounding rectangle of the node's entries.
+func (n *node) mbr() geom.Rect {
+	if len(n.entries) == 0 {
+		return geom.Rect{}
+	}
+	r := n.entries[0].Rect
+	for _, e := range n.entries[1:] {
+		r = r.Union(e.Rect)
+	}
+	return r
+}
+
+// Page layout:
+//
+//	offset 0: level  (uint16, little endian)
+//	offset 2: count  (uint16) — entries on THIS page
+//	offset 4: next   (uint32) — overflow page, NilPage when none
+//	offset 8: count × entry
+//
+// entry: minX minY maxX maxY (float64) + ref (uint64). For internal
+// entries ref is the child page id; for leaf entries it is the OID.
+const (
+	nodeHeaderSize = 8
+	entrySize      = 4*8 + 8
+)
+
+// CapacityForPageSize returns how many entries fit a page.
+func CapacityForPageSize(pageSize int) int {
+	return (pageSize - nodeHeaderSize) / entrySize
+}
+
+// store reads and writes nodes on a page file.
+type store struct {
+	file pagefile.File
+	cap  int // maximum entries that fit a page
+	buf  []byte
+}
+
+func newStore(file pagefile.File) *store {
+	return &store{
+		file: file,
+		cap:  CapacityForPageSize(file.PageSize()),
+		buf:  make([]byte, file.PageSize()),
+	}
+}
+
+func (s *store) allocNode(level int) (*node, error) {
+	id, err := s.file.Alloc()
+	if err != nil {
+		return nil, err
+	}
+	return &node{id: id, level: level}, nil
+}
+
+func (s *store) readNode(id pagefile.PageID) (*node, error) {
+	n := &node{id: id}
+	pid := id
+	for pid != pagefile.NilPage {
+		if err := s.file.Read(pid, s.buf); err != nil {
+			return nil, fmt.Errorf("rtree: reading node %d (page %d): %w", id, pid, err)
+		}
+		level := int(binary.LittleEndian.Uint16(s.buf[0:2]))
+		count := int(binary.LittleEndian.Uint16(s.buf[2:4]))
+		next := pagefile.PageID(binary.LittleEndian.Uint32(s.buf[4:8]))
+		if nodeHeaderSize+count*entrySize > len(s.buf) {
+			return nil, fmt.Errorf("rtree: page %d has corrupt count %d", pid, count)
+		}
+		if pid == id {
+			n.level = level
+		} else {
+			n.chain = append(n.chain, pid)
+		}
+		off := nodeHeaderSize
+		for i := 0; i < count; i++ {
+			var e Entry
+			e.Rect.Min.X = readF64(s.buf[off:])
+			e.Rect.Min.Y = readF64(s.buf[off+8:])
+			e.Rect.Max.X = readF64(s.buf[off+16:])
+			e.Rect.Max.Y = readF64(s.buf[off+24:])
+			ref := binary.LittleEndian.Uint64(s.buf[off+32:])
+			if n.level > 0 {
+				e.Child = pagefile.PageID(ref)
+			} else {
+				e.OID = ref
+			}
+			n.entries = append(n.entries, e)
+			off += entrySize
+		}
+		pid = next
+	}
+	return n, nil
+}
+
+func (s *store) writeNode(n *node) error {
+	// Size the overflow chain to the entry count.
+	need := (len(n.entries) + s.cap - 1) / s.cap
+	if need < 1 {
+		need = 1
+	}
+	for len(n.chain) < need-1 {
+		id, err := s.file.Alloc()
+		if err != nil {
+			return err
+		}
+		n.chain = append(n.chain, id)
+	}
+	for len(n.chain) > need-1 {
+		last := n.chain[len(n.chain)-1]
+		n.chain = n.chain[:len(n.chain)-1]
+		if err := s.file.Free(last); err != nil {
+			return err
+		}
+	}
+	pages := append([]pagefile.PageID{n.id}, n.chain...)
+	rest := n.entries
+	for pi, pid := range pages {
+		take := len(rest)
+		if take > s.cap {
+			take = s.cap
+		}
+		next := pagefile.NilPage
+		if pi+1 < len(pages) {
+			next = pages[pi+1]
+		}
+		buf := s.buf[:0]
+		var hdr [nodeHeaderSize]byte
+		binary.LittleEndian.PutUint16(hdr[0:2], uint16(n.level))
+		binary.LittleEndian.PutUint16(hdr[2:4], uint16(take))
+		binary.LittleEndian.PutUint32(hdr[4:8], uint32(next))
+		buf = append(buf, hdr[:]...)
+		for i := 0; i < take; i++ {
+			e := &rest[i]
+			buf = appendF64(buf, e.Rect.Min.X)
+			buf = appendF64(buf, e.Rect.Min.Y)
+			buf = appendF64(buf, e.Rect.Max.X)
+			buf = appendF64(buf, e.Rect.Max.Y)
+			ref := e.OID
+			if n.level > 0 {
+				ref = uint64(e.Child)
+			}
+			buf = binary.LittleEndian.AppendUint64(buf, ref)
+		}
+		if err := s.file.Write(pid, buf); err != nil {
+			return err
+		}
+		rest = rest[take:]
+	}
+	return nil
+}
+
+func (s *store) freeNode(n *node) error {
+	for _, pid := range n.chain {
+		if err := s.file.Free(pid); err != nil {
+			return err
+		}
+	}
+	n.chain = nil
+	return s.file.Free(n.id)
+}
+
+func readF64(b []byte) float64 {
+	return math.Float64frombits(binary.LittleEndian.Uint64(b))
+}
+
+func appendF64(b []byte, v float64) []byte {
+	return binary.LittleEndian.AppendUint64(b, math.Float64bits(v))
+}

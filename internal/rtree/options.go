@@ -1,0 +1,82 @@
+package rtree
+
+import "fmt"
+
+// SplitAlgorithm selects the node-splitting policy of a Tree.
+type SplitAlgorithm int
+
+// The implemented split algorithms.
+const (
+	// SplitQuadratic is Guttman's quadratic-cost split (the setting the
+	// paper uses for the original R-tree).
+	SplitQuadratic SplitAlgorithm = iota
+	// SplitLinear is Guttman's linear-cost split.
+	SplitLinear
+	// SplitRStar is the R*-tree topological split: axis by minimum
+	// margin sum, distribution by minimum overlap.
+	SplitRStar
+)
+
+func (s SplitAlgorithm) String() string {
+	switch s {
+	case SplitQuadratic:
+		return "quadratic"
+	case SplitLinear:
+		return "linear"
+	case SplitRStar:
+		return "rstar"
+	}
+	return fmt.Sprintf("SplitAlgorithm(%d)", int(s))
+}
+
+// Options configure a Tree.
+type Options struct {
+	// MaxEntries is the node capacity M. Zero means "as many as fit the
+	// page", capped by the page size in any case.
+	MaxEntries int
+	// MinFill is the minimum fill ratio m/M (the paper uses 40% for
+	// both the R-tree and the R*-tree). Zero defaults to 0.4.
+	MinFill float64
+	// Split selects the splitting algorithm.
+	Split SplitAlgorithm
+	// RStarChooseSubtree enables the R* subtree choice (minimum overlap
+	// enlargement at the level above the leaves).
+	RStarChooseSubtree bool
+	// ForcedReinsert enables the R* forced reinsertion of the 30%
+	// farthest entries on first overflow per level.
+	ForcedReinsert bool
+	// ReinsertFraction is the fraction of entries reinserted on
+	// overflow when ForcedReinsert is set. Zero defaults to 0.3.
+	ReinsertFraction float64
+}
+
+func (o Options) withDefaults(pageCap int) Options {
+	if o.MaxEntries <= 0 || o.MaxEntries > pageCap {
+		o.MaxEntries = pageCap
+	}
+	if o.MinFill <= 0 {
+		o.MinFill = 0.4
+	}
+	if o.MinFill > 0.5 {
+		o.MinFill = 0.5
+	}
+	if o.ReinsertFraction <= 0 {
+		o.ReinsertFraction = 0.3
+	}
+	return o
+}
+
+// minEntries returns m = ⌈MinFill·M⌉, at least 1, at most M/2.
+func (o Options) minEntries() int {
+	m := int(float64(o.MaxEntries)*o.MinFill + 0.999999)
+	if m < 1 {
+		m = 1
+	}
+	if m > o.MaxEntries/2 {
+		m = o.MaxEntries / 2
+	}
+	if m < 1 {
+		m = 1
+	}
+	return m
+}

@@ -1,0 +1,78 @@
+package rtree
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"mbrtopo/internal/pagefile"
+)
+
+// Meta is the durable state of a tree besides its pages: persist it
+// (e.g. in a DiskFile's user metadata) and pass it to Open or
+// OpenRPlus to resume a tree from storage.
+type Meta struct {
+	Root  pagefile.PageID
+	Depth int
+	Size  int
+}
+
+// Meta returns the tree's persistent metadata.
+func (t *Tree) Meta() Meta {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return Meta{Root: t.root, Depth: t.depth, Size: t.size}
+}
+
+// Meta returns the tree's persistent metadata.
+func (t *RPlusTree) Meta() Meta {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return Meta{Root: t.root, Depth: t.depth, Size: t.size}
+}
+
+// Open resumes an R-/R*-tree persisted on file. opts must match the
+// options the tree was built with (they are not stored on disk).
+func Open(file pagefile.File, opts Options, name string, m Meta) (*Tree, error) {
+	st := newStore(file)
+	opts = opts.withDefaults(st.cap)
+	root, err := st.readNode(m.Root)
+	if err != nil {
+		return nil, fmt.Errorf("rtree: opening tree at page %d: %w", m.Root, err)
+	}
+	if root.level != m.Depth-1 {
+		return nil, fmt.Errorf("rtree: meta depth %d inconsistent with root level %d", m.Depth, root.level)
+	}
+	return &Tree{st: st, opts: opts, root: m.Root, depth: m.Depth, size: m.Size, name: name}, nil
+}
+
+// OpenRPlus resumes an R+-tree persisted on file.
+func OpenRPlus(file pagefile.File, opts Options, m Meta) (*RPlusTree, error) {
+	st := newStore(file)
+	opts = opts.withDefaults(st.cap)
+	root, err := st.readNode(m.Root)
+	if err != nil {
+		return nil, fmt.Errorf("rtree: opening R+-tree at page %d: %w", m.Root, err)
+	}
+	if root.level != m.Depth-1 {
+		return nil, fmt.Errorf("rtree: meta depth %d inconsistent with root level %d", m.Depth, root.level)
+	}
+	return &RPlusTree{st: st, opts: opts, root: m.Root, depth: m.Depth, size: m.Size}, nil
+}
+
+// EncodeMeta packs the metadata into a DiskFile user-metadata block.
+func EncodeMeta(m Meta) [pagefile.UserMetaSize]byte {
+	var out [pagefile.UserMetaSize]byte
+	binary.LittleEndian.PutUint32(out[0:4], uint32(m.Root))
+	binary.LittleEndian.PutUint32(out[4:8], uint32(m.Depth))
+	binary.LittleEndian.PutUint64(out[8:16], uint64(m.Size))
+	return out
+}
+
+// DecodeMeta unpacks a block written by EncodeMeta.
+func DecodeMeta(b [pagefile.UserMetaSize]byte) Meta {
+	return Meta{
+		Root:  pagefile.PageID(binary.LittleEndian.Uint32(b[0:4])),
+		Depth: int(binary.LittleEndian.Uint32(b[4:8])),
+		Size:  int(binary.LittleEndian.Uint64(b[8:16])),
+	}
+}

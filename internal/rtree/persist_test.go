@@ -1,0 +1,139 @@
+package rtree
+
+import (
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"mbrtopo/internal/geom"
+	"mbrtopo/internal/pagefile"
+)
+
+// TestTreePersistenceRoundTrip builds trees on a disk-backed page
+// file, stores their metadata in the file header, closes everything,
+// reopens from the path alone and verifies structure and queries.
+func TestTreePersistenceRoundTrip(t *testing.T) {
+	for _, variant := range []string{"rtree", "rstar", "rplus"} {
+		t.Run(variant, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "tree.db")
+			file, err := pagefile.CreateDiskFile(path, testPageSize)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(33))
+			data := map[uint64]geom.Rect{}
+
+			var meta Meta
+			switch variant {
+			case "rplus":
+				tr, err := NewRPlus(file, Options{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i := uint64(1); i <= 300; i++ {
+					r := randRect(rng, 100, 6)
+					if err := tr.Insert(r, i); err != nil {
+						t.Fatal(err)
+					}
+					data[i] = r
+				}
+				meta = tr.Meta()
+			default:
+				var tr *Tree
+				if variant == "rstar" {
+					tr, err = NewRStar(file)
+				} else {
+					tr, err = NewRTree(file)
+				}
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i := uint64(1); i <= 300; i++ {
+					r := randRect(rng, 100, 6)
+					if err := tr.Insert(r, i); err != nil {
+						t.Fatal(err)
+					}
+					data[i] = r
+				}
+				meta = tr.Meta()
+			}
+			if err := file.SetUserMeta(EncodeMeta(meta)); err != nil {
+				t.Fatal(err)
+			}
+			if err := file.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			// Reopen from the path alone.
+			re, err := pagefile.OpenDiskFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer re.Close()
+			m := DecodeMeta(re.UserMeta())
+			if m != meta {
+				t.Fatalf("meta roundtrip: %+v vs %+v", m, meta)
+			}
+
+			var s searcher
+			if variant == "rplus" {
+				tr, err := OpenRPlus(re, Options{}, m)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := tr.CheckInvariants(); err != nil {
+					t.Fatal(err)
+				}
+				s = tr
+			} else {
+				tr, err := Open(re, Options{}, "reopened", m)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := tr.CheckInvariants(); err != nil {
+					t.Fatal(err)
+				}
+				s = tr
+			}
+			if s.Len() != len(data) {
+				t.Fatalf("Len after reopen = %d", s.Len())
+			}
+			for q := 0; q < 40; q++ {
+				w := randRect(rng, 100, 20)
+				if got, want := windowQuery(t, s, w), bruteWindow(data, w); !eqOIDs(got, want) {
+					t.Fatalf("window after reopen: got %d want %d", len(got), len(want))
+				}
+			}
+			// The reopened tree accepts updates.
+			if err := s.Insert(geom.R(1, 1, 2, 2), 9999); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Delete(geom.R(1, 1, 2, 2), 9999); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestOpenRejectsBadMeta(t *testing.T) {
+	file := pagefile.NewMemFile(testPageSize)
+	tr, err := NewRTree(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(1); i <= 100; i++ {
+		if err := tr.Insert(geom.R(float64(i), 0, float64(i)+1, 1), i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m := tr.Meta()
+	if _, err := Open(file, Options{}, "x", Meta{Root: 9999, Depth: m.Depth, Size: m.Size}); err == nil {
+		t.Error("bogus root accepted")
+	}
+	if _, err := Open(file, Options{}, "x", Meta{Root: m.Root, Depth: m.Depth + 3, Size: m.Size}); err == nil {
+		t.Error("inconsistent depth accepted")
+	}
+	if _, err := OpenRPlus(file, Options{}, Meta{Root: 9999}); err == nil {
+		t.Error("bogus R+ root accepted")
+	}
+}

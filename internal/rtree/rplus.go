@@ -1,0 +1,492 @@
+package rtree
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"mbrtopo/internal/geom"
+	"mbrtopo/internal/pagefile"
+)
+
+// RPlusTree is an R+-tree (Sellis, Roussopoulos, Faloutsos 1987): the
+// rectangles of sibling internal entries never overlap. This
+// implementation maintains the stronger invariant that each internal
+// node's child regions exactly partition the node's region (the root
+// region being the whole plane). A data rectangle crossing a partition
+// boundary is registered in every leaf whose region its interior
+// intersects, so searches may report the same object more than once —
+// exactly the duplicate-entry trade-off the SIGMOD'95 paper discusses
+// (more space, possibly one extra tree level).
+//
+// Node splits use the minimal-split cost function the paper selects
+// for its experiments: the cut hyperplane crossing the fewest
+// rectangles. Splitting an internal node forces recursive downward
+// cuts of the children crossed by the cut line.
+//
+// Degenerate inputs (many rectangles stacking on the same point) can
+// make a node unsplittable; Insert then returns ErrUnsplittable,
+// mirroring the paper's footnote that "in such cases R+-trees do not
+// work (Greene 1989)".
+type RPlusTree struct {
+	mu    sync.Mutex
+	st    *store
+	opts  Options
+	root  pagefile.PageID
+	depth int
+	size  int
+}
+
+// ErrUnsplittable reports that a node overflowed and no cut line can
+// separate its entries (degenerate data).
+var ErrUnsplittable = errors.New("rtree: R+ node cannot be split (degenerate data)")
+
+// worldCoord bounds the plane for partition regions.
+const worldCoord = 1e18
+
+// worldRect is the root region.
+func worldRect() geom.Rect {
+	return geom.R(-worldCoord, -worldCoord, worldCoord, worldCoord)
+}
+
+// NewRPlus creates an R+-tree over the given page file. The paper's
+// experimental setting (minimal number of rectangle splits as the cost
+// function) is built in.
+func NewRPlus(file pagefile.File, opts Options) (*RPlusTree, error) {
+	st := newStore(file)
+	opts = opts.withDefaults(st.cap)
+	if opts.MaxEntries < 4 {
+		return nil, fmt.Errorf("rtree: page size %d too small for an R+ node", file.PageSize())
+	}
+	root, err := st.allocNode(0)
+	if err != nil {
+		return nil, err
+	}
+	if err := st.writeNode(root); err != nil {
+		return nil, err
+	}
+	return &RPlusTree{st: st, opts: opts, root: root.id, depth: 1}, nil
+}
+
+// Name identifies the variant.
+func (t *RPlusTree) Name() string { return "R+-tree" }
+
+// Len returns the number of distinct stored objects.
+func (t *RPlusTree) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.size
+}
+
+// Height returns the number of levels.
+func (t *RPlusTree) Height() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.depth
+}
+
+// CoveringNodeRects reports false: internal entry rectangles are
+// partition regions, which do not cover the data rectangles registered
+// beneath them (an object may stick out of a region it is registered
+// in). Query processors must use region-intersection predicates rather
+// than the covering propagation sets.
+func (t *RPlusTree) CoveringNodeRects() bool { return false }
+
+// IOStats returns the underlying page file counters.
+func (t *RPlusTree) IOStats() pagefile.Stats { return t.st.file.Stats() }
+
+// ResetIOStats zeroes the underlying page file counters.
+func (t *RPlusTree) ResetIOStats() { t.st.file.ResetStats() }
+
+// Bounds returns the MBR of the stored data rectangles.
+func (t *RPlusTree) Bounds() (geom.Rect, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out geom.Rect
+	found := false
+	err := t.searchLocked(
+		func(geom.Rect) bool { return true },
+		func(geom.Rect) bool { return true },
+		func(r geom.Rect, _ uint64) bool {
+			if !found {
+				out, found = r, true
+			} else {
+				out = out.Union(r)
+			}
+			return true
+		})
+	if err != nil {
+		return geom.Rect{}, false
+	}
+	return out, found
+}
+
+// Insert registers the rectangle in every leaf whose region its
+// interior intersects.
+func (t *RPlusTree) Insert(r geom.Rect, oid uint64) error {
+	if !r.Valid() {
+		return fmt.Errorf("rtree: inserting degenerate rect %v", r)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	pieces, err := t.insertRec(t.root, worldRect(), Entry{Rect: r, OID: oid})
+	if err != nil {
+		return err
+	}
+	// A split of the root yields several pieces: grow the tree.
+	for len(pieces) > 1 {
+		level := t.depth // old depth == old root level + 1
+		newRoot, err := t.st.allocNode(level)
+		if err != nil {
+			return err
+		}
+		newRoot.entries = pieces
+		t.root = newRoot.id
+		t.depth++
+		pieces, err = t.normalize(newRoot, worldRect())
+		if err != nil {
+			return err
+		}
+	}
+	t.size++
+	return nil
+}
+
+// insertRec inserts the entry into the subtree rooted at id (with the
+// given partition region) and returns the replacement parent entries
+// for this subtree: one entry when the node did not split, several
+// after splits.
+func (t *RPlusTree) insertRec(id pagefile.PageID, region geom.Rect, e Entry) ([]Entry, error) {
+	n, err := t.st.readNode(id)
+	if err != nil {
+		return nil, err
+	}
+	if n.isLeaf() {
+		n.entries = append(n.entries, e)
+		return t.normalize(n, region)
+	}
+	changed := false
+	out := n.entries[:0:0]
+	for _, ce := range n.entries {
+		if !ce.Rect.IntersectsInterior(e.Rect) {
+			out = append(out, ce)
+			continue
+		}
+		pieces, err := t.insertRec(ce.Child, ce.Rect, e)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pieces...)
+		if len(pieces) != 1 || pieces[0] != ce {
+			changed = true
+		}
+	}
+	n.entries = out
+	if !changed {
+		return []Entry{{Rect: region, Child: n.id}}, nil
+	}
+	return t.normalize(n, region)
+}
+
+// maxOverflowChain bounds how far past capacity an unsplittable node
+// may grow via overflow pages before the tree reports degeneracy.
+const maxOverflowChain = 16
+
+// normalize writes the node if it fits its page, or cuts it (possibly
+// repeatedly) until every piece fits, returning the parent entries
+// describing the pieces. A node facing Greene's degeneracy — more
+// entries than capacity, with every candidate cut crossed by all of
+// them — is written onto an overflow chain instead (each chained page
+// costs one extra read when the node is visited), bounded by
+// maxOverflowChain to keep runaway growth detectable.
+func (t *RPlusTree) normalize(n *node, region geom.Rect) ([]Entry, error) {
+	if len(n.entries) <= t.opts.MaxEntries {
+		if err := t.st.writeNode(n); err != nil {
+			return nil, err
+		}
+		return []Entry{{Rect: region, Child: n.id}}, nil
+	}
+	axis, cut, ok := chooseCut(n, region)
+	if !ok {
+		if len(n.entries) > t.opts.MaxEntries*maxOverflowChain {
+			return nil, fmt.Errorf("%w: node %d (%d entries)", ErrUnsplittable, n.id, len(n.entries))
+		}
+		if err := t.st.writeNode(n); err != nil {
+			return nil, err
+		}
+		return []Entry{{Rect: region, Child: n.id}}, nil
+	}
+	return t.divide(n, region, axis, cut)
+}
+
+// divide cuts node n (partition region region) by the hyperplane
+// axis=cut. Leaf entries crossing the cut are registered on both
+// sides; internal children crossing it are recursively divided with
+// the same cut. n's page is reused for the left side. Each side is
+// normalized in turn, so the returned pieces all fit their pages.
+func (t *RPlusTree) divide(n *node, region geom.Rect, axis int, cut float64) ([]Entry, error) {
+	leftRegion, rightRegion := splitRect(region, axis, cut)
+	var le, re []Entry
+	for _, e := range n.entries {
+		lo, hi := e.Rect.Min.X, e.Rect.Max.X
+		if axis == 1 {
+			lo, hi = e.Rect.Min.Y, e.Rect.Max.Y
+		}
+		switch {
+		case hi <= cut:
+			le = append(le, e)
+		case lo >= cut:
+			re = append(re, e)
+		case n.isLeaf():
+			le = append(le, e)
+			re = append(re, e)
+		default:
+			child, err := t.st.readNode(e.Child)
+			if err != nil {
+				return nil, err
+			}
+			pieces, err := t.divide(child, e.Rect, axis, cut)
+			if err != nil {
+				return nil, err
+			}
+			// Partition geometry guarantees pieces on both sides.
+			for _, p := range pieces {
+				mid := p.Rect.Min.X
+				if axis == 1 {
+					mid = p.Rect.Min.Y
+				}
+				if mid >= cut {
+					re = append(re, p)
+				} else {
+					le = append(le, p)
+				}
+			}
+		}
+	}
+	sib, err := t.st.allocNode(n.level)
+	if err != nil {
+		return nil, err
+	}
+	n.entries = le
+	sib.entries = re
+	leftPieces, err := t.normalize(n, leftRegion)
+	if err != nil {
+		return nil, err
+	}
+	rightPieces, err := t.normalize(sib, rightRegion)
+	if err != nil {
+		return nil, err
+	}
+	return append(leftPieces, rightPieces...), nil
+}
+
+// splitRect cuts a region rectangle by axis=cut.
+func splitRect(r geom.Rect, axis int, cut float64) (geom.Rect, geom.Rect) {
+	l, rr := r, r
+	if axis == 0 {
+		l.Max.X, rr.Min.X = cut, cut
+	} else {
+		l.Max.Y, rr.Min.Y = cut, cut
+	}
+	return l, rr
+}
+
+// chooseCut selects the cut hyperplane for an overflowing node using
+// the minimal-split cost function the paper configures: the candidate
+// coordinate (an entry edge strictly inside the region) crossing the
+// fewest entry rectangles, requiring both sides to end up strictly
+// smaller than the original node. Ties prefer the more balanced cut.
+func chooseCut(n *node, region geom.Rect) (axis int, cut float64, ok bool) {
+	bestCost, bestBalance := -1, 0
+	total := len(n.entries)
+	for ax := 0; ax < 2; ax++ {
+		lo := func(e Entry) float64 {
+			if ax == 0 {
+				return e.Rect.Min.X
+			}
+			return e.Rect.Min.Y
+		}
+		hi := func(e Entry) float64 {
+			if ax == 0 {
+				return e.Rect.Max.X
+			}
+			return e.Rect.Max.Y
+		}
+		rlo, rhi := region.Min.X, region.Max.X
+		if ax == 1 {
+			rlo, rhi = region.Min.Y, region.Max.Y
+		}
+		var cands []float64
+		for _, e := range n.entries {
+			for _, v := range []float64{lo(e), hi(e)} {
+				if v > rlo && v < rhi {
+					cands = append(cands, v)
+				}
+			}
+		}
+		sort.Float64s(cands)
+		cands = dedupFloats(cands)
+		for _, v := range cands {
+			nl, nr, cross := 0, 0, 0
+			for _, e := range n.entries {
+				switch {
+				case hi(e) <= v:
+					nl++
+				case lo(e) >= v:
+					nr++
+				default:
+					cross++
+				}
+			}
+			// Each side receives its own entries plus the crossers.
+			sideL, sideR := nl+cross, nr+cross
+			if sideL >= total || sideR >= total {
+				continue // no progress: one side keeps everything
+			}
+			balance := sideL - sideR
+			if balance < 0 {
+				balance = -balance
+			}
+			if bestCost == -1 || cross < bestCost || (cross == bestCost && balance < bestBalance) {
+				bestCost, bestBalance = cross, balance
+				axis, cut, ok = ax, v, true
+			}
+		}
+	}
+	return axis, cut, ok
+}
+
+func dedupFloats(s []float64) []float64 {
+	out := s[:0]
+	for i, v := range s {
+		if i == 0 || v != s[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Delete removes the object (rect, oid) from every leaf it is
+// registered in. Underfull leaves are tolerated: the original R+-tree
+// paper leaves deletion-time reorganisation to periodic rebuilds.
+func (t *RPlusTree) Delete(r geom.Rect, oid uint64) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	removed, err := t.deleteRec(t.root, r, oid)
+	if err != nil {
+		return err
+	}
+	if removed == 0 {
+		return ErrNotFound
+	}
+	t.size--
+	return nil
+}
+
+func (t *RPlusTree) deleteRec(id pagefile.PageID, r geom.Rect, oid uint64) (int, error) {
+	n, err := t.st.readNode(id)
+	if err != nil {
+		return 0, err
+	}
+	if n.isLeaf() {
+		kept := n.entries[:0:0]
+		removed := 0
+		for _, e := range n.entries {
+			if e.OID == oid && e.Rect == r {
+				removed++
+				continue
+			}
+			kept = append(kept, e)
+		}
+		if removed > 0 {
+			n.entries = kept
+			if err := t.st.writeNode(n); err != nil {
+				return 0, err
+			}
+		}
+		return removed, nil
+	}
+	total := 0
+	for _, ce := range n.entries {
+		if ce.Rect.IntersectsInterior(r) {
+			k, err := t.deleteRec(ce.Child, r, oid)
+			if err != nil {
+				return 0, err
+			}
+			total += k
+		}
+	}
+	return total, nil
+}
+
+// Update moves an object to a new rectangle (delete + insert). It
+// returns ErrNotFound, leaving the tree unchanged, when the object is
+// not stored under the old rectangle.
+func (t *RPlusTree) Update(oldRect, newRect geom.Rect, oid uint64) error {
+	if !newRect.Valid() {
+		return fmt.Errorf("rtree: updating to degenerate rect %v", newRect)
+	}
+	if err := t.Delete(oldRect, oid); err != nil {
+		return err
+	}
+	return t.Insert(newRect, oid)
+}
+
+// Search traverses the tree, descending into any internal entry whose
+// partition region satisfies nodePred, and emits every leaf entry
+// whose rectangle satisfies leafPred. Because of duplicate
+// registration, emit may see the same (rect, oid) several times;
+// callers deduplicate by oid. emit returning false stops the search.
+func (t *RPlusTree) Search(nodePred, leafPred func(geom.Rect) bool, emit func(geom.Rect, uint64) bool) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.searchLocked(nodePred, leafPred, emit)
+}
+
+func (t *RPlusTree) searchLocked(nodePred, leafPred func(geom.Rect) bool, emit func(geom.Rect, uint64) bool) error {
+	_, err := t.searchRec(t.root, nodePred, leafPred, emit)
+	return err
+}
+
+func (t *RPlusTree) searchRec(id pagefile.PageID, nodePred, leafPred func(geom.Rect) bool, emit func(geom.Rect, uint64) bool) (bool, error) {
+	n, err := t.st.readNode(id)
+	if err != nil {
+		return false, err
+	}
+	if n.isLeaf() {
+		for _, e := range n.entries {
+			if leafPred(e.Rect) {
+				if !emit(e.Rect, e.OID) {
+					return false, nil
+				}
+			}
+		}
+		return true, nil
+	}
+	for _, e := range n.entries {
+		if nodePred(e.Rect) {
+			cont, err := t.searchRec(e.Child, nodePred, leafPred, emit)
+			if err != nil || !cont {
+				return cont, err
+			}
+		}
+	}
+	return true, nil
+}
+
+// SearchIntersects is the traditional window query. The node predicate
+// tests region intersection; duplicates are removed by OID.
+func (t *RPlusTree) SearchIntersects(w geom.Rect, emit func(geom.Rect, uint64) bool) error {
+	seen := make(map[uint64]bool)
+	return t.Search(
+		func(r geom.Rect) bool { return r.Intersects(w) },
+		func(r geom.Rect) bool { return r.Intersects(w) },
+		func(r geom.Rect, oid uint64) bool {
+			if seen[oid] {
+				return true
+			}
+			seen[oid] = true
+			return emit(r, oid)
+		})
+}

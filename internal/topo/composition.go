@@ -1,0 +1,150 @@
+package topo
+
+// This file implements the composition of mt2 relations (Egenhofer
+// 1991; equivalently the RCC8 composition table of Randell, Cui and
+// Cohn 1992) and the paper's Table 4: for a query
+//
+//	find all p with r1(p, q1) and r2(p, q2)
+//
+// the result is guaranteed empty whenever the actual relation between
+// the reference objects q1 and q2 is outside the composition
+// r1˘(q1,p) ∘ r2(p,q2); the entry at (r1, r2) is the complement of that
+// composition, exactly as the paper specifies.
+//
+// The table below is transcribed relation by relation with the argument
+// convention comp(r1, r2) = possible rel(a, c) given r1 = rel(a, b) and
+// r2 = rel(b, c). Its correctness is enforced three ways in tests:
+// algebraic identities (identity element, converse-transpose symmetry),
+// exhaustive sampling soundness against real region pairs (in package
+// geom, which can construct regions), and coverage (every table member
+// witnessed by a sampled triple).
+
+// compositionTable[r1][r2] is the set of relations possible between a
+// and c when rel(a,b)=r1 and rel(b,c)=r2.
+var compositionTable [NumRelations][NumRelations]Set
+
+// Compose returns the set of relations possible between a and c, given
+// rel(a, b) = r1 and rel(b, c) = r2.
+func Compose(r1, r2 Relation) Set {
+	if !r1.Valid() || !r2.Valid() {
+		panic("topo.Compose: invalid relation")
+	}
+	return compositionTable[r1][r2]
+}
+
+// ComposeSets lifts Compose to disjunctions.
+func ComposeSets(s1, s2 Set) Set {
+	var out Set
+	for _, r1 := range s1.Relations() {
+		for _, r2 := range s2.Relations() {
+			out = out.Union(Compose(r1, r2))
+		}
+	}
+	return out
+}
+
+func init() {
+	// Shorthands for readability; D=Disjoint(DC), M=Meet(EC),
+	// E=Equal(EQ), O=Overlap(PO), CT=Contains(NTPPi), IN=Inside(NTPP),
+	// CV=Covers(TPPi), CB=CoveredBy(TPP).
+	D, M, E, O := Disjoint, Meet, Equal, Overlap
+	CT, IN, CV, CB := Contains, Inside, Covers, CoveredBy
+	all := FullSet()
+	set := func(rs ...Relation) Set { return NewSet(rs...) }
+
+	t := &compositionTable
+
+	// rel(a,b) = disjoint.
+	t[D][D] = all
+	t[D][M] = set(D, M, O, CB, IN)
+	t[D][O] = set(D, M, O, CB, IN)
+	t[D][CB] = set(D, M, O, CB, IN)
+	t[D][IN] = set(D, M, O, CB, IN)
+	t[D][CV] = set(D)
+	t[D][CT] = set(D)
+	t[D][E] = set(D)
+
+	// rel(a,b) = meet.
+	t[M][D] = set(D, M, O, CV, CT)
+	t[M][M] = set(D, M, O, CB, CV, E)
+	t[M][O] = set(D, M, O, CB, IN)
+	t[M][CB] = set(M, O, CB, IN)
+	t[M][IN] = set(O, CB, IN)
+	t[M][CV] = set(D, M)
+	t[M][CT] = set(D)
+	t[M][E] = set(M)
+
+	// rel(a,b) = overlap.
+	t[O][D] = set(D, M, O, CV, CT)
+	t[O][M] = set(D, M, O, CV, CT)
+	t[O][O] = all
+	t[O][CB] = set(O, CB, IN)
+	t[O][IN] = set(O, CB, IN)
+	t[O][CV] = set(D, M, O, CV, CT)
+	t[O][CT] = set(D, M, O, CV, CT)
+	t[O][E] = set(O)
+
+	// rel(a,b) = covered_by (a TPP b).
+	t[CB][D] = set(D)
+	t[CB][M] = set(D, M)
+	t[CB][O] = set(D, M, O, CB, IN)
+	t[CB][CB] = set(CB, IN)
+	t[CB][IN] = set(IN)
+	t[CB][CV] = set(D, M, O, CB, CV, E)
+	t[CB][CT] = set(D, M, O, CV, CT)
+	t[CB][E] = set(CB)
+
+	// rel(a,b) = inside (a NTPP b).
+	t[IN][D] = set(D)
+	t[IN][M] = set(D)
+	t[IN][O] = set(D, M, O, CB, IN)
+	t[IN][CB] = set(IN)
+	t[IN][IN] = set(IN)
+	t[IN][CV] = set(D, M, O, CB, IN)
+	t[IN][CT] = all
+	t[IN][E] = set(IN)
+
+	// rel(a,b) = covers (a TPPi b).
+	t[CV][D] = set(D, M, O, CV, CT)
+	t[CV][M] = set(M, O, CV, CT)
+	t[CV][O] = set(O, CV, CT)
+	t[CV][CB] = set(O, CB, CV, E)
+	t[CV][IN] = set(O, CB, IN)
+	t[CV][CV] = set(CV, CT)
+	t[CV][CT] = set(CT)
+	t[CV][E] = set(CV)
+
+	// rel(a,b) = contains (a NTPPi b).
+	t[CT][D] = set(D, M, O, CV, CT)
+	t[CT][M] = set(O, CV, CT)
+	t[CT][O] = set(O, CV, CT)
+	t[CT][CB] = set(O, CV, CT)
+	t[CT][IN] = set(O, CB, IN, CV, CT, E)
+	t[CT][CV] = set(CT)
+	t[CT][CT] = set(CT)
+	t[CT][E] = set(CT)
+
+	// rel(a,b) = equal.
+	for _, r := range All() {
+		t[E][r] = set(r)
+	}
+}
+
+// EmptyConjunction is the paper's Table 4. For the query "find all p
+// with r1(p, q1) and r2(p, q2)", it returns the set of relations
+// rel(q1, q2) for which the result is guaranteed empty, so the query
+// can be answered without touching the index.
+//
+// Derivation (paper, Section 5): p relates to q1 by r1, so q1 relates
+// to p by r1˘; composing with r2(p, q2) bounds rel(q1, q2) by
+// r1˘ ∘ r2. Any relation outside that composition is inconsistent with
+// the conjunction.
+func EmptyConjunction(r1, r2 Relation) Set {
+	return Compose(r1.Converse(), r2).Complement()
+}
+
+// ConsistentConjunction reports whether the conjunction r1(p,q1) ∧
+// r2(p,q2) can have a non-empty answer when rel(q1,q2) = relRefs.
+func ConsistentConjunction(r1, r2, relRefs Relation) bool {
+	return !EmptyConjunction(r1, r2).Has(relRefs)
+}

@@ -1,0 +1,64 @@
+package topo
+
+import "testing"
+
+// TestComposeSets: lifting composition to disjunctions unions the
+// entries, and composing with the full set saturates.
+func TestComposeSets(t *testing.T) {
+	got := ComposeSets(NewSet(Inside, CoveredBy), NewSet(Disjoint))
+	want := Compose(Inside, Disjoint).Union(Compose(CoveredBy, Disjoint))
+	if got != want {
+		t.Fatalf("ComposeSets = %v, want %v", got, want)
+	}
+	if got != NewSet(Disjoint) {
+		t.Fatalf("in ∘ disjoint = %v, want {disjoint}", got)
+	}
+	if got := ComposeSets(FullSet(), FullSet()); got != FullSet() {
+		t.Fatalf("full ∘ full = %v", got)
+	}
+	if got := ComposeSets(NewSet(Equal), NewSet(Meet, Overlap)); got != NewSet(Meet, Overlap) {
+		t.Fatalf("equal ∘ {meet,overlap} = %v", got)
+	}
+}
+
+// TestComposeAssociativityOnSets: composition of relation algebras is
+// associative at the set level.
+func TestComposeAssociativityOnSets(t *testing.T) {
+	for _, a := range All() {
+		for _, b := range All() {
+			for _, c := range All() {
+				left := ComposeSets(Compose(a, b), NewSet(c))
+				right := ComposeSets(NewSet(a), Compose(b, c))
+				if left != right {
+					t.Fatalf("(%v∘%v)∘%v = %v but %v∘(%v∘%v) = %v",
+						a, b, c, left, a, b, c, right)
+				}
+			}
+		}
+	}
+}
+
+// TestCompositionPanicsOnInvalid ensures misuse is loud.
+func TestCompositionPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Compose with invalid relation did not panic")
+		}
+	}()
+	Compose(Relation(99), Disjoint)
+}
+
+// TestEmptyConjunctionSymmetry: swapping the conjunct order converts
+// the guaranteed-empty set through the converse (rel(q2,q1) is the
+// converse of rel(q1,q2)).
+func TestEmptyConjunctionSymmetry(t *testing.T) {
+	for _, r1 := range All() {
+		for _, r2 := range All() {
+			a := EmptyConjunction(r1, r2)
+			b := EmptyConjunction(r2, r1).Converse()
+			if a != b {
+				t.Fatalf("EmptyConjunction(%v,%v)=%v but converse-swapped=%v", r1, r2, a, b)
+			}
+		}
+	}
+}

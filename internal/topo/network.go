@@ -1,0 +1,122 @@
+package topo
+
+import "fmt"
+
+// Network is a constraint network over the mt2 relations: variables
+// are region objects, constraints are disjunctions of the eight
+// relations. The paper cites this machinery twice — Egenhofer & Sharma
+// (1993) for "assessing the consistency of topological information in
+// spatial databases" and Grigni, Papadias & Papadimitriou for
+// topological inference — and its own Table 4 is the two-variable
+// special case. PathConsistency closes the network under composition,
+// detecting inconsistencies and tightening constraints for semantic
+// query optimisation.
+type Network struct {
+	n          int
+	constraint [][]Set
+}
+
+// NewNetwork creates a network of n variables with all constraints
+// initially the universal relation (and the diagonal fixed to equal).
+func NewNetwork(n int) *Network {
+	if n < 1 {
+		panic("topo: network needs at least one variable")
+	}
+	c := make([][]Set, n)
+	for i := range c {
+		c[i] = make([]Set, n)
+		for j := range c[i] {
+			if i == j {
+				c[i][j] = NewSet(Equal)
+			} else {
+				c[i][j] = FullSet()
+			}
+		}
+	}
+	return &Network{n: n, constraint: c}
+}
+
+// Len returns the number of variables.
+func (nw *Network) Len() int { return nw.n }
+
+// Constrain intersects the (i, j) constraint with s (and (j, i) with
+// the converse). It returns false if the constraint becomes empty.
+func (nw *Network) Constrain(i, j int, s Set) bool {
+	nw.check(i)
+	nw.check(j)
+	if i == j {
+		return s.Has(Equal)
+	}
+	nw.constraint[i][j] = nw.constraint[i][j].Intersect(s)
+	nw.constraint[j][i] = nw.constraint[j][i].Intersect(s.Converse())
+	return !nw.constraint[i][j].IsEmpty()
+}
+
+// ConstrainRelation is Constrain with a single relation.
+func (nw *Network) ConstrainRelation(i, j int, r Relation) bool {
+	return nw.Constrain(i, j, NewSet(r))
+}
+
+// Constraint returns the current (i, j) constraint.
+func (nw *Network) Constraint(i, j int) Set {
+	nw.check(i)
+	nw.check(j)
+	return nw.constraint[i][j]
+}
+
+func (nw *Network) check(i int) {
+	if i < 0 || i >= nw.n {
+		panic(fmt.Sprintf("topo: variable %d out of range [0,%d)", i, nw.n))
+	}
+}
+
+// PathConsistency tightens every constraint by composing through every
+// intermediate variable until a fixed point, returning false if some
+// constraint becomes empty (the network is certainly inconsistent).
+// Path consistency is sound but — as Grigni et al. discuss — not
+// complete for arbitrary mt2 networks: a true result means "no
+// inconsistency detected".
+func (nw *Network) PathConsistency() bool {
+	changed := true
+	for changed {
+		changed = false
+		for i := 0; i < nw.n; i++ {
+			for j := 0; j < nw.n; j++ {
+				if i == j {
+					continue
+				}
+				for k := 0; k < nw.n; k++ {
+					if k == i || k == j {
+						continue
+					}
+					through := ComposeSets(nw.constraint[i][k], nw.constraint[k][j])
+					tightened := nw.constraint[i][j].Intersect(through)
+					if tightened != nw.constraint[i][j] {
+						nw.constraint[i][j] = tightened
+						nw.constraint[j][i] = tightened.Converse()
+						changed = true
+					}
+					if tightened.IsEmpty() {
+						return false
+					}
+				}
+			}
+		}
+	}
+	return true
+}
+
+// Consistent runs PathConsistency on a copy, leaving the network
+// unchanged.
+func (nw *Network) Consistent() bool {
+	return nw.Clone().PathConsistency()
+}
+
+// Clone returns a deep copy of the network.
+func (nw *Network) Clone() *Network {
+	c := NewNetwork(nw.n)
+	for i := range nw.constraint {
+		copy(c.constraint[i], nw.constraint[i])
+	}
+	return c
+}

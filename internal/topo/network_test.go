@@ -1,0 +1,169 @@
+package topo
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestNetworkBasics(t *testing.T) {
+	nw := NewNetwork(3)
+	if nw.Len() != 3 {
+		t.Fatal("Len broken")
+	}
+	if got := nw.Constraint(0, 1); got != FullSet() {
+		t.Fatalf("initial constraint %v", got)
+	}
+	if got := nw.Constraint(1, 1); got != NewSet(Equal) {
+		t.Fatalf("diagonal %v", got)
+	}
+	if !nw.ConstrainRelation(0, 1, Inside) {
+		t.Fatal("constraining emptied unexpectedly")
+	}
+	if got := nw.Constraint(1, 0); got != NewSet(Contains) {
+		t.Fatalf("converse constraint %v", got)
+	}
+	// Contradictory constraint empties the edge.
+	if nw.ConstrainRelation(0, 1, Overlap) {
+		t.Fatal("contradiction not detected")
+	}
+	// Diagonal constraining.
+	nw2 := NewNetwork(2)
+	if !nw2.Constrain(0, 0, NewSet(Equal, Overlap)) {
+		t.Fatal("diagonal with equal rejected")
+	}
+	if nw2.Constrain(1, 1, NewSet(Overlap)) {
+		t.Fatal("diagonal without equal accepted")
+	}
+}
+
+// TestPathConsistencyPaperExample: the paper's Figure 13 scenario —
+// p inside q1, q1 disjoint q2 forces p disjoint q2 (so "p overlaps q2"
+// is inconsistent).
+func TestPathConsistencyPaperExample(t *testing.T) {
+	nw := NewNetwork(3) // 0=p, 1=q1, 2=q2
+	nw.ConstrainRelation(0, 1, Inside)
+	nw.ConstrainRelation(1, 2, Disjoint)
+	if !nw.PathConsistency() {
+		t.Fatal("consistent network rejected")
+	}
+	if got := nw.Constraint(0, 2); got != NewSet(Disjoint) {
+		t.Fatalf("inferred rel(p, q2) = %v, want {disjoint}", got)
+	}
+	// Adding the overlap constraint now fails.
+	nw2 := NewNetwork(3)
+	nw2.ConstrainRelation(0, 1, Inside)
+	nw2.ConstrainRelation(1, 2, Disjoint)
+	nw2.ConstrainRelation(0, 2, Overlap)
+	if nw2.PathConsistency() {
+		t.Fatal("inconsistent network accepted")
+	}
+}
+
+// TestPathConsistencyChains: containment chains propagate.
+func TestPathConsistencyChains(t *testing.T) {
+	nw := NewNetwork(4)
+	nw.ConstrainRelation(0, 1, Inside)
+	nw.ConstrainRelation(1, 2, Inside)
+	nw.ConstrainRelation(2, 3, Inside)
+	if !nw.PathConsistency() {
+		t.Fatal("chain rejected")
+	}
+	if got := nw.Constraint(0, 3); got != NewSet(Inside) {
+		t.Fatalf("rel(0,3) = %v, want {inside}", got)
+	}
+	// covered_by chains stay within {inside, covered_by}.
+	nw2 := NewNetwork(3)
+	nw2.ConstrainRelation(0, 1, CoveredBy)
+	nw2.ConstrainRelation(1, 2, CoveredBy)
+	if !nw2.PathConsistency() {
+		t.Fatal("covered_by chain rejected")
+	}
+	if got := nw2.Constraint(0, 2); got != NewSet(Inside, CoveredBy) {
+		t.Fatalf("rel(0,2) = %v", got)
+	}
+}
+
+// TestPathConsistencySoundOnRealScenes: networks built from the actual
+// relations of random rectangle scenes are always consistent and never
+// tightened away from the truth.
+func TestPathConsistencySoundOnRealScenes(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 200; trial++ {
+		n := 3 + rng.Intn(5)
+		// Random rectangles on a small grid (so containment/touch occur).
+		type rect struct{ x0, y0, x1, y1 float64 }
+		rects := make([]rect, n)
+		for i := range rects {
+			x0 := float64(rng.Intn(8))
+			y0 := float64(rng.Intn(8))
+			rects[i] = rect{x0, y0, x0 + 1 + float64(rng.Intn(6)), y0 + 1 + float64(rng.Intn(6))}
+		}
+		rel := func(a, b rect) Relation {
+			// Inline rectangle relation (avoids importing geom/mbr here).
+			switch {
+			case a.x1 < b.x0 || b.x1 < a.x0 || a.y1 < b.y0 || b.y1 < a.y0:
+				return Disjoint
+			case a.x1 == b.x0 || b.x1 == a.x0 || a.y1 == b.y0 || b.y1 == a.y0:
+				return Meet
+			case a == b:
+				return Equal
+			case a.x0 <= b.x0 && b.x1 <= a.x1 && a.y0 <= b.y0 && b.y1 <= a.y1:
+				if a.x0 < b.x0 && b.x1 < a.x1 && a.y0 < b.y0 && b.y1 < a.y1 {
+					return Contains
+				}
+				return Covers
+			case b.x0 <= a.x0 && a.x1 <= b.x1 && b.y0 <= a.y0 && a.y1 <= b.y1:
+				if b.x0 < a.x0 && a.x1 < b.x1 && b.y0 < a.y0 && a.y1 < b.y1 {
+					return Inside
+				}
+				return CoveredBy
+			default:
+				return Overlap
+			}
+		}
+		nw := NewNetwork(n)
+		truth := make([][]Relation, n)
+		for i := range truth {
+			truth[i] = make([]Relation, n)
+			for j := range truth[i] {
+				truth[i][j] = rel(rects[i], rects[j])
+				if i != j {
+					nw.ConstrainRelation(i, j, truth[i][j])
+				}
+			}
+		}
+		if !nw.PathConsistency() {
+			t.Fatalf("trial %d: real scene declared inconsistent", trial)
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if i != j && !nw.Constraint(i, j).Has(truth[i][j]) {
+					t.Fatalf("trial %d: tightening removed the true relation", trial)
+				}
+			}
+		}
+	}
+}
+
+// TestNetworkCloneIndependent: Consistent must not mutate.
+func TestNetworkCloneIndependent(t *testing.T) {
+	nw := NewNetwork(3)
+	nw.ConstrainRelation(0, 1, Inside)
+	nw.ConstrainRelation(1, 2, Disjoint)
+	before := nw.Constraint(0, 2)
+	if !nw.Consistent() {
+		t.Fatal("consistent network rejected")
+	}
+	if nw.Constraint(0, 2) != before {
+		t.Fatal("Consistent mutated the network")
+	}
+}
+
+func TestNetworkPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range variable did not panic")
+		}
+	}()
+	NewNetwork(2).Constraint(0, 5)
+}

@@ -1,0 +1,103 @@
+package workload
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"mbrtopo/internal/geom"
+	"mbrtopo/internal/index"
+)
+
+// WriteItemsCSV writes "oid,minx,miny,maxx,maxy" rows.
+func WriteItemsCSV(w io.Writer, items []index.Item) error {
+	cw := csv.NewWriter(w)
+	for _, it := range items {
+		rec := []string{
+			strconv.FormatUint(it.OID, 10),
+			fmtF(it.Rect.Min.X), fmtF(it.Rect.Min.Y),
+			fmtF(it.Rect.Max.X), fmtF(it.Rect.Max.Y),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadItemsCSV parses rows written by WriteItemsCSV.
+func ReadItemsCSV(r io.Reader) ([]index.Item, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 5
+	var out []index.Item
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		oid, err := strconv.ParseUint(rec[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("workload: bad oid %q: %w", rec[0], err)
+		}
+		vals := make([]float64, 4)
+		for i := 0; i < 4; i++ {
+			vals[i], err = strconv.ParseFloat(rec[i+1], 64)
+			if err != nil {
+				return nil, fmt.Errorf("workload: bad coordinate %q: %w", rec[i+1], err)
+			}
+		}
+		rect := geom.R(vals[0], vals[1], vals[2], vals[3])
+		if !rect.Valid() {
+			return nil, fmt.Errorf("workload: degenerate rect for oid %d", oid)
+		}
+		out = append(out, index.Item{OID: oid, Rect: rect})
+	}
+}
+
+// WriteRectsCSV writes "minx,miny,maxx,maxy" rows (search files).
+func WriteRectsCSV(w io.Writer, rects []geom.Rect) error {
+	cw := csv.NewWriter(w)
+	for _, r := range rects {
+		rec := []string{fmtF(r.Min.X), fmtF(r.Min.Y), fmtF(r.Max.X), fmtF(r.Max.Y)}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadRectsCSV parses rows written by WriteRectsCSV.
+func ReadRectsCSV(r io.Reader) ([]geom.Rect, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 4
+	var out []geom.Rect
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		vals := make([]float64, 4)
+		for i := range vals {
+			vals[i], err = strconv.ParseFloat(rec[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("workload: bad coordinate %q: %w", rec[i], err)
+			}
+		}
+		rect := geom.R(vals[0], vals[1], vals[2], vals[3])
+		if !rect.Valid() {
+			return nil, fmt.Errorf("workload: degenerate query rect %v", rect)
+		}
+		out = append(out, rect)
+	}
+}
+
+func fmtF(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }

@@ -1,0 +1,240 @@
+// Package workload generates the synthetic datasets of the paper's
+// Section 4 (uniformly random MBRs of bounded relative size, with
+// matching search files) and, beyond the paper's own experiments,
+// random contiguous region objects (simple polygons with crisp MBRs)
+// used to exercise the refinement step and to property-test the
+// MBR-level theory against exact geometry.
+package workload
+
+import (
+	"math"
+	"math/rand"
+
+	"mbrtopo/internal/geom"
+	"mbrtopo/internal/topo"
+)
+
+// RandomStar returns a random star-shaped simple polygon with n
+// vertices around center c with maximal radius rMax. Star-shaped
+// polygons about their kernel are always simple.
+func RandomStar(rng *rand.Rand, c geom.Point, rMax float64, n int) geom.Polygon {
+	if n < 3 {
+		n = 3
+	}
+	pg := make(geom.Polygon, n)
+	for i := 0; i < n; i++ {
+		ang := (float64(i) + 0.15 + 0.7*rng.Float64()) / float64(n) * 2 * math.Pi
+		rad := rMax * (0.35 + 0.65*rng.Float64())
+		pg[i] = geom.Point{X: c.X + rad*math.Cos(ang), Y: c.Y + rad*math.Sin(ang)}
+	}
+	return pg
+}
+
+// PolygonInRect returns a random simple polygon whose MBR is exactly r
+// (crisp: contained in r and touching all four sides), by generating a
+// star and rescaling it onto r. Axis-aligned affine maps preserve
+// topological relations, simplicity and MBR crispness.
+func PolygonInRect(rng *rand.Rand, r geom.Rect, n int) geom.Polygon {
+	star := RandomStar(rng, geom.Point{}, 1, n)
+	return FitToRect(star, r)
+}
+
+// FitToRect maps pg affinely (axis-aligned scale + translate) so its
+// MBR becomes exactly r.
+func FitToRect(pg geom.Polygon, r geom.Rect) geom.Polygon {
+	b := pg.Bounds()
+	sx := r.Width() / b.Width()
+	sy := r.Height() / b.Height()
+	out := make(geom.Polygon, len(pg))
+	for i, p := range pg {
+		out[i] = geom.Point{
+			X: r.Min.X + (p.X-b.Min.X)*sx,
+			Y: r.Min.Y + (p.Y-b.Min.Y)*sy,
+		}
+	}
+	return out
+}
+
+// PairInRelation constructs a random pair of valid simple polygons
+// (P, Q) with geom.Relate(P, Q) equal to want. The pairs vary in MBR
+// configuration as much as each relation permits; rare relations
+// (equal, meet, covers, covered_by) use dedicated templates under a
+// random axis-aligned affine map, which preserves the relation.
+func PairInRelation(rng *rand.Rand, want topo.Relation) (geom.Polygon, geom.Polygon) {
+	for {
+		p, q := pairCandidate(rng, want)
+		if p.Validate() != nil || q.Validate() != nil {
+			continue
+		}
+		if geom.Relate(p, q) == want {
+			return p, q
+		}
+	}
+}
+
+// randomAffine applies a random axis-aligned affine map (positive
+// scales, translation) to both polygons, preserving their relation.
+func randomAffine(rng *rand.Rand, ps ...geom.Polygon) []geom.Polygon {
+	sx := 0.25 + 3*rng.Float64()
+	sy := 0.25 + 3*rng.Float64()
+	dx := (rng.Float64() - 0.5) * 40
+	dy := (rng.Float64() - 0.5) * 40
+	out := make([]geom.Polygon, len(ps))
+	for k, pg := range ps {
+		m := make(geom.Polygon, len(pg))
+		for i, p := range pg {
+			m[i] = geom.Point{X: p.X*sx + dx, Y: p.Y*sy + dy}
+		}
+		out[k] = m
+	}
+	return out
+}
+
+func pairCandidate(rng *rand.Rand, want topo.Relation) (geom.Polygon, geom.Polygon) {
+	switch want {
+	case topo.Disjoint:
+		return disjointTemplate(rng)
+	case topo.Meet:
+		return meetTemplate(rng)
+	case topo.Equal:
+		p := RandomStar(rng, geom.Point{X: 5, Y: 5}, 3, 4+rng.Intn(8))
+		q := sameRegionVariant(rng, p)
+		ps := randomAffine(rng, p, q)
+		return ps[0], ps[1]
+	case topo.Overlap:
+		return overlapTemplate(rng)
+	case topo.Contains:
+		q, p := insideTemplate(rng)
+		return p, q
+	case topo.Inside:
+		return insideTemplate(rng)
+	case topo.Covers:
+		q, p := coveredByTemplate(rng)
+		return p, q
+	case topo.CoveredBy:
+		return coveredByTemplate(rng)
+	}
+	panic("workload.PairInRelation: invalid relation")
+}
+
+// sameRegionVariant returns a different vertex ring describing the
+// same region: rotated start, optionally reversed, optionally with an
+// edge split by its midpoint.
+func sameRegionVariant(rng *rand.Rand, p geom.Polygon) geom.Polygon {
+	q := p.Rotate(rng.Intn(len(p)))
+	if rng.Intn(2) == 0 {
+		q = q.Reverse()
+	}
+	if rng.Intn(2) == 0 {
+		i := rng.Intn(len(q))
+		mid := geom.Segment{A: q[i], B: q[(i+1)%len(q)]}.Midpoint()
+		out := make(geom.Polygon, 0, len(q)+1)
+		out = append(out, q[:i+1]...)
+		out = append(out, mid)
+		out = append(out, q[i+1:]...)
+		q = out
+	}
+	return q
+}
+
+func disjointTemplate(rng *rand.Rand) (geom.Polygon, geom.Polygon) {
+	switch rng.Intn(3) {
+	case 0: // far apart: MBRs disjoint
+		p := RandomStar(rng, geom.Point{X: 0, Y: 0}, 2, 4+rng.Intn(6))
+		q := RandomStar(rng, geom.Point{X: 10 * (1 + rng.Float64()), Y: 10 * rng.Float64()}, 2, 4+rng.Intn(6))
+		ps := randomAffine(rng, p, q)
+		return ps[0], ps[1]
+	case 1: // interleaved L-shapes: MBRs overlap, objects disjoint
+		L1 := geom.Polygon{{X: 0, Y: 0}, {X: 6, Y: 0}, {X: 6, Y: 1}, {X: 1, Y: 1}, {X: 1, Y: 6}, {X: 0, Y: 6}}
+		L2 := geom.Polygon{{X: 2, Y: 2}, {X: 7, Y: 2}, {X: 7, Y: 7}, {X: 6.5, Y: 7}, {X: 6.5, Y: 2.5}, {X: 2, Y: 2.5}}
+		ps := randomAffine(rng, L1, L2)
+		return ps[0], ps[1]
+	default: // small object in the notch of a U: reference MBR contains primary MBR
+		U := geom.Polygon{{X: 0, Y: 0}, {X: 6, Y: 0}, {X: 6, Y: 6}, {X: 4, Y: 6}, {X: 4, Y: 2}, {X: 2, Y: 2}, {X: 2, Y: 6}, {X: 0, Y: 6}}
+		s := RandomStar(rng, geom.Point{X: 3, Y: 4.2}, 0.8, 4+rng.Intn(5))
+		ps := randomAffine(rng, s, U)
+		return ps[0], ps[1]
+	}
+}
+
+func meetTemplate(rng *rand.Rand) (geom.Polygon, geom.Polygon) {
+	switch rng.Intn(4) {
+	case 0: // full shared edge
+		a := geom.R(0, 0, 2+rng.Float64()*3, 2+rng.Float64()*3)
+		b := geom.R(a.Max.X, 0, a.Max.X+1+rng.Float64()*3, 1+rng.Float64()*4)
+		ps := randomAffine(rng, a.Polygon(), b.Polygon())
+		return ps[0], ps[1]
+	case 1: // corner point contact
+		a := geom.R(0, 0, 2, 2)
+		b := geom.R(2, 2, 4+rng.Float64(), 3+rng.Float64())
+		ps := randomAffine(rng, a.Polygon(), b.Polygon())
+		return ps[0], ps[1]
+	case 2: // two triangles sharing the diagonal of a square: equal MBRs
+		s := 2 + rng.Float64()*4
+		t1 := geom.Polygon{{X: 0, Y: 0}, {X: s, Y: 0}, {X: s, Y: s}}
+		t2 := geom.Polygon{{X: 0, Y: 0}, {X: s, Y: s}, {X: 0, Y: s}}
+		ps := randomAffine(rng, t1, t2)
+		return ps[0], ps[1]
+	default: // touching regions whose MBRs cross (configuration R4_6):
+		// a triangle below the diagonal of its box and a quadrilateral
+		// above it, sharing part of the hypotenuse.
+		p := geom.Polygon{{X: 0, Y: 0}, {X: 4, Y: 0}, {X: 0, Y: 2}}
+		q := geom.Polygon{{X: 4, Y: 0}, {X: 4, Y: 3}, {X: 1, Y: 3}, {X: 1, Y: 1.5}}
+		ps := randomAffine(rng, p, q)
+		return ps[0], ps[1]
+	}
+}
+
+func overlapTemplate(rng *rand.Rand) (geom.Polygon, geom.Polygon) {
+	switch rng.Intn(3) {
+	case 0: // two random stars with nearby centers
+		p := RandomStar(rng, geom.Point{X: 5, Y: 5}, 2+2*rng.Float64(), 4+rng.Intn(7))
+		q := RandomStar(rng, geom.Point{X: 5 + 2*(rng.Float64()-0.5), Y: 5 + 2*(rng.Float64()-0.5)}, 2+2*rng.Float64(), 4+rng.Intn(7))
+		ps := randomAffine(rng, p, q)
+		return ps[0], ps[1]
+	case 1: // crossing bars: the refinement-free configuration R5_9
+		h := geom.R(0, 2, 8, 3).Polygon()
+		v := geom.R(3, 0, 4, 6).Polygon()
+		ps := randomAffine(rng, h, v)
+		return ps[0], ps[1]
+	default: // classic staircase overlap of two squares
+		a := geom.R(0, 0, 4, 4).Polygon()
+		b := geom.R(2+rng.Float64(), 2+rng.Float64(), 7, 7).Polygon()
+		ps := randomAffine(rng, a, b)
+		return ps[0], ps[1]
+	}
+}
+
+// insideTemplate returns (small, big) with small strictly inside big.
+func insideTemplate(rng *rand.Rand) (geom.Polygon, geom.Polygon) {
+	big := RandomStar(rng, geom.Point{X: 5, Y: 5}, 4, 5+rng.Intn(7))
+	c, ok := big.InteriorPoint()
+	if !ok {
+		c = geom.Point{X: 5, Y: 5}
+	}
+	small := RandomStar(rng, c, 0.2+0.2*rng.Float64(), 3+rng.Intn(6))
+	ps := randomAffine(rng, small, big)
+	return ps[0], ps[1]
+}
+
+// coveredByTemplate returns (part, whole) with part covered by whole
+// (inside touching the boundary).
+func coveredByTemplate(rng *rand.Rand) (geom.Polygon, geom.Polygon) {
+	switch rng.Intn(3) {
+	case 0: // sub-rectangle sharing part of an edge
+		w := geom.R(0, 0, 6, 4)
+		p := geom.R(0, 1, 2+2*rng.Float64(), 3)
+		ps := randomAffine(rng, p.Polygon(), w.Polygon())
+		return ps[0], ps[1]
+	case 1: // sub-rectangle sharing a corner
+		w := geom.R(0, 0, 6, 4)
+		p := geom.R(0, 0, 1+2*rng.Float64(), 1+2*rng.Float64())
+		ps := randomAffine(rng, p.Polygon(), w.Polygon())
+		return ps[0], ps[1]
+	default: // triangle with one vertex on the host's boundary
+		w := geom.R(0, 0, 6, 4)
+		t := geom.Polygon{{X: 0, Y: 2}, {X: 2, Y: 1}, {X: 2, Y: 3}}
+		ps := randomAffine(rng, t, w.Polygon())
+		return ps[0], ps[1]
+	}
+}
