@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: verify race test bench fmt
+
+# Tier-1 gate: everything must build, vet clean, and pass.
+verify:
+	$(GO) build ./...
+	$(GO) vet ./...
+	$(GO) test ./...
+
+# Concurrency gate: the read path must be race-free with exact
+# per-query statistics (internal packages + the facade tests).
+race:
+	$(GO) test -race ./internal/... .
+
+test:
+	$(GO) test ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ .
+
+fmt:
+	gofmt -l -w .

@@ -8,8 +8,10 @@ package mbrtopo_test
 // prints the same data as tables.
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
+	"sync"
 	"testing"
 
 	"mbrtopo/internal/experiments"
@@ -156,12 +158,12 @@ func BenchmarkWindowBaseline(b *testing.B) {
 		var accesses uint64
 		for i := 0; i < b.N; i++ {
 			q := s.d.Queries[i%len(s.d.Queries)]
-			before := s.idx.IOStats()
 			pred := func(r geom.Rect) bool { return r.Intersects(q) }
-			if err := s.idx.Search(pred, pred, func(geom.Rect, uint64) bool { return true }); err != nil {
+			ts, err := s.idx.SearchCtx(context.Background(), pred, pred, func(geom.Rect, uint64) bool { return true })
+			if err != nil {
 				b.Fatal(err)
 			}
-			accesses += s.idx.IOStats().Sub(before).Reads
+			accesses += ts.NodeAccesses
 		}
 		b.ReportMetric(float64(accesses)/float64(b.N), "accesses/op")
 	})
@@ -276,6 +278,57 @@ func BenchmarkNearest(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				p := geom.Point{X: rng.Float64() * 1000, Y: rng.Float64() * 1000}
 				if _, err := s.idx.Nearest(p, 10); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkParallelQuery measures aggregate query throughput when 8
+// goroutines share one index, against the same workload executed
+// serially — the payoff of the RWMutex read path (the old exclusive
+// lock serialised every search). Each sub-benchmark runs the full
+// mixed relation set over the medium workload's query file.
+func BenchmarkParallelQuery(b *testing.B) {
+	const goroutines = 8
+	rels := []topo.Relation{topo.Overlap, topo.Meet, topo.Inside, topo.Covers}
+	for _, kind := range index.AllKinds() {
+		s := newBenchSetup(b, kind, workload.Medium)
+		runBatch := func(g int) error {
+			for i, q := range s.d.Queries {
+				if _, err := s.proc.QueryMBR(rels[(i+g)%len(rels)], q); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		b.Run(fmt.Sprintf("%s/serial", kind), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				// Same total work as one parallel iteration: 8 batches.
+				for g := 0; g < goroutines; g++ {
+					if err := runBatch(g); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("%s/parallel-%d", kind, goroutines), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				var wg sync.WaitGroup
+				errs := make(chan error, goroutines)
+				for g := 0; g < goroutines; g++ {
+					wg.Add(1)
+					go func(g int) {
+						defer wg.Done()
+						if err := runBatch(g); err != nil {
+							errs <- err
+						}
+					}(g)
+				}
+				wg.Wait()
+				close(errs)
+				for err := range errs {
 					b.Fatal(err)
 				}
 			}

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -84,12 +85,11 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		idx.ResetIOStats()
-		nn, err := idx.Nearest(geom.Point{X: x, Y: y}, k)
+		nn, ts, err := idx.NearestCtx(context.Background(), geom.Point{X: x, Y: y}, k)
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Printf("%d nearest to (%g, %g) — %d page reads:\n", len(nn), x, y, idx.IOStats().Reads)
+		fmt.Printf("%d nearest to (%g, %g) — %d page reads:\n", len(nn), x, y, ts.NodeAccesses)
 		for i, nb := range nn {
 			fmt.Printf("  %2d. oid %-6d dist %-8.3f %v\n", i+1, nb.OID, nb.Dist, nb.Rect)
 		}

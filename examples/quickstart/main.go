@@ -3,6 +3,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -53,4 +54,16 @@ func main() {
 	// Exact relations are also available directly.
 	fmt.Printf("\nexact check: Relate(pond, park) = %v\n", mbrtopo.Relate(store[1], park))
 	fmt.Printf("MBR-level configuration: %v\n", mbrtopo.ConfigOf(store[1].Bounds(), park.Bounds()))
+
+	// Streaming: filter-step candidates arrive as the traversal finds
+	// them, and the cursor stops the tree walk as soon as the consumer
+	// is done (here after 2). Cancel the context to abort a slow query.
+	cur := proc.OpenCursor(context.Background(), mbrtopo.NewSet(mbrtopo.Overlap, mbrtopo.Meet),
+		park.Bounds(), 2)
+	defer cur.Close()
+	fmt.Printf("\nstreaming overlap ∨ meet candidates (first 2):")
+	for cur.Next() {
+		fmt.Printf(" oid=%d", cur.Match().OID)
+	}
+	fmt.Printf("   (%d node accesses)\n", cur.Stats().NodeAccesses)
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -108,13 +109,13 @@ func RunAblations(cfg Config, class workload.SizeClass) (*AblationResult, error)
 			// Naive: any child whose rect shares a point with the
 			// reference MBR is visited (the classic window descent);
 			// disjoint has no window analogue, so visit everything.
-			before := idx.IOStats()
 			nodePred := func(r geom.Rect) bool { return rel == topo.Disjoint || r.Intersects(q) }
 			leafPred := nodePred
-			if err := idx.Search(nodePred, leafPred, func(geom.Rect, uint64) bool { return true }); err != nil {
+			ts, err := idx.SearchCtx(context.Background(), nodePred, leafPred, func(geom.Rect, uint64) bool { return true })
+			if err != nil {
 				return nil, err
 			}
-			naive += idx.IOStats().Sub(before).Reads
+			naive += ts.NodeAccesses
 		}
 		out.PropagationAccesses[rel] = float64(prop) / float64(len(d.Queries))
 		out.NaiveAccesses[rel] = float64(naive) / float64(len(d.Queries))

@@ -60,15 +60,18 @@ func RunJoin(cfg Config, class workload.SizeClass) (*JoinResultExp, error) {
 		row.Pairs = len(res.Pairs)
 		row.JoinAccesses = res.Stats.NodeAccesses
 
-		// Nested baseline: one topological query per left object.
+		// Nested baseline: one topological query per left object, costed
+		// by summing each query's own traversal accounting.
 		proc := &query.Processor{Idx: rIdx}
-		before := rIdx.IOStats().Reads
+		var nested uint64
 		for _, it := range left.Items {
-			if _, err := proc.QueryMBR(rel, it.Rect); err != nil {
+			res, err := proc.QueryMBR(rel, it.Rect)
+			if err != nil {
 				return nil, err
 			}
+			nested += res.Stats.NodeAccesses
 		}
-		row.NestedAccesses = rIdx.IOStats().Reads - before
+		row.NestedAccesses = nested
 		out.Rows = append(out.Rows, row)
 	}
 	return out, nil

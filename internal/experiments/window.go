@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -51,20 +52,20 @@ func RunWindow(cfg Config, class workload.SizeClass) (*WindowResult, error) {
 		for _, q := range d.Queries {
 			// Window baseline: retrieve everything not disjoint from the
 			// reference MBR; all candidates go to refinement.
-			before := idx.IOStats()
 			hits := 0
-			seen := map[uint64]bool{}
+			seen := map[uint64]struct{}{}
 			pred := func(r geom.Rect) bool { return r.Intersects(q) }
-			if err := idx.Search(pred, pred, func(_ geom.Rect, oid uint64) bool {
-				if !seen[oid] {
-					seen[oid] = true
+			ts, err := idx.SearchCtx(context.Background(), pred, pred, func(_ geom.Rect, oid uint64) bool {
+				if _, ok := seen[oid]; !ok {
+					seen[oid] = struct{}{}
 					hits++
 				}
 				return true
-			}); err != nil {
+			})
+			if err != nil {
 				return nil, err
 			}
-			row.WindowAccesses += float64(idx.IOStats().Sub(before).Reads)
+			row.WindowAccesses += float64(ts.NodeAccesses)
 			row.WindowHits += float64(hits)
 
 			res, err := proc.QueryMBR(rel, q)

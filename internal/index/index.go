@@ -6,6 +6,7 @@
 package index
 
 import (
+	"context"
 	"fmt"
 
 	"mbrtopo/internal/geom"
@@ -13,7 +14,15 @@ import (
 	"mbrtopo/internal/rtree"
 )
 
+// TraversalStats is the per-traversal work accounting returned by
+// SearchCtx and NearestCtx: exact for the one traversal that produced
+// it, no matter how many queries run concurrently (unlike IOStats,
+// which aggregates globally across the whole page file).
+type TraversalStats = rtree.TraversalStats
+
 // Index is an MBR-based spatial access method over a simulated disk.
+// Implementations are safe for concurrent use: searches run in
+// parallel under a shared lock, mutations are exclusive.
 type Index interface {
 	// Insert stores a rectangle under an object id.
 	Insert(r geom.Rect, oid uint64) error
@@ -26,6 +35,10 @@ type Index interface {
 	// rectangles satisfy leafPred. Implementations with duplicate
 	// entries (R+-tree) may emit the same object several times.
 	Search(nodePred, leafPred func(geom.Rect) bool, emit func(geom.Rect, uint64) bool) error
+	// SearchCtx is Search with context cancellation and exact
+	// per-traversal IO accounting. On cancellation it returns ctx.Err()
+	// with the stats accumulated so far.
+	SearchCtx(ctx context.Context, nodePred, leafPred func(geom.Rect) bool, emit func(geom.Rect, uint64) bool) (TraversalStats, error)
 	// Len returns the number of distinct stored objects.
 	Len() int
 	// Height returns the number of levels.
@@ -47,6 +60,9 @@ type Index interface {
 	// Nearest returns the k stored rectangles closest to p (best-first
 	// branch-and-bound on MINDIST).
 	Nearest(p geom.Point, k int) ([]rtree.Neighbour, error)
+	// NearestCtx is Nearest with context cancellation and per-traversal
+	// IO accounting.
+	NearestCtx(ctx context.Context, p geom.Point, k int) ([]rtree.Neighbour, TraversalStats, error)
 }
 
 // Static interface checks.

@@ -23,14 +23,14 @@ import (
 // so a crashed process loses at most unsynced page payloads, not the
 // allocation state).
 type DiskFile struct {
-	mu       sync.Mutex
+	mu       sync.RWMutex
 	f        *os.File
 	pageSize int
 	next     PageID
 	freeHead PageID
 	freeSet  map[PageID]PageID // id → next free
 	userMeta [UserMetaSize]byte
-	stats    Stats
+	stats    counters
 }
 
 // UserMetaSize is the number of user metadata bytes persisted in the
@@ -123,8 +123,8 @@ func (d *DiskFile) PageSize() int { return d.pageSize }
 
 // UserMeta returns the persisted user metadata block.
 func (d *DiskFile) UserMeta() [UserMetaSize]byte {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	return d.userMeta
 }
 
@@ -159,14 +159,16 @@ func (d *DiskFile) Alloc() (PageID, error) {
 	if _, err := d.f.WriteAt(zero, d.offset(id)); err != nil {
 		return NilPage, err
 	}
-	d.stats.Allocs++
+	d.stats.allocs.Add(1)
 	return id, d.writeHeader()
 }
 
-// Read copies the page into buf.
+// Read copies the page into buf. Reads share the lock (ReadAt is
+// safe for concurrent use), so parallel traversals do not serialise
+// on the disk file.
 func (d *DiskFile) Read(id PageID, buf []byte) error {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	if d.f == nil {
 		return errClosed
 	}
@@ -179,7 +181,7 @@ func (d *DiskFile) Read(id PageID, buf []byte) error {
 	if _, err := d.f.ReadAt(buf[:d.pageSize], d.offset(id)); err != nil {
 		return err
 	}
-	d.stats.Reads++
+	d.stats.reads.Add(1)
 	return nil
 }
 
@@ -201,7 +203,7 @@ func (d *DiskFile) Write(id PageID, data []byte) error {
 	if _, err := d.f.WriteAt(page, d.offset(id)); err != nil {
 		return err
 	}
-	d.stats.Writes++
+	d.stats.writes.Add(1)
 	return nil
 }
 
@@ -222,7 +224,7 @@ func (d *DiskFile) Free(id PageID) error {
 	}
 	d.freeSet[id] = d.freeHead
 	d.freeHead = id
-	d.stats.Frees++
+	d.stats.frees.Add(1)
 	return d.writeHeader()
 }
 
@@ -237,23 +239,15 @@ func (d *DiskFile) checkLive(id PageID) error {
 }
 
 // Stats returns a snapshot of the counters.
-func (d *DiskFile) Stats() Stats {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return d.stats
-}
+func (d *DiskFile) Stats() Stats { return d.stats.snapshot() }
 
 // ResetStats zeroes the counters.
-func (d *DiskFile) ResetStats() {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	d.stats = Stats{}
-}
+func (d *DiskFile) ResetStats() { d.stats.reset() }
 
 // NumPages returns the number of live pages.
 func (d *DiskFile) NumPages() int {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	return int(d.next) - 1 - len(d.freeSet)
 }
 

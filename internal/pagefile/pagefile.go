@@ -11,6 +11,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // PageID identifies a page. Zero is never a valid page.
@@ -48,6 +49,29 @@ func (s Stats) String() string {
 	return fmt.Sprintf("reads=%d writes=%d allocs=%d frees=%d", s.Reads, s.Writes, s.Allocs, s.Frees)
 }
 
+// counters is the lock-free accounting shared by the File
+// implementations: reads happen under shared locks, so the counters
+// must be atomic for the totals to stay exact under concurrency.
+type counters struct {
+	reads, writes, allocs, frees atomic.Uint64
+}
+
+func (c *counters) snapshot() Stats {
+	return Stats{
+		Reads:  c.reads.Load(),
+		Writes: c.writes.Load(),
+		Allocs: c.allocs.Load(),
+		Frees:  c.frees.Load(),
+	}
+}
+
+func (c *counters) reset() {
+	c.reads.Store(0)
+	c.writes.Store(0)
+	c.allocs.Store(0)
+	c.frees.Store(0)
+}
+
 // File is a page-addressed storage device.
 type File interface {
 	// PageSize returns the fixed page size in bytes.
@@ -68,14 +92,16 @@ type File interface {
 	NumPages() int
 }
 
-// MemFile is an in-memory File. It is safe for concurrent use.
+// MemFile is an in-memory File. It is safe for concurrent use; reads
+// take a shared lock and scale across goroutines (the access methods
+// run searches concurrently), while Alloc/Write/Free are exclusive.
 type MemFile struct {
-	mu       sync.Mutex
+	mu       sync.RWMutex
 	pageSize int
 	pages    map[PageID][]byte
 	free     []PageID
 	next     PageID
-	stats    Stats
+	stats    counters
 }
 
 // NewMemFile creates an in-memory page file with the given page size.
@@ -106,14 +132,15 @@ func (f *MemFile) Alloc() (PageID, error) {
 		f.next++
 	}
 	f.pages[id] = make([]byte, f.pageSize)
-	f.stats.Allocs++
+	f.stats.allocs.Add(1)
 	return id, nil
 }
 
-// Read copies the page into buf.
+// Read copies the page into buf. Reads share the lock, so concurrent
+// traversals do not serialise on the simulated disk.
 func (f *MemFile) Read(id PageID, buf []byte) error {
-	f.mu.Lock()
-	defer f.mu.Unlock()
+	f.mu.RLock()
+	defer f.mu.RUnlock()
 	p, ok := f.pages[id]
 	if !ok {
 		return fmt.Errorf("%w: %d", ErrPageNotFound, id)
@@ -122,7 +149,7 @@ func (f *MemFile) Read(id PageID, buf []byte) error {
 		return ErrBadSize
 	}
 	copy(buf, p)
-	f.stats.Reads++
+	f.stats.reads.Add(1)
 	return nil
 }
 
@@ -141,7 +168,7 @@ func (f *MemFile) Write(id PageID, data []byte) error {
 	for i := len(data); i < f.pageSize; i++ {
 		p[i] = 0
 	}
-	f.stats.Writes++
+	f.stats.writes.Add(1)
 	return nil
 }
 
@@ -154,27 +181,19 @@ func (f *MemFile) Free(id PageID) error {
 	}
 	delete(f.pages, id)
 	f.free = append(f.free, id)
-	f.stats.Frees++
+	f.stats.frees.Add(1)
 	return nil
 }
 
 // Stats returns a snapshot of the counters.
-func (f *MemFile) Stats() Stats {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	return f.stats
-}
+func (f *MemFile) Stats() Stats { return f.stats.snapshot() }
 
 // ResetStats zeroes the counters.
-func (f *MemFile) ResetStats() {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	f.stats = Stats{}
-}
+func (f *MemFile) ResetStats() { f.stats.reset() }
 
 // NumPages returns the number of live pages.
 func (f *MemFile) NumPages() int {
-	f.mu.Lock()
-	defer f.mu.Unlock()
+	f.mu.RLock()
+	defer f.mu.RUnlock()
 	return len(f.pages)
 }

@@ -1,0 +1,325 @@
+package query
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"mbrtopo/internal/geom"
+	"mbrtopo/internal/topo"
+)
+
+// concurrentOp is one operation of the mixed workload: it runs a
+// query against the scenario and returns the per-query NodeAccesses
+// together with a result fingerprint for equality checks.
+type concurrentOp struct {
+	name string
+	run  func(p *Processor, sc *scenario) (uint64, string, error)
+}
+
+func mixedOps(rng *rand.Rand) []concurrentOp {
+	var ops []concurrentOp
+	rels := []topo.Relation{topo.Overlap, topo.Meet, topo.Inside, topo.Covers, topo.Disjoint}
+	for i := 0; i < 12; i++ {
+		i := i
+		w := 4 + rng.Float64()*20
+		h := 4 + rng.Float64()*20
+		x := rng.Float64() * (100 - w)
+		y := rng.Float64() * (100 - h)
+		win := geom.R(x, y, x+w, y+h)
+		switch i % 3 {
+		case 0:
+			rel := rels[i%len(rels)]
+			ops = append(ops, concurrentOp{
+				name: fmt.Sprintf("querymbr-%d", i),
+				run: func(p *Processor, sc *scenario) (uint64, string, error) {
+					res, err := p.QueryMBR(rel, win)
+					return res.Stats.NodeAccesses, fingerprint(res.Matches), err
+				},
+			})
+		case 1:
+			rel := rels[(i+2)%len(rels)]
+			ops = append(ops, concurrentOp{
+				name: fmt.Sprintf("query-%d", i),
+				run: func(p *Processor, sc *scenario) (uint64, string, error) {
+					ref, ok := sc.objects[uint64(1+i%len(sc.objects))]
+					if !ok {
+						return 0, "", fmt.Errorf("missing reference object")
+					}
+					res, err := p.Query(rel, ref)
+					return res.Stats.NodeAccesses, fingerprint(res.Matches), err
+				},
+			})
+		default:
+			pt := geom.Point{X: x, Y: y}
+			k := 1 + i%7
+			ops = append(ops, concurrentOp{
+				name: fmt.Sprintf("nearest-%d", i),
+				run: func(p *Processor, sc *scenario) (uint64, string, error) {
+					nn, ts, err := p.Idx.NearestCtx(context.Background(), pt, k)
+					fp := ""
+					for _, nb := range nn {
+						fp += fmt.Sprintf("%d;", nb.OID)
+					}
+					return ts.NodeAccesses, fp, err
+				},
+			})
+		}
+	}
+	return ops
+}
+
+func fingerprint(ms []Match) string {
+	out := ""
+	for _, m := range ms {
+		out += fmt.Sprintf("%d;", m.OID)
+	}
+	return out
+}
+
+// TestConcurrentQueriesExactStats runs a mixed workload of 8
+// goroutines against one shared index per variant and requires every
+// query's NodeAccesses (and results) to equal its serial value — the
+// point of per-traversal accounting. Run under -race this also proves
+// the read path is data-race free.
+func TestConcurrentQueriesExactStats(t *testing.T) {
+	sc := buildScenario(t, 99, 500)
+	ops := mixedOps(rand.New(rand.NewSource(42)))
+	for name, idx := range sc.indexes {
+		t.Run(name, func(t *testing.T) {
+			proc := &Processor{Idx: idx, Objects: sc.objects}
+
+			// Serial ground truth per operation.
+			wantAccess := make([]uint64, len(ops))
+			wantFP := make([]string, len(ops))
+			for i, op := range ops {
+				acc, fp, err := op.run(proc, sc)
+				if err != nil {
+					t.Fatalf("%s serial: %v", op.name, err)
+				}
+				wantAccess[i], wantFP[i] = acc, fp
+			}
+
+			// 8 goroutines, each running the whole mixed workload.
+			const goroutines = 8
+			errs := make(chan error, goroutines*len(ops))
+			var wg sync.WaitGroup
+			for g := 0; g < goroutines; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					for i, op := range ops {
+						acc, fp, err := op.run(proc, sc)
+						if err != nil {
+							errs <- fmt.Errorf("g%d %s: %w", g, op.name, err)
+							return
+						}
+						if acc != wantAccess[i] {
+							errs <- fmt.Errorf("g%d %s: NodeAccesses %d under concurrency, %d serially",
+								g, op.name, acc, wantAccess[i])
+							return
+						}
+						if fp != wantFP[i] {
+							errs <- fmt.Errorf("g%d %s: results diverged under concurrency", g, op.name)
+							return
+						}
+					}
+				}(g)
+			}
+			wg.Wait()
+			close(errs)
+			for err := range errs {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+// TestConcurrentQueriesWithWriter interleaves readers with a writer to
+// exercise the RWMutex write path (results may legitimately change
+// mid-stream, so only errors are checked).
+func TestConcurrentQueriesWithWriter(t *testing.T) {
+	sc := buildScenario(t, 7, 300)
+	for name, idx := range sc.indexes {
+		t.Run(name, func(t *testing.T) {
+			proc := &Processor{Idx: idx}
+			var wg sync.WaitGroup
+			errs := make(chan error, 9)
+			for g := 0; g < 8; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					win := geom.R(float64(g*3), 10, float64(g*3+20), 60)
+					for i := 0; i < 20; i++ {
+						if _, err := proc.QueryMBR(topo.Overlap, win); err != nil {
+							errs <- err
+							return
+						}
+					}
+				}(g)
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < 40; i++ {
+					oid := uint64(10000 + i)
+					r := geom.R(float64(i), float64(i), float64(i)+3, float64(i)+3)
+					if err := idx.Insert(r, oid); err != nil {
+						errs <- err
+						return
+					}
+					if err := idx.Delete(r, oid); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}()
+			wg.Wait()
+			close(errs)
+			for err := range errs {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+// TestQueryCtxCancellation requires an already-cancelled query to fail
+// with context.Canceled without touching results.
+func TestQueryCtxCancellation(t *testing.T) {
+	sc := buildScenario(t, 3, 200)
+	for name, idx := range sc.indexes {
+		proc := &Processor{Idx: idx}
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		_, err := proc.QueryMBRCtx(ctx, topo.Overlap, geom.R(0, 0, 100, 100))
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("%s: want context.Canceled, got %v", name, err)
+		}
+	}
+}
+
+// TestParallelRefineMatchesSerial pins the worker-pool refinement to
+// the serial implementation: same matches, same statistics.
+func TestParallelRefineMatchesSerial(t *testing.T) {
+	sc := buildScenario(t, 11, 400)
+	ref := sc.objects[uint64(5)]
+	for name, idx := range sc.indexes {
+		serial := &Processor{Idx: idx, Objects: sc.objects}
+		par := &Processor{Idx: idx, Objects: sc.objects, RefineWorkers: 4}
+		for _, rel := range []topo.Relation{topo.Overlap, topo.Disjoint, topo.Meet} {
+			want, err := serial.Query(rel, ref)
+			if err != nil {
+				t.Fatalf("%s/%v serial: %v", name, rel, err)
+			}
+			got, err := par.Query(rel, ref)
+			if err != nil {
+				t.Fatalf("%s/%v parallel: %v", name, rel, err)
+			}
+			if fingerprint(got.Matches) != fingerprint(want.Matches) {
+				t.Errorf("%s/%v: parallel refinement changed the matches", name, rel)
+			}
+			if got.Stats != want.Stats {
+				t.Errorf("%s/%v: parallel stats %+v, serial %+v", name, rel, got.Stats, want.Stats)
+			}
+		}
+	}
+}
+
+// TestCursorStreaming exercises the pull-based cursor: full drain
+// equals the batch query, a limit stops the traversal early, Close
+// releases an unfinished cursor.
+func TestCursorStreaming(t *testing.T) {
+	sc := buildScenario(t, 21, 400)
+	rels := topo.NewSet(topo.Overlap)
+	win := geom.R(20, 20, 70, 70)
+	for name, idx := range sc.indexes {
+		proc := &Processor{Idx: idx}
+		batch, err := proc.QuerySetMBR(rels, win)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+
+		// Full drain: same OID set as the batch query (order differs —
+		// streaming is tree order).
+		cur := proc.OpenCursor(context.Background(), rels, win, 0)
+		got := map[uint64]bool{}
+		for cur.Next() {
+			got[cur.Match().OID] = true
+		}
+		if err := cur.Err(); err != nil {
+			t.Fatalf("%s: cursor: %v", name, err)
+		}
+		if len(got) != len(batch.Matches) {
+			t.Errorf("%s: cursor streamed %d matches, batch found %d", name, len(got), len(batch.Matches))
+		}
+		for _, m := range batch.Matches {
+			if !got[m.OID] {
+				t.Errorf("%s: cursor missed oid %d", name, m.OID)
+			}
+		}
+		if s := cur.Stats(); s.NodeAccesses != batch.Stats.NodeAccesses {
+			t.Errorf("%s: cursor accesses %d, batch %d", name, s.NodeAccesses, batch.Stats.NodeAccesses)
+		}
+
+		// Limit stops the traversal after n matches with less IO.
+		if len(batch.Matches) > 4 {
+			cur := proc.OpenCursor(context.Background(), rels, win, 3)
+			n := 0
+			for cur.Next() {
+				n++
+			}
+			if err := cur.Err(); err != nil {
+				t.Fatalf("%s: limited cursor: %v", name, err)
+			}
+			if n != 3 {
+				t.Errorf("%s: limit 3 streamed %d matches", name, n)
+			}
+			if s := cur.Stats(); s.NodeAccesses >= batch.Stats.NodeAccesses && batch.Stats.NodeAccesses > 3 {
+				t.Errorf("%s: limited cursor read %d pages, full traversal %d",
+					name, s.NodeAccesses, batch.Stats.NodeAccesses)
+			}
+		}
+
+		// Close mid-stream releases the producer.
+		cur = proc.OpenCursor(context.Background(), rels, win, 0)
+		if len(batch.Matches) > 0 && !cur.Next() {
+			t.Fatalf("%s: cursor empty, batch had %d", name, len(batch.Matches))
+		}
+		cur.Close()
+		if err := cur.Err(); err != nil {
+			t.Errorf("%s: closed cursor reports %v", name, err)
+		}
+	}
+}
+
+// TestMatchesIterator exercises the range-over-func adapter, including
+// early break.
+func TestMatchesIterator(t *testing.T) {
+	sc := buildScenario(t, 23, 300)
+	rels := topo.NewSet(topo.Overlap)
+	win := geom.R(10, 10, 80, 80)
+	for name, idx := range sc.indexes {
+		proc := &Processor{Idx: idx}
+		batch, err := proc.QuerySetMBR(rels, win)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		n := 0
+		for _, err := range proc.Matches(context.Background(), rels, win, 0) {
+			if err != nil {
+				t.Fatalf("%s: iterator: %v", name, err)
+			}
+			n++
+		}
+		if n != len(batch.Matches) {
+			t.Errorf("%s: iterator yielded %d, batch %d", name, n, len(batch.Matches))
+		}
+		// Early break must not panic or leak.
+		for range proc.Matches(context.Background(), rels, win, 0) {
+			break
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package query
 
 import (
+	"context"
 	"fmt"
 
 	"mbrtopo/internal/geom"
@@ -42,6 +43,11 @@ func CostGroup(r topo.Relation) int {
 
 // QueryConjunction answers r1(p, q1) ∧ r2(p, q2).
 func (p *Processor) QueryConjunction(r1 topo.Relation, q1 geom.Region, r2 topo.Relation, q2 geom.Region) (Result, error) {
+	return p.QueryConjunctionCtx(context.Background(), r1, q1, r2, q2)
+}
+
+// QueryConjunctionCtx is QueryConjunction with context cancellation.
+func (p *Processor) QueryConjunctionCtx(ctx context.Context, r1 topo.Relation, q1 geom.Region, r2 topo.Relation, q2 geom.Region) (Result, error) {
 	if p.Objects == nil {
 		return Result{}, fmt.Errorf("query: conjunction needs an ObjectStore for refinement")
 	}
@@ -70,7 +76,7 @@ func (p *Processor) QueryConjunction(r1 topo.Relation, q1 geom.Region, r2 topo.R
 	// Filter through the index on the first relation.
 	firstMBR := firstRef.Bounds()
 	cands := p.candidateConfigs(topo.NewSet(first))
-	matches, stats, err := p.filter(cands, firstMBR)
+	matches, stats, err := p.filter(ctx, cands, firstMBR)
 	if err != nil {
 		return Result{}, err
 	}

@@ -1,6 +1,7 @@
 package query
 
 import (
+	"context"
 	"fmt"
 
 	"mbrtopo/internal/direction"
@@ -15,6 +16,11 @@ import (
 // NonCrisp mode the candidate set is widened by the usual 2-degree
 // neighbourhoods and results become conservative (a superset).
 func (p *Processor) QueryDirection(rel direction.Relation, refMBR geom.Rect) (Result, error) {
+	return p.QueryDirectionCtx(context.Background(), rel, refMBR)
+}
+
+// QueryDirectionCtx is QueryDirection with context cancellation.
+func (p *Processor) QueryDirectionCtx(ctx context.Context, rel direction.Relation, refMBR geom.Rect) (Result, error) {
 	if !rel.Valid() {
 		return Result{}, fmt.Errorf("query: invalid direction relation %v", rel)
 	}
@@ -25,7 +31,7 @@ func (p *Processor) QueryDirection(rel direction.Relation, refMBR geom.Rect) (Re
 	if p.NonCrisp {
 		cands = mbr.Expand2(cands)
 	}
-	matches, stats, err := p.filter(cands, refMBR)
+	matches, stats, err := p.filter(ctx, cands, refMBR)
 	if err != nil {
 		return Result{}, err
 	}

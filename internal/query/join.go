@@ -61,9 +61,8 @@ func JoinTopological(left, right index.Index, rels topo.Set, opts JoinOptions) (
 	prop := mbr.JoinPropagation(cands)
 
 	selfJoin := left == right
-	before := left.IOStats().Reads + right.IOStats().Reads
 	var out JoinResult
-	err := rtree.Join(t1, t2,
+	ts, err := rtree.Join(t1, t2,
 		func(a, b geom.Rect) bool { return prop.Has(mbr.ConfigOf(a, b)) },
 		func(a, b geom.Rect) bool { return cands.Has(mbr.ConfigOf(a, b)) },
 		func(aRect geom.Rect, aOID uint64, bRect geom.Rect, bOID uint64) bool {
@@ -78,12 +77,7 @@ func JoinTopological(left, right index.Index, rels topo.Set, opts JoinOptions) (
 	if err != nil {
 		return JoinResult{}, err
 	}
-	after := left.IOStats().Reads + right.IOStats().Reads
-	if selfJoin {
-		after = left.IOStats().Reads
-		before /= 2
-	}
-	out.Stats.NodeAccesses = after - before
+	out.Stats.NodeAccesses = ts.NodeAccesses
 	out.Stats.Candidates = len(out.Pairs)
 
 	// Refinement.

@@ -1,6 +1,7 @@
 package query
 
 import (
+	"context"
 	"fmt"
 
 	"mbrtopo/internal/geom"
@@ -18,6 +19,11 @@ type LineStore map[uint64]geom.PolyLine
 // aligned) MBRs cannot be stored in an MBR index directly; pad their
 // rectangles and run the processor in NonCrisp mode.
 func (p *Processor) QueryLine(rel geom.LineRegionRelation, ref geom.Region, lines LineStore) (Result, error) {
+	return p.QueryLineCtx(context.Background(), rel, ref, lines)
+}
+
+// QueryLineCtx is QueryLine with context cancellation.
+func (p *Processor) QueryLineCtx(ctx context.Context, rel geom.LineRegionRelation, ref geom.Region, lines LineStore) (Result, error) {
 	if !rel.Valid() {
 		return Result{}, fmt.Errorf("query: invalid line-region relation %v", rel)
 	}
@@ -32,7 +38,7 @@ func (p *Processor) QueryLine(rel geom.LineRegionRelation, ref geom.Region, line
 		cands = mbr.Expand2(cands)
 	}
 	refMBR := ref.Bounds()
-	matches, stats, err := p.filter(cands, refMBR)
+	matches, stats, err := p.filter(ctx, cands, refMBR)
 	if err != nil {
 		return Result{}, err
 	}

@@ -1,6 +1,7 @@
 package query
 
 import (
+	"context"
 	"fmt"
 
 	"mbrtopo/internal/geom"
@@ -15,6 +16,11 @@ import (
 //
 // want must contain geom.PointInside, geom.PointOnBoundary, or both.
 func (p *Processor) QueryPoint(pt geom.Point, want ...geom.PointLocation) (Result, error) {
+	return p.QueryPointCtx(context.Background(), pt, want...)
+}
+
+// QueryPointCtx is QueryPoint with context cancellation.
+func (p *Processor) QueryPointCtx(ctx context.Context, pt geom.Point, want ...geom.PointLocation) (Result, error) {
 	if p.Objects == nil {
 		return Result{}, fmt.Errorf("query: point queries need an ObjectStore for refinement")
 	}
@@ -31,12 +37,11 @@ func (p *Processor) QueryPoint(pt geom.Point, want ...geom.PointLocation) (Resul
 	}
 
 	pred := func(r geom.Rect) bool { return r.ContainsPoint(pt) }
-	before := p.Idx.IOStats()
-	seen := make(map[uint64]bool)
+	seen := make(map[uint64]struct{})
 	var matches []Match
-	err := p.Idx.Search(pred, pred, func(r geom.Rect, oid uint64) bool {
-		if !seen[oid] {
-			seen[oid] = true
+	ts, err := p.Idx.SearchCtx(ctx, pred, pred, func(r geom.Rect, oid uint64) bool {
+		if _, ok := seen[oid]; !ok {
+			seen[oid] = struct{}{}
 			matches = append(matches, Match{OID: oid, Rect: r})
 		}
 		return true
@@ -45,7 +50,7 @@ func (p *Processor) QueryPoint(pt geom.Point, want ...geom.PointLocation) (Resul
 		return Result{}, fmt.Errorf("query: point filter: %w", err)
 	}
 	stats := Stats{
-		NodeAccesses: p.Idx.IOStats().Sub(before).Reads,
+		NodeAccesses: ts.NodeAccesses,
 		Candidates:   len(matches),
 	}
 	out := matches[:0:0]

@@ -20,8 +20,12 @@
 package query
 
 import (
+	"context"
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"mbrtopo/internal/geom"
 	"mbrtopo/internal/index"
@@ -116,6 +120,28 @@ type Processor struct {
 	// paper): candidates whose hull-level relation already decides
 	// membership skip the exact test.
 	SecondFilter bool
+	// RefineWorkers bounds the worker pool of the refinement step.
+	// Step 4 of the paper's strategy tests each candidate independently,
+	// so it parallelises cleanly: values > 1 refine candidates on that
+	// many goroutines (result order and statistics are unchanged).
+	// 0 or 1 refines serially; a negative value uses GOMAXPROCS.
+	RefineWorkers int
+}
+
+// refineParallelMin is the candidate count below which parallel
+// refinement is not worth the goroutine setup.
+const refineParallelMin = 16
+
+// refineWorkers resolves the configured pool size.
+func (p *Processor) refineWorkers() int {
+	switch {
+	case p.RefineWorkers < 0:
+		return runtime.GOMAXPROCS(0)
+	case p.RefineWorkers == 0:
+		return 1
+	default:
+		return p.RefineWorkers
+	}
 }
 
 // candidateConfigs maps a relation disjunction to the admissible MBR
@@ -145,34 +171,55 @@ func (p *Processor) possibleRelations(c mbr.Config) topo.Set {
 // reference region given by its exact geometry (a Polygon or a
 // MultiPolygon).
 func (p *Processor) Query(rel topo.Relation, ref geom.Region) (Result, error) {
-	return p.QuerySet(topo.NewSet(rel), ref)
+	return p.QueryCtx(context.Background(), rel, ref)
+}
+
+// QueryCtx is Query with context cancellation: the filter traversal
+// aborts within one page read of ctx being cancelled.
+func (p *Processor) QueryCtx(ctx context.Context, rel topo.Relation, ref geom.Region) (Result, error) {
+	return p.QuerySetCtx(ctx, topo.NewSet(rel), ref)
 }
 
 // QueryMBR runs the filter step only, against a reference MBR — the
 // setting of the paper's experiments, where the data file consists of
 // rectangles. No refinement is possible without geometry.
 func (p *Processor) QueryMBR(rel topo.Relation, refMBR geom.Rect) (Result, error) {
-	return p.querySetMBR(topo.NewSet(rel), refMBR, nil)
+	return p.querySetMBR(context.Background(), topo.NewSet(rel), refMBR, nil)
+}
+
+// QueryMBRCtx is QueryMBR with context cancellation.
+func (p *Processor) QueryMBRCtx(ctx context.Context, rel topo.Relation, refMBR geom.Rect) (Result, error) {
+	return p.querySetMBR(ctx, topo.NewSet(rel), refMBR, nil)
 }
 
 // QuerySet runs a disjunctive (low-resolution) query, e.g. the
 // cadastral "in" = inside ∨ covered_by of Section 5.
 func (p *Processor) QuerySet(rels topo.Set, ref geom.Region) (Result, error) {
+	return p.QuerySetCtx(context.Background(), rels, ref)
+}
+
+// QuerySetCtx is QuerySet with context cancellation.
+func (p *Processor) QuerySetCtx(ctx context.Context, rels topo.Set, ref geom.Region) (Result, error) {
 	if ref == nil {
 		return Result{}, fmt.Errorf("query: nil reference region")
 	}
 	if err := ref.Validate(); err != nil {
 		return Result{}, fmt.Errorf("query: invalid reference region: %w", err)
 	}
-	return p.querySetMBR(rels, ref.Bounds(), ref)
+	return p.querySetMBR(ctx, rels, ref.Bounds(), ref)
 }
 
 // QuerySetMBR runs a disjunctive filter step against a reference MBR.
 func (p *Processor) QuerySetMBR(rels topo.Set, refMBR geom.Rect) (Result, error) {
-	return p.querySetMBR(rels, refMBR, nil)
+	return p.querySetMBR(context.Background(), rels, refMBR, nil)
 }
 
-func (p *Processor) querySetMBR(rels topo.Set, refMBR geom.Rect, ref geom.Region) (Result, error) {
+// QuerySetMBRCtx is QuerySetMBR with context cancellation.
+func (p *Processor) QuerySetMBRCtx(ctx context.Context, rels topo.Set, refMBR geom.Rect) (Result, error) {
+	return p.querySetMBR(ctx, rels, refMBR, nil)
+}
+
+func (p *Processor) querySetMBR(ctx context.Context, rels topo.Set, refMBR geom.Rect, ref geom.Region) (Result, error) {
 	if rels.IsEmpty() {
 		return Result{}, fmt.Errorf("query: empty relation set")
 	}
@@ -183,13 +230,13 @@ func (p *Processor) querySetMBR(rels topo.Set, refMBR geom.Rect, ref geom.Region
 	// non-contiguous and non-crisp modes).
 	cands := p.candidateConfigs(rels)
 	// Steps 2+3: prune and collect.
-	matches, stats, err := p.filter(cands, refMBR)
+	matches, stats, err := p.filter(ctx, cands, refMBR)
 	if err != nil {
 		return Result{}, err
 	}
 	// Step 4: refinement.
 	if p.Objects != nil && ref != nil {
-		matches, err = p.refine(matches, rels, refMBR, ref, &stats)
+		matches, err = p.refine(ctx, matches, rels, refMBR, ref, &stats)
 		if err != nil {
 			return Result{}, err
 		}
@@ -197,9 +244,8 @@ func (p *Processor) querySetMBR(rels topo.Set, refMBR geom.Rect, ref geom.Region
 	return Result{Matches: matches, Stats: stats}, nil
 }
 
-// filter is the tree traversal of steps 2 and 3.
-func (p *Processor) filter(cands mbr.ConfigSet, refMBR geom.Rect) ([]Match, Stats, error) {
-	var nodePred func(geom.Rect) bool
+// filterPreds derives the node and leaf predicates of steps 2 and 3.
+func (p *Processor) filterPreds(cands mbr.ConfigSet, refMBR geom.Rect) (nodePred, leafPred func(geom.Rect) bool) {
 	if p.Idx.CoveringNodeRects() {
 		prop := mbr.Propagation(cands)
 		nodePred = func(r geom.Rect) bool {
@@ -208,16 +254,26 @@ func (p *Processor) filter(cands mbr.ConfigSet, refMBR geom.Rect) ([]Match, Stat
 	} else {
 		nodePred = mbr.PartitionNodePredicate(cands, refMBR)
 	}
-	leafPred := func(r geom.Rect) bool {
+	leafPred = func(r geom.Rect) bool {
 		return cands.Has(mbr.ConfigOf(r, refMBR))
 	}
+	return nodePred, leafPred
+}
 
-	before := p.Idx.IOStats()
-	seen := make(map[uint64]bool)
-	var matches []Match
-	err := p.Idx.Search(nodePred, leafPred, func(r geom.Rect, oid uint64) bool {
-		if !seen[oid] {
-			seen[oid] = true
+// filter is the tree traversal of steps 2 and 3. NodeAccesses comes
+// from the traversal's own accounting, so it is exact even when many
+// queries share the index.
+func (p *Processor) filter(ctx context.Context, cands mbr.ConfigSet, refMBR geom.Rect) ([]Match, Stats, error) {
+	nodePred, leafPred := p.filterPreds(cands, refMBR)
+	// A broad query (disjoint) touches nearly every stored object:
+	// size the dedup set and the matches slice for the worst case once
+	// instead of rehashing and regrowing on the way there.
+	n := p.Idx.Len()
+	seen := make(map[uint64]struct{}, n)
+	matches := make([]Match, 0, n)
+	ts, err := p.Idx.SearchCtx(ctx, nodePred, leafPred, func(r geom.Rect, oid uint64) bool {
+		if _, ok := seen[oid]; !ok {
+			seen[oid] = struct{}{}
 			matches = append(matches, Match{OID: oid, Rect: r})
 		}
 		return true
@@ -226,54 +282,118 @@ func (p *Processor) filter(cands mbr.ConfigSet, refMBR geom.Rect) ([]Match, Stat
 		return nil, Stats{}, fmt.Errorf("query: filter step: %w", err)
 	}
 	stats := Stats{
-		NodeAccesses: p.Idx.IOStats().Sub(before).Reads,
+		NodeAccesses: ts.NodeAccesses,
 		Candidates:   len(matches),
 	}
 	sort.Slice(matches, func(i, j int) bool { return matches[i].OID < matches[j].OID })
 	return matches, stats, nil
 }
 
+// refineVerdict is the outcome of refining one candidate: whether it
+// is a match, and which statistics counters its test touched.
+type refineVerdict struct {
+	accept         bool
+	directAccept   bool
+	hullResolved   bool
+	refinementTest bool
+	falseHit       bool
+	missingOID     uint64
+	missing        bool
+}
+
+// refineOne applies step 4 to a single candidate. It only reads
+// Processor state, so verdicts for different candidates can be
+// computed concurrently.
+func (p *Processor) refineOne(m Match, rels topo.Set, refMBR geom.Rect, ref geom.Region, refHull geom.Polygon) refineVerdict {
+	cfg := mbr.ConfigOf(m.Rect, refMBR)
+	// Figure 9 generalised to disjunctions: if every relation the
+	// configuration admits is wanted, accept without geometry. Not
+	// applicable in non-crisp mode, where the stored MBR may be
+	// larger than the true one.
+	if !p.NonCrisp && p.possibleRelations(cfg).SubsetOf(rels) {
+		return refineVerdict{accept: true, directAccept: true}
+	}
+	obj, ok := p.Objects.Object(m.OID)
+	if !ok {
+		return refineVerdict{missing: true, missingOID: m.OID}
+	}
+	if p.SecondFilter {
+		poss := geom.PossibleGivenHulls(geom.Relate(geom.HullOf(obj), refHull))
+		switch {
+		case poss.Intersect(rels).IsEmpty():
+			return refineVerdict{hullResolved: true, falseHit: true}
+		case poss.SubsetOf(rels):
+			return refineVerdict{accept: true, hullResolved: true}
+		}
+	}
+	if rels.Has(geom.RelateRegions(obj, ref)) {
+		return refineVerdict{accept: true, refinementTest: true}
+	}
+	return refineVerdict{refinementTest: true, falseHit: true}
+}
+
 // refine applies step 4 to the candidates, optionally routed through
-// the convex-hull second filter.
-func (p *Processor) refine(cands []Match, rels topo.Set, refMBR geom.Rect, ref geom.Region, stats *Stats) ([]Match, error) {
+// the convex-hull second filter. With RefineWorkers > 1 the exact
+// geometry tests run on a bounded worker pool; verdicts are folded in
+// candidate order, so matches and statistics are identical to the
+// serial run. The ObjectStore must then be safe for concurrent reads
+// (the map-backed stores are, as long as nothing mutates them).
+func (p *Processor) refine(ctx context.Context, cands []Match, rels topo.Set, refMBR geom.Rect, ref geom.Region, stats *Stats) ([]Match, error) {
 	var refHull geom.Polygon
 	if p.SecondFilter {
 		refHull = geom.HullOf(ref)
 	}
-	out := cands[:0:0]
-	for _, m := range cands {
-		cfg := mbr.ConfigOf(m.Rect, refMBR)
-		// Figure 9 generalised to disjunctions: if every relation the
-		// configuration admits is wanted, accept without geometry. Not
-		// applicable in non-crisp mode, where the stored MBR may be
-		// larger than the true one.
-		if !p.NonCrisp && p.possibleRelations(cfg).SubsetOf(rels) {
-			stats.DirectAccepts++
-			out = append(out, m)
-			continue
+	verdicts := make([]refineVerdict, len(cands))
+	if workers := p.refineWorkers(); workers > 1 && len(cands) >= refineParallelMin {
+		if workers > len(cands) {
+			workers = len(cands)
 		}
-		obj, ok := p.Objects.Object(m.OID)
-		if !ok {
-			return nil, fmt.Errorf("query: refinement needs object %d, not in store", m.OID)
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(cands) || ctx.Err() != nil {
+						return
+					}
+					verdicts[i] = p.refineOne(cands[i], rels, refMBR, ref, refHull)
+				}
+			}()
 		}
-		if p.SecondFilter {
-			poss := geom.PossibleGivenHulls(geom.Relate(geom.HullOf(obj), refHull))
-			switch {
-			case poss.Intersect(rels).IsEmpty():
-				stats.HullResolved++
-				stats.FalseHits++
-				continue
-			case poss.SubsetOf(rels):
-				stats.HullResolved++
-				out = append(out, m)
-				continue
+		wg.Wait()
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+	} else {
+		for i, m := range cands {
+			if err := ctx.Err(); err != nil {
+				return nil, err
 			}
+			verdicts[i] = p.refineOne(m, rels, refMBR, ref, refHull)
 		}
-		stats.RefinementTests++
-		if rels.Has(geom.RelateRegions(obj, ref)) {
-			out = append(out, m)
-		} else {
+	}
+	out := cands[:0:0]
+	for i, v := range verdicts {
+		if v.missing {
+			return nil, fmt.Errorf("query: refinement needs object %d, not in store", v.missingOID)
+		}
+		if v.directAccept {
+			stats.DirectAccepts++
+		}
+		if v.hullResolved {
+			stats.HullResolved++
+		}
+		if v.refinementTest {
+			stats.RefinementTests++
+		}
+		if v.falseHit {
 			stats.FalseHits++
+		}
+		if v.accept {
+			out = append(out, cands[i])
 		}
 	}
 	return out, nil

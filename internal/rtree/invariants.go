@@ -17,8 +17,8 @@ import (
 // rectangle is the tight MBR of its child), fill factors within [m, M]
 // except for the root, and an entry count matching Len.
 func (t *Tree) CheckInvariants() error {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	leaves := 0
 	count := 0
 	minFill := t.opts.minEntries()
@@ -84,8 +84,8 @@ func (t *Tree) CheckInvariants() error {
 // property — every stored object registered in every leaf whose region
 // its interior intersects.
 func (t *RPlusTree) CheckInvariants() error {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	type leafInfo struct {
 		region geom.Rect
 		oids   map[uint64]geom.Rect

@@ -12,34 +12,44 @@ import (
 // when it returns false the pair's subtrees are skipped. accept is
 // called on leaf entry rectangle pairs; matching pairs are passed to
 // emit (return false to stop). Self-joins (t1 == t2) are supported.
+//
+// The returned TraversalStats counts the pages this join read across
+// both trees — exact per-operation accounting, independent of any
+// concurrent queries on either index. Joins take both trees' read
+// locks (in a global order, so concurrent joins cannot deadlock
+// against queued writers) and run in parallel with other readers.
 func Join(t1, t2 *Tree,
 	prune func(a, b geom.Rect) bool,
 	accept func(a, b geom.Rect) bool,
 	emit func(aRect geom.Rect, aOID uint64, bRect geom.Rect, bOID uint64) bool,
-) error {
-	t1.mu.Lock()
-	defer t1.mu.Unlock()
-	if t2 != t1 {
-		t2.mu.Lock()
-		defer t2.mu.Unlock()
+) (TraversalStats, error) {
+	first, second := t1, t2
+	if t2 != t1 && t2.lockID < t1.lockID {
+		first, second = t2, t1
+	}
+	first.mu.RLock()
+	defer first.mu.RUnlock()
+	if second != first {
+		second.mu.RLock()
+		defer second.mu.RUnlock()
 	}
 	j := &joiner{t1: t1, t2: t2, prune: prune, accept: accept, emit: emit}
 	r1, err := j.read1(t1.root)
 	if err != nil {
-		return err
+		return j.stats, err
 	}
 	r2, err := j.read2(t2.root)
 	if err != nil {
-		return err
+		return j.stats, err
 	}
 	if len(r1.entries) == 0 || len(r2.entries) == 0 {
-		return nil
+		return j.stats, nil
 	}
 	if !prune(r1.mbr(), r2.mbr()) {
-		return nil
+		return j.stats, nil
 	}
 	_, err = j.join(r1, r2)
-	return err
+	return j.stats, err
 }
 
 type joiner struct {
@@ -47,13 +57,23 @@ type joiner struct {
 	prune  func(a, b geom.Rect) bool
 	accept func(a, b geom.Rect) bool
 	emit   func(geom.Rect, uint64, geom.Rect, uint64) bool
+	stats  TraversalStats
 }
 
 // read1/read2 use each tree's own store (they may share a page file or
-// not). For self-joins both stores are the same object; reads are
-// sequential under the single lock, so the shared read buffer is safe.
-func (j *joiner) read1(id pagefile.PageID) (*node, error) { return j.t1.st.readNode(id) }
-func (j *joiner) read2(id pagefile.PageID) (*node, error) { return j.t2.st.readNode(id) }
+// not) and charge the pages read to the join's own stats.
+func (j *joiner) read1(id pagefile.PageID) (*node, error) { return j.read(j.t1.st, id) }
+func (j *joiner) read2(id pagefile.PageID) (*node, error) { return j.read(j.t2.st, id) }
+
+func (j *joiner) read(st *store, id pagefile.PageID) (*node, error) {
+	n, err := st.readNode(id)
+	if err != nil {
+		return nil, err
+	}
+	j.stats.NodesVisited++
+	j.stats.NodeAccesses += 1 + uint64(len(n.chain))
+	return n, nil
+}
 
 // join recurses over a node pair; the pair itself already passed the
 // prune test.
@@ -63,6 +83,7 @@ func (j *joiner) join(n1, n2 *node) (bool, error) {
 		for _, e1 := range n1.entries {
 			for _, e2 := range n2.entries {
 				if j.accept(e1.Rect, e2.Rect) {
+					j.stats.Emitted++
 					if !j.emit(e1.Rect, e1.OID, e2.Rect, e2.OID) {
 						return false, nil
 					}

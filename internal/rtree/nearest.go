@@ -2,6 +2,7 @@ package rtree
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 
 	"mbrtopo/internal/geom"
@@ -26,9 +27,16 @@ type Neighbour struct {
 // distance. Fewer than k results are returned when the tree is
 // smaller.
 func (t *Tree) Nearest(p geom.Point, k int) ([]Neighbour, error) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return nearestSearch(t.st, t.root, p, k, false)
+	nn, _, err := t.NearestCtx(context.Background(), p, k)
+	return nn, err
+}
+
+// NearestCtx is Nearest with context cancellation and per-traversal IO
+// accounting. kNN searches run concurrently with other readers.
+func (t *Tree) NearestCtx(ctx context.Context, p geom.Point, k int) ([]Neighbour, TraversalStats, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return nearestSearch(ctx, t.st, t.root, p, k, false)
 }
 
 // Nearest returns the k distinct objects closest to p. Duplicate
@@ -37,9 +45,16 @@ func (t *Tree) Nearest(p geom.Point, k int) ([]Neighbour, error) {
 // exact because every rectangle is registered in the region containing
 // its nearest point.
 func (t *RPlusTree) Nearest(p geom.Point, k int) ([]Neighbour, error) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return nearestSearch(t.st, t.root, p, k, true)
+	nn, _, err := t.NearestCtx(context.Background(), p, k)
+	return nn, err
+}
+
+// NearestCtx is Nearest with context cancellation and per-traversal IO
+// accounting.
+func (t *RPlusTree) NearestCtx(ctx context.Context, p geom.Point, k int) ([]Neighbour, TraversalStats, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return nearestSearch(ctx, t.st, t.root, p, k, true)
 }
 
 // pqItem is a heap element: either a node to expand or a leaf entry.
@@ -63,9 +78,10 @@ func (q *pq) Pop() interface{} {
 	return it
 }
 
-func nearestSearch(st *store, root pagefile.PageID, p geom.Point, k int, dedup bool) ([]Neighbour, error) {
+func nearestSearch(ctx context.Context, st *store, root pagefile.PageID, p geom.Point, k int, dedup bool) ([]Neighbour, TraversalStats, error) {
+	var stats TraversalStats
 	if k <= 0 {
-		return nil, fmt.Errorf("rtree: Nearest needs k ≥ 1, got %d", k)
+		return nil, stats, fmt.Errorf("rtree: Nearest needs k ≥ 1, got %d", k)
 	}
 	var q pq
 	heap.Push(&q, pqItem{dist: 0, node: root})
@@ -81,12 +97,18 @@ func nearestSearch(st *store, root pagefile.PageID, p geom.Point, k int, dedup b
 				seen[it.entry.OID] = true
 			}
 			out = append(out, it.entry)
+			stats.Emitted++
 			continue
+		}
+		if err := ctx.Err(); err != nil {
+			return out, stats, err
 		}
 		n, err := st.readNode(it.node)
 		if err != nil {
-			return nil, err
+			return nil, stats, err
 		}
+		stats.NodesVisited++
+		stats.NodeAccesses += 1 + uint64(len(n.chain))
 		for _, e := range n.entries {
 			d := e.Rect.DistToPoint(p)
 			if n.isLeaf() {
@@ -96,5 +118,5 @@ func nearestSearch(st *store, root pagefile.PageID, p geom.Point, k int, dedup b
 			}
 		}
 	}
-	return out, nil
+	return out, stats, nil
 }

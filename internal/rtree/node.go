@@ -22,6 +22,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"sync"
 
 	"mbrtopo/internal/geom"
 	"mbrtopo/internal/pagefile"
@@ -85,20 +86,31 @@ func CapacityForPageSize(pageSize int) int {
 	return (pageSize - nodeHeaderSize) / entrySize
 }
 
-// store reads and writes nodes on a page file.
+// store reads and writes nodes on a page file. Page buffers come from
+// a pool rather than a single shared slice, so any number of readers
+// (concurrent traversals under the trees' read locks) may decode pages
+// at the same time; the pool keeps the steady-state allocation rate at
+// zero.
 type store struct {
 	file pagefile.File
 	cap  int // maximum entries that fit a page
-	buf  []byte
+	bufs sync.Pool
 }
 
 func newStore(file pagefile.File) *store {
+	pageSize := file.PageSize()
 	return &store{
 		file: file,
-		cap:  CapacityForPageSize(file.PageSize()),
-		buf:  make([]byte, file.PageSize()),
+		cap:  CapacityForPageSize(pageSize),
+		bufs: sync.Pool{New: func() any {
+			b := make([]byte, pageSize)
+			return &b
+		}},
 	}
 }
+
+func (s *store) getBuf() *[]byte  { return s.bufs.Get().(*[]byte) }
+func (s *store) putBuf(b *[]byte) { s.bufs.Put(b) }
 
 func (s *store) allocNode(level int) (*node, error) {
 	id, err := s.file.Alloc()
@@ -109,16 +121,19 @@ func (s *store) allocNode(level int) (*node, error) {
 }
 
 func (s *store) readNode(id pagefile.PageID) (*node, error) {
+	bp := s.getBuf()
+	defer s.putBuf(bp)
+	buf := *bp
 	n := &node{id: id}
 	pid := id
 	for pid != pagefile.NilPage {
-		if err := s.file.Read(pid, s.buf); err != nil {
+		if err := s.file.Read(pid, buf); err != nil {
 			return nil, fmt.Errorf("rtree: reading node %d (page %d): %w", id, pid, err)
 		}
-		level := int(binary.LittleEndian.Uint16(s.buf[0:2]))
-		count := int(binary.LittleEndian.Uint16(s.buf[2:4]))
-		next := pagefile.PageID(binary.LittleEndian.Uint32(s.buf[4:8]))
-		if nodeHeaderSize+count*entrySize > len(s.buf) {
+		level := int(binary.LittleEndian.Uint16(buf[0:2]))
+		count := int(binary.LittleEndian.Uint16(buf[2:4]))
+		next := pagefile.PageID(binary.LittleEndian.Uint32(buf[4:8]))
+		if nodeHeaderSize+count*entrySize > len(buf) {
 			return nil, fmt.Errorf("rtree: page %d has corrupt count %d", pid, count)
 		}
 		if pid == id {
@@ -129,11 +144,11 @@ func (s *store) readNode(id pagefile.PageID) (*node, error) {
 		off := nodeHeaderSize
 		for i := 0; i < count; i++ {
 			var e Entry
-			e.Rect.Min.X = readF64(s.buf[off:])
-			e.Rect.Min.Y = readF64(s.buf[off+8:])
-			e.Rect.Max.X = readF64(s.buf[off+16:])
-			e.Rect.Max.Y = readF64(s.buf[off+24:])
-			ref := binary.LittleEndian.Uint64(s.buf[off+32:])
+			e.Rect.Min.X = readF64(buf[off:])
+			e.Rect.Min.Y = readF64(buf[off+8:])
+			e.Rect.Max.X = readF64(buf[off+16:])
+			e.Rect.Max.Y = readF64(buf[off+24:])
+			ref := binary.LittleEndian.Uint64(buf[off+32:])
 			if n.level > 0 {
 				e.Child = pagefile.PageID(ref)
 			} else {
@@ -169,6 +184,8 @@ func (s *store) writeNode(n *node) error {
 	}
 	pages := append([]pagefile.PageID{n.id}, n.chain...)
 	rest := n.entries
+	bp := s.getBuf()
+	defer s.putBuf(bp)
 	for pi, pid := range pages {
 		take := len(rest)
 		if take > s.cap {
@@ -178,7 +195,7 @@ func (s *store) writeNode(n *node) error {
 		if pi+1 < len(pages) {
 			next = pages[pi+1]
 		}
-		buf := s.buf[:0]
+		buf := (*bp)[:0]
 		var hdr [nodeHeaderSize]byte
 		binary.LittleEndian.PutUint16(hdr[0:2], uint16(n.level))
 		binary.LittleEndian.PutUint16(hdr[2:4], uint16(take))

@@ -18,15 +18,15 @@ type Meta struct {
 
 // Meta returns the tree's persistent metadata.
 func (t *Tree) Meta() Meta {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	return Meta{Root: t.root, Depth: t.depth, Size: t.size}
 }
 
 // Meta returns the tree's persistent metadata.
 func (t *RPlusTree) Meta() Meta {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	return Meta{Root: t.root, Depth: t.depth, Size: t.size}
 }
 
@@ -42,7 +42,7 @@ func Open(file pagefile.File, opts Options, name string, m Meta) (*Tree, error) 
 	if root.level != m.Depth-1 {
 		return nil, fmt.Errorf("rtree: meta depth %d inconsistent with root level %d", m.Depth, root.level)
 	}
-	return &Tree{st: st, opts: opts, root: m.Root, depth: m.Depth, size: m.Size, name: name}, nil
+	return &Tree{lockID: lockSeq.Add(1), st: st, opts: opts, root: m.Root, depth: m.Depth, size: m.Size, name: name}, nil
 }
 
 // OpenRPlus resumes an R+-tree persisted on file.

@@ -1,6 +1,7 @@
 package rtree
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -29,8 +30,11 @@ import (
 // make a node unsplittable; Insert then returns ErrUnsplittable,
 // mirroring the paper's footnote that "in such cases R+-trees do not
 // work (Greene 1989)".
+// An RPlusTree is safe for concurrent use: searches take a shared read
+// lock and run in parallel with each other, mutations take the
+// exclusive write lock.
 type RPlusTree struct {
-	mu    sync.Mutex
+	mu    sync.RWMutex
 	st    *store
 	opts  Options
 	root  pagefile.PageID
@@ -74,15 +78,15 @@ func (t *RPlusTree) Name() string { return "R+-tree" }
 
 // Len returns the number of distinct stored objects.
 func (t *RPlusTree) Len() int {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	return t.size
 }
 
 // Height returns the number of levels.
 func (t *RPlusTree) Height() int {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	return t.depth
 }
 
@@ -101,13 +105,12 @@ func (t *RPlusTree) ResetIOStats() { t.st.file.ResetStats() }
 
 // Bounds returns the MBR of the stored data rectangles.
 func (t *RPlusTree) Bounds() (geom.Rect, bool) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	var out geom.Rect
 	found := false
-	err := t.searchLocked(
-		func(geom.Rect) bool { return true },
-		func(geom.Rect) bool { return true },
+	all := func(geom.Rect) bool { return true }
+	_, err := traverse(context.Background(), t.st, t.root, all, all,
 		func(r geom.Rect, _ uint64) bool {
 			if !found {
 				out, found = r, true
@@ -115,7 +118,7 @@ func (t *RPlusTree) Bounds() (geom.Rect, bool) {
 				out = out.Union(r)
 			}
 			return true
-		})
+		}, 0)
 	if err != nil {
 		return geom.Rect{}, false
 	}
@@ -438,41 +441,21 @@ func (t *RPlusTree) Update(oldRect, newRect geom.Rect, oid uint64) error {
 // whose rectangle satisfies leafPred. Because of duplicate
 // registration, emit may see the same (rect, oid) several times;
 // callers deduplicate by oid. emit returning false stops the search.
+// Searches run concurrently with each other; use SearchCtx for
+// cancellation and exact per-traversal IO accounting.
 func (t *RPlusTree) Search(nodePred, leafPred func(geom.Rect) bool, emit func(geom.Rect, uint64) bool) error {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.searchLocked(nodePred, leafPred, emit)
-}
-
-func (t *RPlusTree) searchLocked(nodePred, leafPred func(geom.Rect) bool, emit func(geom.Rect, uint64) bool) error {
-	_, err := t.searchRec(t.root, nodePred, leafPred, emit)
+	_, err := t.SearchCtx(context.Background(), nodePred, leafPred, emit)
 	return err
 }
 
-func (t *RPlusTree) searchRec(id pagefile.PageID, nodePred, leafPred func(geom.Rect) bool, emit func(geom.Rect, uint64) bool) (bool, error) {
-	n, err := t.st.readNode(id)
-	if err != nil {
-		return false, err
-	}
-	if n.isLeaf() {
-		for _, e := range n.entries {
-			if leafPred(e.Rect) {
-				if !emit(e.Rect, e.OID) {
-					return false, nil
-				}
-			}
-		}
-		return true, nil
-	}
-	for _, e := range n.entries {
-		if nodePred(e.Rect) {
-			cont, err := t.searchRec(e.Child, nodePred, leafPred, emit)
-			if err != nil || !cont {
-				return cont, err
-			}
-		}
-	}
-	return true, nil
+// SearchCtx is Search with context cancellation and per-traversal IO
+// accounting. NodeAccesses includes overflow-chain pages (Greene's
+// degeneracy), mirroring what the global read counter would see for
+// this traversal alone.
+func (t *RPlusTree) SearchCtx(ctx context.Context, nodePred, leafPred func(geom.Rect) bool, emit func(geom.Rect, uint64) bool) (TraversalStats, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return traverse(ctx, t.st, t.root, nodePred, leafPred, emit, 0)
 }
 
 // SearchIntersects is the traditional window query. The node predicate

@@ -1,9 +1,11 @@
 package rtree
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"mbrtopo/internal/geom"
 	"mbrtopo/internal/pagefile"
@@ -13,19 +15,25 @@ import (
 // R*-tree (Beckmann et al. 1990). Nodes live on a pagefile; the zero
 // value is not usable — construct with New, NewRTree or NewRStar.
 //
-// A Tree is safe for concurrent use by a single writer or multiple
-// readers, serialised by an internal mutex (the paper's experiments
-// are single-threaded; the mutex makes the structure safe to embed in
-// services).
+// A Tree is safe for concurrent use: searches take a shared read lock
+// and run in parallel with each other, mutations take the exclusive
+// write lock. Per-traversal IO accounting (SearchCtx) stays exact
+// under any number of concurrent readers.
 type Tree struct {
-	mu    sync.Mutex
-	st    *store
-	opts  Options
-	root  pagefile.PageID
-	depth int // number of levels; 1 = root is a leaf
-	size  int // number of stored entries
-	name  string
+	mu     sync.RWMutex
+	lockID uint64 // global acquisition order for multi-tree operations
+	st     *store
+	opts   Options
+	root   pagefile.PageID
+	depth  int // number of levels; 1 = root is a leaf
+	size   int // number of stored entries
+	name   string
 }
+
+// lockSeq issues tree lock-order ids. Operations locking two trees
+// (Join) acquire the lower id first, so concurrent multi-tree readers
+// cannot deadlock against queued writers.
+var lockSeq atomic.Uint64
 
 // ErrNotFound is returned by Delete when no matching entry exists.
 var ErrNotFound = errors.New("rtree: entry not found")
@@ -44,7 +52,7 @@ func New(file pagefile.File, opts Options, name string) (*Tree, error) {
 	if err := st.writeNode(root); err != nil {
 		return nil, err
 	}
-	return &Tree{st: st, opts: opts, root: root.id, depth: 1, name: name}, nil
+	return &Tree{lockID: lockSeq.Add(1), st: st, opts: opts, root: root.id, depth: 1, name: name}, nil
 }
 
 // NewRTree creates an R-tree with the paper's settings: quadratic
@@ -68,22 +76,22 @@ func (t *Tree) Name() string { return t.name }
 
 // Len returns the number of stored entries.
 func (t *Tree) Len() int {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	return t.size
 }
 
 // Height returns the number of levels (1 when the root is a leaf).
 func (t *Tree) Height() int {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	return t.depth
 }
 
 // Bounds returns the MBR of all stored rectangles.
 func (t *Tree) Bounds() (geom.Rect, bool) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	root, err := t.st.readNode(t.root)
 	if err != nil || len(root.entries) == 0 {
 		return geom.Rect{}, false
@@ -449,38 +457,23 @@ func (t *Tree) Update(oldRect, newRect geom.Rect, oid uint64) error {
 // rectangle satisfies nodePred, and emits every leaf entry whose
 // rectangle satisfies leafPred. emit returning false stops the search.
 // The traversal reads one page per visited node, so the page file's
-// read counter matches the paper's disk-access metric.
+// read counter matches the paper's disk-access metric. Searches run
+// concurrently with each other; use SearchCtx for cancellation and
+// exact per-traversal IO accounting.
 func (t *Tree) Search(nodePred, leafPred func(geom.Rect) bool, emit func(geom.Rect, uint64) bool) error {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	_, err := t.search(t.root, nodePred, leafPred, emit)
+	_, err := t.SearchCtx(context.Background(), nodePred, leafPred, emit)
 	return err
 }
 
-func (t *Tree) search(id pagefile.PageID, nodePred, leafPred func(geom.Rect) bool, emit func(geom.Rect, uint64) bool) (bool, error) {
-	n, err := t.st.readNode(id)
-	if err != nil {
-		return false, err
-	}
-	if n.isLeaf() {
-		for _, e := range n.entries {
-			if leafPred(e.Rect) {
-				if !emit(e.Rect, e.OID) {
-					return false, nil
-				}
-			}
-		}
-		return true, nil
-	}
-	for _, e := range n.entries {
-		if nodePred(e.Rect) {
-			cont, err := t.search(e.Child, nodePred, leafPred, emit)
-			if err != nil || !cont {
-				return cont, err
-			}
-		}
-	}
-	return true, nil
+// SearchCtx is Search with context cancellation and per-traversal IO
+// accounting: the returned TraversalStats counts the pages this
+// traversal read, exactly, regardless of how many other queries run
+// concurrently. On cancellation it returns ctx.Err() together with the
+// stats accumulated so far.
+func (t *Tree) SearchCtx(ctx context.Context, nodePred, leafPred func(geom.Rect) bool, emit func(geom.Rect, uint64) bool) (TraversalStats, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return traverse(ctx, t.st, t.root, nodePred, leafPred, emit, 0)
 }
 
 // SearchIntersects is the traditional window query: it emits every

@@ -1,0 +1,106 @@
+package rtree
+
+import (
+	"context"
+
+	"mbrtopo/internal/geom"
+	"mbrtopo/internal/pagefile"
+)
+
+// This file is the shared traversal core of the read path. Both tree
+// families (covering-rectangle R-/R*-trees and partition-region
+// R+-trees) expose the same predicate-driven search; the only
+// difference between them is the meaning of the internal entry
+// rectangles, which the node predicate already encapsulates. The
+// traversal is therefore implemented once, iteratively, with an
+// explicit stack:
+//
+//   - it is context-aware: cancellation is checked before every node
+//     expansion, so a slow query aborts within one page read;
+//   - it accounts its own IO: every page read (including R+ overflow
+//     chain pages) is counted in a per-traversal TraversalStats rather
+//     than derived by diffing the page file's global counters, so the
+//     numbers stay exact when many queries run concurrently;
+//   - it supports an optional result limit for streaming consumers.
+//
+// The traversal holds no tree-level state, so any number of traversals
+// may run in parallel under the trees' read locks.
+
+// TraversalStats counts the work of one traversal. Unlike the page
+// file's global counters (pagefile.Stats), which aggregate across all
+// operations on the file, a TraversalStats belongs to exactly one
+// traversal and is exact under any degree of concurrency.
+type TraversalStats struct {
+	// NodeAccesses is the number of pages read: one per visited node
+	// plus one per overflow-chain page (the paper's "disk accesses per
+	// search" metric).
+	NodeAccesses uint64
+	// NodesVisited is the number of tree nodes expanded.
+	NodesVisited uint64
+	// Emitted is the number of leaf entries passed to emit (before any
+	// caller-side deduplication).
+	Emitted int
+}
+
+// Add returns the element-wise sum s + t.
+func (s TraversalStats) Add(t TraversalStats) TraversalStats {
+	return TraversalStats{
+		NodeAccesses: s.NodeAccesses + t.NodeAccesses,
+		NodesVisited: s.NodesVisited + t.NodesVisited,
+		Emitted:      s.Emitted + t.Emitted,
+	}
+}
+
+// traverse runs a predicate-driven depth-first search from root,
+// descending into internal entries whose rectangles satisfy nodePred
+// and emitting leaf entries whose rectangles satisfy leafPred, in the
+// same left-to-right preorder as the recursive implementation it
+// replaces. emit returning false stops the search without error. A
+// positive limit stops the search after that many emissions. The
+// context is checked before each node expansion; on cancellation the
+// traversal returns ctx.Err() with the stats accumulated so far.
+func traverse(ctx context.Context, st *store, root pagefile.PageID,
+	nodePred, leafPred func(geom.Rect) bool,
+	emit func(geom.Rect, uint64) bool, limit int) (TraversalStats, error) {
+
+	var stats TraversalStats
+	stack := make([]pagefile.PageID, 0, 32)
+	stack = append(stack, root)
+	for len(stack) > 0 {
+		if err := ctx.Err(); err != nil {
+			return stats, err
+		}
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		n, err := st.readNode(id)
+		if err != nil {
+			return stats, err
+		}
+		stats.NodesVisited++
+		stats.NodeAccesses += 1 + uint64(len(n.chain))
+		if n.isLeaf() {
+			for i := range n.entries {
+				e := &n.entries[i]
+				if !leafPred(e.Rect) {
+					continue
+				}
+				stats.Emitted++
+				if !emit(e.Rect, e.OID) {
+					return stats, nil
+				}
+				if limit > 0 && stats.Emitted >= limit {
+					return stats, nil
+				}
+			}
+			continue
+		}
+		// Push matching children in reverse so the leftmost child is
+		// expanded first (the recursion's visit order).
+		for i := len(n.entries) - 1; i >= 0; i-- {
+			if nodePred(n.entries[i].Rect) {
+				stack = append(stack, n.entries[i].Child)
+			}
+		}
+	}
+	return stats, nil
+}

@@ -29,6 +29,16 @@
 //	// ... store[oid] = polygon; idx.Insert(polygon.Bounds(), oid)
 //	proc := &mbrtopo.Processor{Idx: idx, Objects: store}
 //	res, _ := proc.Query(mbrtopo.Covers, region)
+//
+// Queries are safe to run concurrently against one index, each with
+// exact per-query statistics. The streaming API delivers matches as
+// the traversal finds them and stops early on demand:
+//
+//	cur := proc.OpenCursor(ctx, mbrtopo.NewSet(mbrtopo.Overlap), ref, 10)
+//	defer cur.Close()
+//	for cur.Next() {
+//		use(cur.Match())
+//	}
 package mbrtopo
 
 import (
@@ -106,6 +116,11 @@ type (
 	Match = query.Match
 	// QueryStats reports filter and refinement work.
 	QueryStats = query.Stats
+	// Cursor is a pull-based streaming query (Processor.OpenCursor).
+	Cursor = query.Cursor
+	// TraversalStats is the exact per-traversal work accounting of the
+	// concurrent execution engine (Index.SearchCtx, NearestCtx, joins).
+	TraversalStats = index.TraversalStats
 	// ObjectStore resolves object ids to regions for refinement.
 	ObjectStore = query.ObjectStore
 	// MapStore is an in-memory ObjectStore over simple polygons.
