@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify race test bench fmt
+.PHONY: verify race test bench fmt smoke
 
 # Tier-1 gate: everything must build, vet clean, and pass.
 verify:
@@ -18,6 +18,12 @@ test:
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
+
+# Service smoke test: boot topod, query it, scrape /metrics, and
+# assert a clean SIGTERM drain (also run in CI).
+smoke:
+	$(GO) build -o $(CURDIR)/bin/topod ./cmd/topod
+	bash scripts/smoke.sh $(CURDIR)/bin/topod
 
 fmt:
 	gofmt -l -w .

@@ -9,6 +9,7 @@
 //	topobench -exp fig11
 //	topobench -exp fig2|fig3|fig4|table1|fig9|table2|fig12|table4|table5|fig14
 //	topobench -exp window|complex|ablations [-class small|medium|large]
+//	topobench -exp buffer -frames 128     # LRU pool: hit ratio vs raw accesses
 package main
 
 import (
@@ -25,12 +26,13 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment id (all, table3, fig11, fig12, table4, table5, window, complex, ablations, packing, seeds, noncontiguous, join, secondfilter, fig1, fig2, fig3, fig4, table1, fig9, table2, fig14)")
+		exp      = flag.String("exp", "all", "experiment id (all, table3, fig11, fig12, table4, table5, window, complex, ablations, packing, seeds, noncontiguous, join, secondfilter, buffer, fig1, fig2, fig3, fig4, table1, fig9, table2, fig14)")
 		n        = flag.Int("n", 10000, "data file cardinality")
 		queries  = flag.Int("queries", 100, "search file cardinality")
 		seed     = flag.Int64("seed", 1995, "random seed")
 		pageSize = flag.Int("pagesize", index.PaperPageSize, "page size in bytes (2008 → 50 entries/page)")
 		class    = flag.String("class", "medium", "size class for single-class experiments (small, medium, large)")
+		frames   = flag.Int("frames", 0, "buffer-pool frames under every index (0 = unbuffered; pins the buffer experiment's sweep)")
 		quick    = flag.Bool("quick", false, "use a scaled-down configuration")
 	)
 	flag.Parse()
@@ -45,6 +47,7 @@ func main() {
 	if *quick {
 		cfg = experiments.Quick()
 	}
+	cfg.Frames = *frames
 	cls, err := parseClass(*class)
 	if err != nil {
 		fatal(err)
@@ -155,6 +158,13 @@ func run(exp string, cfg experiments.Config, cls workload.SizeClass) error {
 		}},
 		{"join", func() (string, error) {
 			r, err := experiments.RunJoin(cfg, cls)
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		}},
+		{"buffer", func() (string, error) {
+			r, err := experiments.RunBuffer(cfg, cls)
 			if err != nil {
 				return "", err
 			}

@@ -1,0 +1,268 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"mbrtopo/internal/index"
+	"mbrtopo/internal/server"
+	"mbrtopo/internal/workload"
+)
+
+// benchConfig parameterises the load generator.
+type benchConfig struct {
+	target   string // base URL; "" starts an in-process server
+	clients  int
+	requests int
+	relation string
+	limit    int
+	seed     int64
+	class    workload.SizeClass
+
+	// In-process server settings.
+	data        string
+	gen         int
+	kind        index.Kind
+	name        string
+	pageSize    int
+	frames      int
+	maxInFlight int
+}
+
+// clientResult is one worker's tally.
+type clientResult struct {
+	latencies    []time.Duration
+	nodeAccesses uint64
+	candidates   uint64
+	matches      uint64
+	retries429   int
+	err          error
+}
+
+// runBench drives concurrent clients against a topod instance and
+// reports throughput, latency percentiles, and the paper's cost
+// metrics; against an in-process server it additionally asserts that
+// the /metrics node-access total equals the sum of the per-request
+// traversal statistics the clients saw on the wire.
+func runBench(cfg benchConfig) error {
+	if cfg.clients <= 0 || cfg.requests <= 0 {
+		return fmt.Errorf("bench needs positive -clients and -requests")
+	}
+	base := cfg.target
+	inProcess := base == ""
+	var httpSrv *http.Server
+	if inProcess {
+		if cfg.data == "" && cfg.gen <= 0 {
+			cfg.gen = 10000
+		}
+		items, err := loadItems(cfg.data, cfg.gen, cfg.class, cfg.seed)
+		if err != nil {
+			return err
+		}
+		srv := server.New(server.Config{MaxInFlight: cfg.maxInFlight})
+		inst, err := srv.AddIndex(server.IndexSpec{
+			Name:     cfg.name,
+			Kind:     cfg.kind,
+			PageSize: cfg.pageSize,
+			Frames:   cfg.frames,
+		}, items)
+		if err != nil {
+			return err
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		httpSrv = &http.Server{Handler: srv.Handler()}
+		go func() { _ = httpSrv.Serve(ln) }()
+		base = "http://" + ln.Addr().String()
+		fmt.Printf("bench: in-process %s %q with %d rectangles at %s\n",
+			inst.Kind, inst.Name, inst.Idx.Len(), base)
+	}
+
+	relations := strings.Split(cfg.relation, ",")
+	httpClient := &http.Client{Timeout: 60 * time.Second}
+	results := make([]clientResult, cfg.clients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < cfg.clients; c++ {
+		// Distribute the request budget as evenly as possible.
+		n := cfg.requests / cfg.clients
+		if c < cfg.requests%cfg.clients {
+			n++
+		}
+		wg.Add(1)
+		go func(c, n int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.seed + 7919*int64(c+1)))
+			results[c] = driveClient(httpClient, base, relations, cfg.limit, cfg.class, rng, n)
+		}(c, n)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var all []time.Duration
+	var nodeAccesses, candidates, matches uint64
+	var retries int
+	done := 0
+	for _, r := range results {
+		if r.err != nil {
+			return fmt.Errorf("bench client: %w", r.err)
+		}
+		all = append(all, r.latencies...)
+		nodeAccesses += r.nodeAccesses
+		candidates += r.candidates
+		matches += r.matches
+		retries += r.retries429
+		done += len(r.latencies)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	pct := func(q float64) time.Duration {
+		if len(all) == 0 {
+			return 0
+		}
+		return all[int(q*float64(len(all)-1))]
+	}
+	fmt.Printf("bench: %d requests, %d clients, %.2fs wall → %.1f req/s\n",
+		done, cfg.clients, elapsed.Seconds(), float64(done)/elapsed.Seconds())
+	fmt.Printf("bench: latency p50 %v  p90 %v  p99 %v  max %v\n",
+		pct(0.50), pct(0.90), pct(0.99), pct(1.0))
+	fmt.Printf("bench: %d matches, %d node accesses (mean %.1f/req), %d candidates, %d retries after 429\n",
+		matches, nodeAccesses, float64(nodeAccesses)/float64(max(done, 1)), candidates, retries)
+
+	scraped, err := scrapeCounter(httpClient, base+"/metrics", "topod_node_accesses_total")
+	if err != nil {
+		return fmt.Errorf("metrics scrape: %w", err)
+	}
+	fmt.Printf("bench: /metrics node accesses %d, per-request sum %d\n", scraped, nodeAccesses)
+	if inProcess {
+		if scraped != nodeAccesses {
+			return fmt.Errorf("metrics cross-check FAILED: /metrics has %d node accesses, per-request stats sum to %d",
+				scraped, nodeAccesses)
+		}
+		fmt.Println("bench: metrics cross-check OK (server totals == summed per-request TraversalStats)")
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			return fmt.Errorf("shutdown: %w", err)
+		}
+	}
+	return nil
+}
+
+// driveClient issues n NDJSON queries with rectangles drawn from the
+// workload generator, retrying on 429.
+func driveClient(client *http.Client, base string, relations []string, limit int, cls workload.SizeClass, rng *rand.Rand, n int) clientResult {
+	var res clientResult
+	for i := 0; i < n; i++ {
+		ref := workload.RandomRect(rng, cls)
+		req := server.QueryRequest{
+			Relations: relations,
+			Ref:       []float64{ref.Min.X, ref.Min.Y, ref.Max.X, ref.Max.Y},
+			Limit:     limit,
+		}
+		body, err := json.Marshal(req)
+		if err != nil {
+			res.err = err
+			return res
+		}
+		for {
+			t0 := time.Now()
+			stats, nMatches, status, err := doQuery(client, base, body)
+			if err != nil {
+				res.err = err
+				return res
+			}
+			if status == http.StatusTooManyRequests {
+				res.retries429++
+				time.Sleep(10 * time.Millisecond)
+				continue
+			}
+			if status != http.StatusOK {
+				res.err = fmt.Errorf("query returned HTTP %d", status)
+				return res
+			}
+			res.latencies = append(res.latencies, time.Since(t0))
+			res.nodeAccesses += stats.NodeAccesses
+			res.candidates += uint64(stats.Candidates)
+			res.matches += uint64(nMatches)
+			break
+		}
+	}
+	return res
+}
+
+// doQuery posts one query and consumes the NDJSON stream, returning
+// the trailing stats line and the number of match lines.
+func doQuery(client *http.Client, base string, body []byte) (server.WireStats, int, int, error) {
+	resp, err := client.Post(base+"/v1/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return server.WireStats{}, 0, 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		return server.WireStats{}, 0, resp.StatusCode, nil
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	var stats server.WireStats
+	sawStats := false
+	nMatches := 0
+	for sc.Scan() {
+		var line server.QueryLine
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			return server.WireStats{}, 0, 0, fmt.Errorf("bad NDJSON line: %w", err)
+		}
+		switch {
+		case line.Error != "":
+			return server.WireStats{}, 0, 0, fmt.Errorf("server error: %s", line.Error)
+		case line.Stats != nil:
+			stats = *line.Stats
+			sawStats = true
+		case line.Rect != nil:
+			nMatches++
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return server.WireStats{}, 0, 0, err
+	}
+	if !sawStats {
+		return server.WireStats{}, 0, 0, fmt.Errorf("stream ended without a stats line")
+	}
+	return stats, nMatches, http.StatusOK, nil
+}
+
+// scrapeCounter fetches a Prometheus exposition and returns the value
+// of an unlabelled counter.
+func scrapeCounter(client *http.Client, url, name string) (uint64, error) {
+	resp, err := client.Get(url)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, name+" ") {
+			continue
+		}
+		return strconv.ParseUint(strings.TrimSpace(strings.TrimPrefix(line, name+" ")), 10, 64)
+	}
+	if err := sc.Err(); err != nil {
+		return 0, err
+	}
+	return 0, fmt.Errorf("counter %s not found in exposition", name)
+}

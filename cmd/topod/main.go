@@ -1,0 +1,193 @@
+// Command topod serves spatial indexes over HTTP: the paper's 4-step
+// topological retrieval as a wire API with NDJSON streaming, admission
+// control, and Prometheus metrics (package server).
+//
+// Serve a data file:
+//
+//	topod -addr :8080 -data data.csv -tree rstar -frames 64
+//	curl -s localhost:8080/v1/indexes
+//	curl -s -d '{"relations":["overlap"],"ref":[10,10,40,30]}' localhost:8080/v1/query
+//	curl -s 'localhost:8080/v1/knn?k=5&x=100&y=200'
+//	curl -s localhost:8080/metrics
+//
+// Without -data, -gen N serves a synthetic dataset of N rectangles
+// (deterministic in -seed). SIGINT/SIGTERM drain in-flight requests
+// before exiting.
+//
+// Load-generator mode benchmarks the service end to end:
+//
+//	topod -bench -gen 10000 -clients 16 -requests 400
+//
+// It starts an in-process server (or targets -target), drives the
+// clients concurrently, reports throughput and latency percentiles,
+// and cross-checks the /metrics node-access totals against the sum of
+// the per-request traversal statistics returned on the wire.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"mbrtopo/internal/index"
+	"mbrtopo/internal/server"
+	"mbrtopo/internal/workload"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8080", "listen address")
+		dataPath    = flag.String("data", "", "data CSV (oid,minx,miny,maxx,maxy)")
+		gen         = flag.Int("gen", 0, "serve a synthetic dataset of this many rectangles (when -data is empty)")
+		className   = flag.String("class", "medium", "size class for -gen (small, medium, large)")
+		seed        = flag.Int64("seed", 1995, "random seed for -gen and -bench workloads")
+		tree        = flag.String("tree", "rtree", "access method: rtree, rplus, rstar")
+		name        = flag.String("name", "main", "index name on the wire")
+		pageSize    = flag.Int("pagesize", index.PaperPageSize, "page size in bytes")
+		frames      = flag.Int("frames", 0, "buffer-pool frames under the tree (0 = unbuffered)")
+		maxInFlight = flag.Int("maxinflight", 64, "admission-control bound on concurrent requests")
+		timeout     = flag.Duration("timeout", 30*time.Second, "default per-request deadline (0 = none)")
+		drain       = flag.Duration("drain", 10*time.Second, "graceful shutdown budget on SIGTERM")
+
+		bench    = flag.Bool("bench", false, "run the load generator instead of serving")
+		clients  = flag.Int("clients", 8, "bench: concurrent client connections")
+		requests = flag.Int("requests", 200, "bench: total requests across all clients")
+		target   = flag.String("target", "", "bench: base URL of a running topod (default: in-process server)")
+		relName  = flag.String("rel", "not_disjoint", "bench: relation set for generated queries")
+		limit    = flag.Int("limit", 0, "bench: per-query match limit (0 = unlimited)")
+	)
+	flag.Parse()
+
+	cls, err := parseClass(*className)
+	if err != nil {
+		fatal(err)
+	}
+	kind, err := parseKind(*tree)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *bench {
+		err := runBench(benchConfig{
+			target:   *target,
+			clients:  *clients,
+			requests: *requests,
+			relation: *relName,
+			limit:    *limit,
+			seed:     *seed,
+			class:    cls,
+			// In-process server settings (ignored with -target):
+			data:        *dataPath,
+			gen:         *gen,
+			kind:        kind,
+			name:        *name,
+			pageSize:    *pageSize,
+			frames:      *frames,
+			maxInFlight: *maxInFlight,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	items, err := loadItems(*dataPath, *gen, cls, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	srv := server.New(server.Config{
+		MaxInFlight:    *maxInFlight,
+		DefaultTimeout: *timeout,
+	})
+	inst, err := srv.AddIndex(server.IndexSpec{
+		Name:     *name,
+		Kind:     kind,
+		PageSize: *pageSize,
+		Frames:   *frames,
+	}, items)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("topod: serving %d rectangles in %s %q (height %d, frames %d)\n",
+		inst.Idx.Len(), inst.Kind, inst.Name, inst.Idx.Height(), *frames)
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("topod: listening on %s\n", ln.Addr())
+
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fatal(err)
+		}
+	case <-ctx.Done():
+		stop()
+		fmt.Println("topod: draining…")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+			fatal(fmt.Errorf("drain: %w", err))
+		}
+		fmt.Println("topod: bye")
+	}
+}
+
+// loadItems reads the data CSV, or generates a synthetic dataset.
+func loadItems(path string, gen int, cls workload.SizeClass, seed int64) ([]index.Item, error) {
+	if path != "" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return workload.ReadItemsCSV(f)
+	}
+	if gen <= 0 {
+		return nil, fmt.Errorf("provide -data or -gen")
+	}
+	return workload.NewDataset(cls, gen, 0, seed).Items, nil
+}
+
+func parseClass(s string) (workload.SizeClass, error) {
+	switch strings.ToLower(s) {
+	case "small":
+		return workload.Small, nil
+	case "medium":
+		return workload.Medium, nil
+	case "large":
+		return workload.Large, nil
+	}
+	return 0, fmt.Errorf("unknown size class %q", s)
+}
+
+func parseKind(s string) (index.Kind, error) {
+	switch strings.ToLower(s) {
+	case "rtree", "r":
+		return index.KindRTree, nil
+	case "rplus", "r+":
+		return index.KindRPlus, nil
+	case "rstar", "r*":
+		return index.KindRStar, nil
+	}
+	return 0, fmt.Errorf("unknown tree %q", s)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "topod:", err)
+	os.Exit(1)
+}

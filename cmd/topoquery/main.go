@@ -9,6 +9,7 @@
 //	topoquery -data data.csv -rel in -ref 0,0,500,500      # inside ∨ covered_by
 //	topoquery -data data.csv -rel meet -ref 10,10,40,30 -noncrisp
 //	topoquery -data data.csv -queries queries.csv -rel overlap   # batch mode
+//	topoquery -data data.csv -rel overlap -ref 10,10,40,30 -frames 64   # LRU buffer pool
 package main
 
 import (
@@ -22,6 +23,7 @@ import (
 	"mbrtopo/internal/direction"
 	"mbrtopo/internal/geom"
 	"mbrtopo/internal/index"
+	"mbrtopo/internal/pagefile"
 	"mbrtopo/internal/query"
 	"mbrtopo/internal/topo"
 	"mbrtopo/internal/workload"
@@ -35,6 +37,7 @@ func main() {
 		relName   = flag.String("rel", "overlap", "relation (disjoint, meet, equal, overlap, contains, inside, covers, covered_by, in, not_disjoint)")
 		refSpec   = flag.String("ref", "", "reference MBR as minx,miny,maxx,maxy (single-query mode)")
 		pageSize  = flag.Int("pagesize", index.PaperPageSize, "page size in bytes")
+		frames    = flag.Int("frames", 0, "buffer-pool frames between tree and page file (0 = unbuffered)")
 		nonCrisp  = flag.Bool("noncrisp", false, "tolerate 2-degree MBR imprecision (Table 5 retrieval)")
 		nonContig = flag.Bool("noncontiguous", false, "objects may be multi-part (Section 7 tables)")
 		knnSpec   = flag.String("knn", "", "k,x,y — report the k stored rectangles nearest to (x,y)")
@@ -58,7 +61,14 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	idx, err := index.NewWithPageSize(kind, *pageSize)
+	var idx index.Index
+	var pool *pagefile.BufferPool
+	if *frames > 0 {
+		pool = pagefile.NewBufferPool(pagefile.NewMemFile(*pageSize), *frames)
+		idx, err = index.NewOnFile(kind, pool)
+	} else {
+		idx, err = index.NewWithPageSize(kind, *pageSize)
+	}
 	if err != nil {
 		fatal(err)
 	}
@@ -66,6 +76,11 @@ func main() {
 		fatal(err)
 	}
 	fmt.Printf("loaded %d rectangles into %s (height %d)\n", idx.Len(), idx.Name(), idx.Height())
+	if pool != nil {
+		// Report query-time caching only, not the build's IO.
+		pool.ResetStats()
+		defer reportPool(pool, *frames)
+	}
 
 	// kNN mode.
 	if *knnSpec != "" {
@@ -241,6 +256,20 @@ func parseRect(s string) (geom.Rect, error) {
 		return geom.Rect{}, fmt.Errorf("degenerate reference MBR %v", r)
 	}
 	return r, nil
+}
+
+// reportPool prints the buffer-pool counters next to the raw
+// node-access counts the queries reported: logical accesses are the
+// paper's disk accesses; hits never touched the simulated device.
+func reportPool(pool *pagefile.BufferPool, frames int) {
+	hits, misses := pool.HitMiss()
+	total := hits + misses
+	ratio := 0.0
+	if total > 0 {
+		ratio = 100 * float64(hits) / float64(total)
+	}
+	fmt.Printf("buffer pool: %d frames, %d hits / %d misses (%.1f%% hit ratio), %d physical reads\n",
+		frames, hits, misses, ratio, pool.Stats().Reads)
 }
 
 func fatal(err error) {

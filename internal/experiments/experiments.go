@@ -9,6 +9,7 @@ import (
 	"strings"
 
 	"mbrtopo/internal/index"
+	"mbrtopo/internal/pagefile"
 	"mbrtopo/internal/topo"
 	"mbrtopo/internal/workload"
 )
@@ -25,6 +26,12 @@ type Config struct {
 	PageSize int
 	// Classes are the size classes to run (paper: small/medium/large).
 	Classes []workload.SizeClass
+	// Frames, when positive, layers a pagefile.BufferPool with that
+	// many frames under every index the experiments build. The paper's
+	// node-access counts are logical reads and stay unchanged; the
+	// buffer experiment (RunBuffer) contrasts them with the physical
+	// reads left after caching.
+	Frames int
 }
 
 // Default returns the paper's configuration.
@@ -65,16 +72,31 @@ func (c Config) dataset(class workload.SizeClass) *workload.Dataset {
 	return workload.NewDataset(class, c.NData, c.NQueries, c.Seed+int64(class))
 }
 
-// buildIndex loads a dataset into a fresh index of the given kind.
+// buildIndex loads a dataset into a fresh index of the given kind,
+// buffered per c.Frames.
 func (c Config) buildIndex(kind index.Kind, d *workload.Dataset) (index.Index, error) {
-	idx, err := index.NewWithPageSize(kind, c.PageSize)
+	idx, _, err := c.buildBufferedIndex(kind, d, c.Frames)
+	return idx, err
+}
+
+// buildBufferedIndex loads a dataset into a fresh index over a page
+// file wrapped in a BufferPool of the given frame count (0 frames →
+// unbuffered, nil pool).
+func (c Config) buildBufferedIndex(kind index.Kind, d *workload.Dataset, frames int) (index.Index, *pagefile.BufferPool, error) {
+	var file pagefile.File = pagefile.NewMemFile(c.PageSize)
+	var pool *pagefile.BufferPool
+	if frames > 0 {
+		pool = pagefile.NewBufferPool(file, frames)
+		file = pool
+	}
+	idx, err := index.NewOnFile(kind, file)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if err := index.Load(idx, d.Items); err != nil {
-		return nil, fmt.Errorf("building %v on %v data: %w", kind, d.Class, err)
+		return nil, nil, fmt.Errorf("building %v on %v data: %w", kind, d.Class, err)
 	}
-	return idx, nil
+	return idx, pool, nil
 }
 
 // relationOrder is the paper's row order in Table 3 and Figure 11.

@@ -1,0 +1,162 @@
+package pagefile
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestBufferPoolConcurrentReadWrite hammers one pool from parallel
+// readers and writers over an overlapping page set (run under -race by
+// the race target). Invariants checked:
+//   - reads never observe a torn page: every page holds a single
+//     repeated byte, so a mixed buffer means a read raced a write
+//   - hits + misses equals the number of reads served by the pool
+func TestBufferPoolConcurrentReadWrite(t *testing.T) {
+	const (
+		pageSize = 128
+		pages    = 12
+		frames   = 4 // < pages, so eviction churns under contention
+		readers  = 8
+		writers  = 4
+		opsEach  = 400
+	)
+	base := NewMemFile(pageSize)
+	pool := NewBufferPool(base, frames)
+	ids := make([]PageID, pages)
+	for i := range ids {
+		id, err := pool.Alloc()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = id
+		if err := pool.Write(id, bytes.Repeat([]byte{byte(i + 1)}, pageSize)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pool.ResetStats()
+
+	var totalReads atomic.Uint64
+	var wg sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			buf := make([]byte, pageSize)
+			for i := 0; i < opsEach; i++ {
+				id := ids[(seed+i*7)%pages]
+				if err := pool.Read(id, buf); err != nil {
+					t.Errorf("read page %d: %v", id, err)
+					return
+				}
+				totalReads.Add(1)
+				for j := 1; j < pageSize; j++ {
+					if buf[j] != buf[0] {
+						t.Errorf("torn read on page %d: byte %d is %d, byte 0 is %d", id, j, buf[j], buf[0])
+						return
+					}
+				}
+			}
+		}(r)
+	}
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := 0; i < opsEach; i++ {
+				id := ids[(seed+i*5)%pages]
+				val := byte(1 + (seed+i)%250)
+				if err := pool.Write(id, bytes.Repeat([]byte{val}, pageSize)); err != nil {
+					t.Errorf("write page %d: %v", id, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	hits, misses := pool.HitMiss()
+	if got, want := hits+misses, totalReads.Load(); got != want {
+		t.Fatalf("hits (%d) + misses (%d) = %d, want %d (total pool reads)", hits, misses, got, want)
+	}
+	if misses == 0 {
+		t.Error("expected some misses with more pages than frames")
+	}
+}
+
+// TestBufferPoolFaultPropagation injects a read fault under the pool
+// and checks that ErrInjected surfaces to the caller, that the failed
+// read is counted neither as hit nor miss, and that the failed page is
+// not cached (the retry goes back to the device and only then
+// populates the pool).
+func TestBufferPoolFaultPropagation(t *testing.T) {
+	const pageSize = 64
+	base := NewMemFile(pageSize)
+	fault := NewFaultFile(base)
+	pool := NewBufferPool(fault, 4)
+	id, err := pool.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := bytes.Repeat([]byte{0xAB}, pageSize)
+	if err := pool.Write(id, want); err != nil {
+		t.Fatal(err)
+	}
+	// Writing installed the page; drop it so the next read must go to
+	// the device, then re-create it (Free also frees on the device).
+	if err := pool.Free(id); err != nil {
+		t.Fatal(err)
+	}
+	id, err = pool.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := base.Write(id, want); err != nil { // bypass the pool: nothing cached
+		t.Fatal(err)
+	}
+	pool.ResetStats()
+
+	fault.FailAfter(1, true, false, false)
+	buf := make([]byte, pageSize)
+	if err := pool.Read(id, buf); !errors.Is(err, ErrInjected) {
+		t.Fatalf("read through pool = %v, want ErrInjected", err)
+	}
+	if !fault.Fired() {
+		t.Fatal("fault did not fire")
+	}
+	if hits, misses := pool.HitMiss(); hits != 0 || misses != 0 {
+		t.Fatalf("failed read was counted: hits=%d misses=%d, want 0/0", hits, misses)
+	}
+
+	// The failed page must not have been cached: the retry is a miss
+	// that reads the device, not a hit serving stale bytes.
+	if err := pool.Read(id, buf); err != nil {
+		t.Fatalf("retry after fault: %v", err)
+	}
+	if !bytes.Equal(buf, want) {
+		t.Fatal("retry returned wrong page contents")
+	}
+	if hits, misses := pool.HitMiss(); hits != 0 || misses != 1 {
+		t.Fatalf("retry: hits=%d misses=%d, want 0/1", hits, misses)
+	}
+	if err := pool.Read(id, buf); err != nil {
+		t.Fatal(err)
+	}
+	if hits, misses := pool.HitMiss(); hits != 1 || misses != 1 {
+		t.Fatalf("third read: hits=%d misses=%d, want 1/1 (now cached)", hits, misses)
+	}
+
+	// Write faults propagate too, without poisoning the cache.
+	fault.FailAfter(1, false, true, false)
+	if err := pool.Write(id, bytes.Repeat([]byte{0xCD}, pageSize)); !errors.Is(err, ErrInjected) {
+		t.Fatalf("write through pool = %v, want ErrInjected", err)
+	}
+	if err := pool.Read(id, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, want) {
+		t.Fatal("failed write mutated the cached page")
+	}
+}

@@ -1,0 +1,51 @@
+package server
+
+import (
+	"math"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// admission is the load-shedding gate: a counting semaphore bounds the
+// number of /v1 requests executing at once. When the semaphore is
+// full, requests are rejected immediately with 429 Too Many Requests
+// and a Retry-After hint — the service degrades by shedding load, not
+// by queueing until every client times out.
+type admission struct {
+	sem        chan struct{}
+	retryAfter time.Duration
+	metrics    *Metrics
+}
+
+func newAdmission(maxInFlight int, retryAfter time.Duration, m *Metrics) *admission {
+	return &admission{
+		sem:        make(chan struct{}, maxInFlight),
+		retryAfter: retryAfter,
+		metrics:    m,
+	}
+}
+
+// wrap gates next behind the semaphore. Admission never blocks: a
+// saturated server answers 429 in O(1).
+func (a *admission) wrap(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case a.sem <- struct{}{}:
+			a.metrics.inFlight.Add(1)
+			defer func() {
+				a.metrics.inFlight.Add(-1)
+				<-a.sem
+			}()
+			next.ServeHTTP(w, r)
+		default:
+			a.metrics.rejected.Add(1)
+			secs := int64(math.Ceil(a.retryAfter.Seconds()))
+			if secs < 1 {
+				secs = 1
+			}
+			w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+			writeJSONError(w, http.StatusTooManyRequests, "server saturated: too many in-flight requests")
+		}
+	})
+}

@@ -1,0 +1,199 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strconv"
+
+	"mbrtopo/internal/geom"
+	"mbrtopo/internal/query"
+	"mbrtopo/internal/rtree"
+)
+
+// maxBodyBytes bounds request bodies; queries and mutations are tiny.
+const maxBodyBytes = 1 << 20
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeJSONError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, ErrorResponse{Error: msg})
+}
+
+// handleQuery streams a window query as NDJSON: one QueryLine per
+// match in traversal order, then a trailing stats line. The stream is
+// context-aware end to end — a client disconnect or deadline stops the
+// tree traversal within one page read, and the pages read up to that
+// point are still folded into /metrics.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req QueryRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&req); err != nil {
+		writeJSONError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	inst, err := s.instance(req.Index)
+	if err != nil {
+		writeJSONError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	rels, err := ParseRelationSet(req.Relations)
+	if err != nil {
+		writeJSONError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	ref, err := RectFromWire(req.Ref)
+	if err != nil {
+		writeJSONError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	ctx := r.Context()
+	if d := s.queryTimeout(req.TimeoutMS); d > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, d)
+		defer cancel()
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	var writeErr error
+	stats, err := inst.Proc.Stream(ctx, rels, ref, req.Limit, func(m query.Match) bool {
+		oid, rect := m.OID, RectToWire(m.Rect)
+		if writeErr = enc.Encode(QueryLine{OID: &oid, Rect: &rect}); writeErr != nil {
+			return false
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return true
+	})
+	// Fold whatever the traversal read — completed, cancelled, or
+	// failed — so /metrics always equals the sum of per-request stats.
+	s.metrics.FoldQuery(stats)
+	if writeErr != nil || ctx.Err() != nil {
+		// The client is gone (or the deadline fired mid-stream); there
+		// is no one left to send a stats line to.
+		s.metrics.disconnects.Add(1)
+		return
+	}
+	if err != nil {
+		_ = enc.Encode(QueryLine{Error: err.Error()})
+		return
+	}
+	ws := StatsToWire(stats)
+	_ = enc.Encode(QueryLine{Stats: &ws})
+	if flusher != nil {
+		flusher.Flush()
+	}
+}
+
+// handleKNN answers GET /v1/knn?index=name&k=5&x=10&y=20.
+func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	inst, err := s.instance(q.Get("index"))
+	if err != nil {
+		writeJSONError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	k := 1
+	if v := q.Get("k"); v != "" {
+		k, err = strconv.Atoi(v)
+		if err != nil || k <= 0 {
+			writeJSONError(w, http.StatusBadRequest, "k must be a positive integer")
+			return
+		}
+	}
+	x, errX := strconv.ParseFloat(q.Get("x"), 64)
+	y, errY := strconv.ParseFloat(q.Get("y"), 64)
+	if errX != nil || errY != nil {
+		writeJSONError(w, http.StatusBadRequest, "x and y must be numbers")
+		return
+	}
+	nn, ts, err := inst.Idx.NearestCtx(r.Context(), geom.Point{X: x, Y: y}, k)
+	s.metrics.FoldTraversal(ts)
+	if err != nil {
+		writeJSONError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	resp := KNNResponse{Neighbours: make([]KNNNeighbour, len(nn)), NodeAccesses: ts.NodeAccesses}
+	for i, nb := range nn {
+		resp.Neighbours[i] = KNNNeighbour{OID: nb.OID, Rect: RectToWire(nb.Rect), Dist: nb.Dist}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleInsert stores one rectangle.
+func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
+	s.handleMutation(w, r, func(inst *Instance, rect geom.Rect, oid uint64) error {
+		return inst.Idx.Insert(rect, oid)
+	})
+}
+
+// handleDelete removes one rectangle/id entry.
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	s.handleMutation(w, r, func(inst *Instance, rect geom.Rect, oid uint64) error {
+		return inst.Idx.Delete(rect, oid)
+	})
+}
+
+func (s *Server) handleMutation(w http.ResponseWriter, r *http.Request, op func(*Instance, geom.Rect, uint64) error) {
+	var req UpdateRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&req); err != nil {
+		writeJSONError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	inst, err := s.instance(req.Index)
+	if err != nil {
+		writeJSONError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	rect, err := RectFromWire(req.Rect)
+	if err != nil {
+		writeJSONError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if err := op(inst, rect, req.OID); err != nil {
+		code := http.StatusInternalServerError
+		if errors.Is(err, rtree.ErrNotFound) {
+			code = http.StatusNotFound
+		}
+		writeJSONError(w, code, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, UpdateResponse{OK: true, Objects: inst.Idx.Len()})
+}
+
+// handleIndexes lists the served indexes.
+func (s *Server) handleIndexes(w http.ResponseWriter, r *http.Request) {
+	instances := s.listInstances()
+	infos := make([]IndexInfo, 0, len(instances))
+	for _, inst := range instances {
+		info := IndexInfo{
+			Name:    inst.Name,
+			Kind:    inst.Kind.String(),
+			Objects: inst.Idx.Len(),
+			Height:  inst.Idx.Height(),
+		}
+		if b, ok := inst.Idx.Bounds(); ok {
+			wb := RectToWire(b)
+			info.Bounds = &wb
+		}
+		if inst.Pool != nil {
+			info.BufferFrames = inst.Frames
+			info.BufferHits, info.BufferMisses = inst.Pool.HitMiss()
+		}
+		infos = append(infos, info)
+	}
+	writeJSON(w, http.StatusOK, infos)
+}
+
+// handleMetrics renders the Prometheus text exposition.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_, _ = s.metrics.WriteTo(w)
+}

@@ -1,0 +1,268 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mbrtopo/internal/query"
+	"mbrtopo/internal/rtree"
+)
+
+// Metrics is a dependency-free metric registry rendered in Prometheus
+// text exposition format. Besides the usual RED metrics (request
+// counts, latency histograms, in-flight gauge), it folds every
+// request's TraversalStats and query.Stats into cumulative counters:
+// node/page reads, filter candidates, refinements actually performed —
+// the paper's Figures 10–12 cost metrics as live counters.
+type Metrics struct {
+	inFlight    atomic.Int64
+	rejected    atomic.Uint64
+	disconnects atomic.Uint64
+
+	nodeAccesses    atomic.Uint64
+	candidates      atomic.Uint64
+	refinementTests atomic.Uint64
+	directAccepts   atomic.Uint64
+	falseHits       atomic.Uint64
+
+	mu        sync.Mutex
+	endpoints map[string]*endpointMetrics
+
+	// poolStats lets /metrics surface buffer-pool hit/miss counters of
+	// the served indexes without the registry importing the server.
+	poolStats func() []PoolStat
+}
+
+// PoolStat is one index's buffer-pool counters for /metrics.
+type PoolStat struct {
+	Index        string
+	Hits, Misses uint64
+}
+
+// endpointMetrics is one endpoint's request counters and latency
+// histogram.
+type endpointMetrics struct {
+	mu      sync.Mutex
+	codes   map[int]uint64
+	latency histogram
+}
+
+// numLatencyBuckets is len(latencyBuckets); spelled as a constant so
+// the histogram's counter array needs no allocation.
+const numLatencyBuckets = 15
+
+// latencyBuckets are the histogram upper bounds, in seconds.
+var latencyBuckets = [numLatencyBuckets]float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+	0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5,
+}
+
+// histogram is a fixed-bucket latency histogram. Counters are atomic
+// so observations never serialise behind the render path.
+type histogram struct {
+	counts   [numLatencyBuckets + 1]atomic.Uint64 // last = +Inf
+	count    atomic.Uint64
+	sumNanos atomic.Int64
+}
+
+func (h *histogram) observe(d time.Duration) {
+	secs := d.Seconds()
+	i := sort.SearchFloat64s(latencyBuckets[:], secs)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sumNanos.Add(int64(d))
+}
+
+// NewMetrics creates an empty registry.
+func NewMetrics() *Metrics {
+	return &Metrics{endpoints: make(map[string]*endpointMetrics)}
+}
+
+func (m *Metrics) endpoint(name string) *endpointMetrics {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	em, ok := m.endpoints[name]
+	if !ok {
+		em = &endpointMetrics{codes: make(map[int]uint64)}
+		m.endpoints[name] = em
+	}
+	return em
+}
+
+// FoldQuery accumulates one request's engine statistics. Stats.
+// NodeAccesses is the per-traversal page-read count (TraversalStats),
+// so summing it here keeps /metrics equal to the sum of per-request
+// traversal accounting no matter how many requests ran concurrently.
+func (m *Metrics) FoldQuery(s query.Stats) {
+	m.nodeAccesses.Add(s.NodeAccesses)
+	m.candidates.Add(uint64(s.Candidates))
+	m.refinementTests.Add(uint64(s.RefinementTests))
+	m.directAccepts.Add(uint64(s.DirectAccepts))
+	m.falseHits.Add(uint64(s.FalseHits))
+}
+
+// FoldTraversal accumulates a bare traversal (kNN requests).
+func (m *Metrics) FoldTraversal(ts rtree.TraversalStats) {
+	m.nodeAccesses.Add(ts.NodeAccesses)
+}
+
+// Disconnects counts streams abandoned by the client (or cut by a
+// deadline) before completion.
+func (m *Metrics) Disconnects() uint64 { return m.disconnects.Load() }
+
+// NodeAccessesTotal returns the folded page-read counter.
+func (m *Metrics) NodeAccessesTotal() uint64 { return m.nodeAccesses.Load() }
+
+// CandidatesTotal returns the folded filter-candidate counter.
+func (m *Metrics) CandidatesTotal() uint64 { return m.candidates.Load() }
+
+// statusWriter records the response code and keeps http.Flusher
+// reachable through the wrapping.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.code == 0 {
+		w.code = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.code == 0 {
+		w.code = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// instrument wraps next with request counting and latency observation
+// under the endpoint label.
+func (m *Metrics) instrument(endpoint string, next http.Handler) http.Handler {
+	em := m.endpoint(endpoint)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		next.ServeHTTP(sw, r)
+		elapsed := time.Since(start)
+		code := sw.code
+		if code == 0 {
+			code = http.StatusOK
+		}
+		em.mu.Lock()
+		em.codes[code]++
+		em.mu.Unlock()
+		em.latency.observe(elapsed)
+	})
+}
+
+// WriteTo renders the registry in Prometheus text exposition format.
+// Output is deterministic (labels sorted) so scrapes diff cleanly.
+func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
+	cw := &countingWriter{w: w}
+	m.mu.Lock()
+	names := make([]string, 0, len(m.endpoints))
+	for name := range m.endpoints {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	eps := make(map[string]*endpointMetrics, len(names))
+	for _, name := range names {
+		eps[name] = m.endpoints[name]
+	}
+	m.mu.Unlock()
+
+	fmt.Fprintf(cw, "# HELP topod_requests_total Requests served, by endpoint and status code.\n")
+	fmt.Fprintf(cw, "# TYPE topod_requests_total counter\n")
+	for _, name := range names {
+		em := eps[name]
+		em.mu.Lock()
+		codes := make([]int, 0, len(em.codes))
+		for c := range em.codes {
+			codes = append(codes, c)
+		}
+		sort.Ints(codes)
+		for _, c := range codes {
+			fmt.Fprintf(cw, "topod_requests_total{endpoint=%q,code=%q} %d\n", name, strconv.Itoa(c), em.codes[c])
+		}
+		em.mu.Unlock()
+	}
+
+	fmt.Fprintf(cw, "# HELP topod_request_duration_seconds Request latency.\n")
+	fmt.Fprintf(cw, "# TYPE topod_request_duration_seconds histogram\n")
+	for _, name := range names {
+		h := &eps[name].latency
+		var cum uint64
+		for i, le := range latencyBuckets {
+			cum += h.counts[i].Load()
+			fmt.Fprintf(cw, "topod_request_duration_seconds_bucket{endpoint=%q,le=%q} %d\n",
+				name, strconv.FormatFloat(le, 'g', -1, 64), cum)
+		}
+		cum += h.counts[len(latencyBuckets)].Load()
+		fmt.Fprintf(cw, "topod_request_duration_seconds_bucket{endpoint=%q,le=\"+Inf\"} %d\n", name, cum)
+		fmt.Fprintf(cw, "topod_request_duration_seconds_sum{endpoint=%q} %g\n",
+			name, time.Duration(h.sumNanos.Load()).Seconds())
+		fmt.Fprintf(cw, "topod_request_duration_seconds_count{endpoint=%q} %d\n", name, h.count.Load())
+	}
+
+	gauge := func(name, help string, v int64) {
+		fmt.Fprintf(cw, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(cw, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge("topod_in_flight_requests", "Requests currently holding an admission slot.", m.inFlight.Load())
+	counter("topod_rejected_total", "Requests shed by admission control (429).", m.rejected.Load())
+	counter("topod_disconnects_total", "Query streams abandoned before completion.", m.disconnects.Load())
+	counter("topod_node_accesses_total", "Tree pages read, folded from per-request TraversalStats (the paper's disk accesses).", m.nodeAccesses.Load())
+	counter("topod_candidates_total", "Filter-step candidate MBRs retrieved (the paper's hits per search).", m.candidates.Load())
+	counter("topod_refinement_tests_total", "Candidates that needed an exact geometry test.", m.refinementTests.Load())
+	counter("topod_direct_accepts_total", "Candidates accepted from MBR configuration alone (Figure 9).", m.directAccepts.Load())
+	counter("topod_false_hits_total", "Candidates rejected by refinement.", m.falseHits.Load())
+
+	if m.poolStats != nil {
+		stats := m.poolStats()
+		fmt.Fprintf(cw, "# HELP topod_buffer_pool_hits_total Buffer-pool read hits, by index.\n")
+		fmt.Fprintf(cw, "# TYPE topod_buffer_pool_hits_total counter\n")
+		for _, ps := range stats {
+			fmt.Fprintf(cw, "topod_buffer_pool_hits_total{index=%q} %d\n", ps.Index, ps.Hits)
+		}
+		fmt.Fprintf(cw, "# HELP topod_buffer_pool_misses_total Buffer-pool read misses, by index.\n")
+		fmt.Fprintf(cw, "# TYPE topod_buffer_pool_misses_total counter\n")
+		for _, ps := range stats {
+			fmt.Fprintf(cw, "topod_buffer_pool_misses_total{index=%q} %d\n", ps.Index, ps.Misses)
+		}
+	}
+	return cw.n, cw.err
+}
+
+// countingWriter tracks bytes written and the first error, so WriteTo
+// satisfies io.WriterTo without error handling at every Fprintf.
+type countingWriter struct {
+	w   io.Writer
+	n   int64
+	err error
+}
+
+func (c *countingWriter) Write(b []byte) (int, error) {
+	if c.err != nil {
+		return 0, c.err
+	}
+	n, err := c.w.Write(b)
+	c.n += int64(n)
+	c.err = err
+	return n, err
+}

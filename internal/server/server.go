@@ -1,0 +1,226 @@
+// Package server exposes the query engine as an HTTP service: the
+// paper's 4-step retrieval strategy (package query) behind a wire API,
+// with NDJSON-streamed results, semaphore-based admission control, and
+// the per-traversal cost accounting surfaced as live Prometheus
+// counters — the Figures 10–12 numbers measured on production traffic
+// instead of a benchmark harness.
+//
+// Endpoints:
+//
+//	POST /v1/query    relation/relation-set window query, streamed as
+//	                  NDJSON (one match per line, trailing stats line)
+//	GET  /v1/knn      k nearest rectangles to a point
+//	POST /v1/insert   store a rectangle under an object id
+//	POST /v1/delete   remove a rectangle/id entry
+//	GET  /v1/indexes  the loaded indexes (kind, size, height, bounds)
+//	GET  /metrics     Prometheus text exposition
+//
+// All /v1 endpoints pass through admission control: at most
+// Config.MaxInFlight requests execute concurrently; excess requests
+// are rejected immediately with 429 and a Retry-After header, so a
+// saturated server sheds load instead of queueing unboundedly.
+// /metrics bypasses admission so observability survives saturation.
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"mbrtopo/internal/index"
+	"mbrtopo/internal/pagefile"
+	"mbrtopo/internal/query"
+)
+
+// Config tunes the service. The zero value is usable: defaults are
+// filled in by New.
+type Config struct {
+	// MaxInFlight bounds concurrently executing /v1 requests
+	// (default 64).
+	MaxInFlight int
+	// RetryAfter is the back-off advertised on 429 responses
+	// (default 1s, rounded up to whole seconds on the wire).
+	RetryAfter time.Duration
+	// DefaultTimeout applies to requests that specify no deadline of
+	// their own; 0 means no default deadline.
+	DefaultTimeout time.Duration
+	// MaxTimeout caps client-requested deadlines (default 60s).
+	MaxTimeout time.Duration
+}
+
+// IndexSpec describes one named index to serve.
+type IndexSpec struct {
+	// Name addresses the index in requests. Empty requests resolve to
+	// the first index added.
+	Name string
+	// Kind selects the access method.
+	Kind index.Kind
+	// PageSize is the page size in bytes (0 → index.PaperPageSize).
+	PageSize int
+	// Frames, when positive, layers a pagefile.BufferPool with that
+	// many frames between the tree and the page file.
+	Frames int
+}
+
+// Instance is one served index with its query processor.
+type Instance struct {
+	Name string
+	Kind index.Kind
+	Idx  index.Index
+	Proc *query.Processor
+	// Pool is the buffer pool under the tree, nil when unbuffered.
+	Pool   *pagefile.BufferPool
+	Frames int
+}
+
+// Server routes the wire API onto a set of named indexes.
+type Server struct {
+	cfg     Config
+	metrics *Metrics
+	adm     *admission
+
+	mu          sync.RWMutex
+	instances   map[string]*Instance
+	defaultName string
+}
+
+// New creates a server with no indexes loaded.
+func New(cfg Config) *Server {
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = 64
+	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = time.Second
+	}
+	if cfg.MaxTimeout <= 0 {
+		cfg.MaxTimeout = 60 * time.Second
+	}
+	m := NewMetrics()
+	s := &Server{
+		cfg:       cfg,
+		metrics:   m,
+		adm:       newAdmission(cfg.MaxInFlight, cfg.RetryAfter, m),
+		instances: make(map[string]*Instance),
+	}
+	m.poolStats = s.poolStats
+	return s
+}
+
+// poolStats snapshots the buffer-pool counters of the buffered
+// indexes for the /metrics exposition.
+func (s *Server) poolStats() []PoolStat {
+	var out []PoolStat
+	for _, inst := range s.listInstances() {
+		if inst.Pool == nil {
+			continue
+		}
+		hits, misses := inst.Pool.HitMiss()
+		out = append(out, PoolStat{Index: inst.Name, Hits: hits, Misses: misses})
+	}
+	return out
+}
+
+// Metrics exposes the server's metric registry (the -bench harness and
+// tests fold expectations against it).
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// AddIndex builds an index per spec, loads items into it, and serves
+// it under spec.Name. The first index added becomes the default.
+func (s *Server) AddIndex(spec IndexSpec, items []index.Item) (*Instance, error) {
+	if spec.Name == "" {
+		return nil, fmt.Errorf("server: index needs a name")
+	}
+	if spec.PageSize <= 0 {
+		spec.PageSize = index.PaperPageSize
+	}
+	var file pagefile.File = pagefile.NewMemFile(spec.PageSize)
+	var pool *pagefile.BufferPool
+	if spec.Frames > 0 {
+		pool = pagefile.NewBufferPool(file, spec.Frames)
+		file = pool
+	}
+	idx, err := index.NewOnFile(spec.Kind, file)
+	if err != nil {
+		return nil, fmt.Errorf("server: index %q: %w", spec.Name, err)
+	}
+	if err := index.Load(idx, items); err != nil {
+		return nil, fmt.Errorf("server: index %q: %w", spec.Name, err)
+	}
+	inst := &Instance{
+		Name:   spec.Name,
+		Kind:   spec.Kind,
+		Idx:    idx,
+		Proc:   &query.Processor{Idx: idx},
+		Pool:   pool,
+		Frames: spec.Frames,
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.instances[spec.Name]; dup {
+		return nil, fmt.Errorf("server: duplicate index %q", spec.Name)
+	}
+	s.instances[spec.Name] = inst
+	if s.defaultName == "" {
+		s.defaultName = spec.Name
+	}
+	return inst, nil
+}
+
+// instance resolves a request's index name ("" → default).
+func (s *Server) instance(name string) (*Instance, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if name == "" {
+		name = s.defaultName
+	}
+	inst, ok := s.instances[name]
+	if !ok {
+		return nil, fmt.Errorf("server: no index %q", name)
+	}
+	return inst, nil
+}
+
+// listInstances snapshots the instances sorted by name.
+func (s *Server) listInstances() []*Instance {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]*Instance, 0, len(s.instances))
+	for _, inst := range s.instances {
+		out = append(out, inst)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Handler returns the routed service: instrumentation wraps every
+// endpoint, admission control wraps the /v1 endpoints only.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	v1 := func(endpoint string, h http.HandlerFunc) http.Handler {
+		return s.metrics.instrument(endpoint, s.adm.wrap(h))
+	}
+	mux.Handle("POST /v1/query", v1("query", s.handleQuery))
+	mux.Handle("GET /v1/knn", v1("knn", s.handleKNN))
+	mux.Handle("POST /v1/insert", v1("insert", s.handleInsert))
+	mux.Handle("POST /v1/delete", v1("delete", s.handleDelete))
+	mux.Handle("GET /v1/indexes", v1("indexes", s.handleIndexes))
+	mux.Handle("GET /metrics", s.metrics.instrument("metrics", http.HandlerFunc(s.handleMetrics)))
+	return mux
+}
+
+// queryContext applies the request deadline policy: the client's
+// timeout (capped at MaxTimeout), else DefaultTimeout, else none.
+func (s *Server) queryTimeout(requestedMS int64) time.Duration {
+	switch {
+	case requestedMS > 0:
+		d := time.Duration(requestedMS) * time.Millisecond
+		if d > s.cfg.MaxTimeout {
+			d = s.cfg.MaxTimeout
+		}
+		return d
+	default:
+		return s.cfg.DefaultTimeout
+	}
+}

@@ -1,0 +1,476 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"mbrtopo/internal/geom"
+	"mbrtopo/internal/index"
+	"mbrtopo/internal/query"
+	"mbrtopo/internal/topo"
+	"mbrtopo/internal/workload"
+)
+
+// newTestServer builds a Server with one index of each requested kind
+// over the same deterministic dataset, fronted by an httptest server.
+func newTestServer(t *testing.T, cfg Config, nData int, kinds ...index.Kind) (*Server, *httptest.Server, *workload.Dataset) {
+	t.Helper()
+	d := workload.NewDataset(workload.Medium, nData, 20, 1995)
+	srv := New(cfg)
+	for _, kind := range kinds {
+		if _, err := srv.AddIndex(IndexSpec{Name: kindName(kind), Kind: kind, PageSize: 512}, d.Items); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return srv, ts, d
+}
+
+func kindName(k index.Kind) string {
+	switch k {
+	case index.KindRTree:
+		return "rtree"
+	case index.KindRPlus:
+		return "rplus"
+	case index.KindRStar:
+		return "rstar"
+	}
+	return "unknown"
+}
+
+// postQuery issues one NDJSON query and decodes the stream.
+func postQuery(t *testing.T, base string, req QueryRequest) (matches []query.Match, stats WireStats, errLine string) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+"/v1/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("query returned HTTP %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("Content-Type = %q, want application/x-ndjson", ct)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	sawStats := false
+	for sc.Scan() {
+		var line QueryLine
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		switch {
+		case line.Error != "":
+			errLine = line.Error
+		case line.Stats != nil:
+			stats = *line.Stats
+			sawStats = true
+		case line.OID != nil && line.Rect != nil:
+			if sawStats {
+				t.Fatal("match line after stats line")
+			}
+			matches = append(matches, query.Match{
+				OID:  *line.OID,
+				Rect: geom.R(line.Rect[0], line.Rect[1], line.Rect[2], line.Rect[3]),
+			})
+		default:
+			t.Fatalf("unclassifiable NDJSON line %q", sc.Text())
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if !sawStats && errLine == "" {
+		t.Fatal("stream ended without stats or error line")
+	}
+	return matches, stats, errLine
+}
+
+// TestQueryNDJSONGoldenPath checks, for all three access methods, that
+// the streamed response carries exactly the matches and Stats that
+// Processor.QuerySetMBRCtx returns for the same request.
+func TestQueryNDJSONGoldenPath(t *testing.T) {
+	kinds := index.AllKinds()
+	srv, ts, d := newTestServer(t, Config{}, 1500, kinds...)
+	for _, kind := range kinds {
+		for _, relations := range [][]string{{"overlap"}, {"in"}, {"not_disjoint"}, {"meet", "equal"}} {
+			for qi, ref := range d.Queries[:5] {
+				got, gotStats, errLine := postQuery(t, ts.URL, QueryRequest{
+					Index:     kindName(kind),
+					Relations: relations,
+					Ref:       []float64{ref.Min.X, ref.Min.Y, ref.Max.X, ref.Max.Y},
+				})
+				if errLine != "" {
+					t.Fatalf("%s %v query %d: server error %s", kindName(kind), relations, qi, errLine)
+				}
+				inst, err := srv.instance(kindName(kind))
+				if err != nil {
+					t.Fatal(err)
+				}
+				rels, err := ParseRelationSet(relations)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, err := inst.Proc.QuerySetMBRCtx(context.Background(), rels, ref)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sort.Slice(got, func(i, j int) bool { return got[i].OID < got[j].OID })
+				if len(got) != len(want.Matches) {
+					t.Fatalf("%s %v query %d: %d matches over the wire, want %d",
+						kindName(kind), relations, qi, len(got), len(want.Matches))
+				}
+				for i := range got {
+					if got[i] != want.Matches[i] {
+						t.Fatalf("%s %v query %d: match %d = %+v, want %+v",
+							kindName(kind), relations, qi, i, got[i], want.Matches[i])
+					}
+				}
+				if gotStats != StatsToWire(want.Stats) {
+					t.Fatalf("%s %v query %d: stats %+v, want %+v",
+						kindName(kind), relations, qi, gotStats, StatsToWire(want.Stats))
+				}
+			}
+		}
+	}
+}
+
+// TestQueryLimit checks that limit caps the stream and is reflected in
+// the stats line's candidate count.
+func TestQueryLimit(t *testing.T) {
+	_, ts, d := newTestServer(t, Config{}, 1500, index.KindRTree)
+	ref := d.Queries[0]
+	matches, stats, errLine := postQuery(t, ts.URL, QueryRequest{
+		Relations: []string{"disjoint"},
+		Ref:       []float64{ref.Min.X, ref.Min.Y, ref.Max.X, ref.Max.Y},
+		Limit:     7,
+	})
+	if errLine != "" {
+		t.Fatal(errLine)
+	}
+	if len(matches) != 7 || stats.Candidates != 7 {
+		t.Fatalf("limit 7 delivered %d matches, stats.Candidates %d", len(matches), stats.Candidates)
+	}
+}
+
+// TestQueryClientDisconnect checks that dropping the connection mid-
+// stream stops the tree traversal: the pages folded into the metrics
+// stay below what a completed traversal reads.
+func TestQueryClientDisconnect(t *testing.T) {
+	srv, ts, d := newTestServer(t, Config{}, 20000, index.KindRTree)
+	inst, err := srv.instance("rtree")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := d.Queries[0]
+	// Ground truth: a full disjoint traversal touches nearly every
+	// page and yields ~20000 matches.
+	full, err := inst.Proc.QuerySetMBRCtx(context.Background(), topo.NewSet(topo.Disjoint), ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Stats.NodeAccesses < 100 {
+		t.Fatalf("dataset too small to observe cancellation (full traversal reads %d pages)", full.Stats.NodeAccesses)
+	}
+
+	body, err := json.Marshal(QueryRequest{
+		Relations: []string{"disjoint"},
+		Ref:       []float64{ref.Min.X, ref.Min.Y, ref.Max.X, ref.Max.Y},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/v1/query", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Read one line, then hang up.
+	if _, err := bufio.NewReader(resp.Body).ReadString('\n'); err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	resp.Body.Close()
+
+	// The handler folds its partial stats and counts the disconnect.
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.Metrics().Disconnects() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("server never recorded the disconnect")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	folded := srv.Metrics().NodeAccessesTotal()
+	if folded >= full.Stats.NodeAccesses {
+		t.Fatalf("disconnect did not stop page reads: folded %d accesses, full traversal is %d",
+			folded, full.Stats.NodeAccesses)
+	}
+	if folded == 0 {
+		t.Fatal("expected at least one page read before the disconnect")
+	}
+}
+
+// TestAdmissionControlSaturation checks the 429 path: with one
+// admission slot held, concurrent requests are shed with Retry-After
+// and counted in the rejected metric.
+func TestAdmissionControlSaturation(t *testing.T) {
+	m := NewMetrics()
+	adm := newAdmission(1, 2*time.Second, m)
+	release := make(chan struct{})
+	entered := make(chan struct{})
+	h := adm.wrap(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		entered <- struct{}{}
+		<-release
+		w.WriteHeader(http.StatusOK)
+	}))
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		resp, err := http.Get(ts.URL)
+		if err == nil {
+			resp.Body.Close()
+		}
+	}()
+	<-entered // the slot is now held
+
+	resp, err := http.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("saturated server answered %d, want 429", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "2" {
+		t.Fatalf("Retry-After = %q, want \"2\"", ra)
+	}
+	var body ErrorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil || body.Error == "" {
+		t.Fatalf("429 body = %+v, %v; want an error message", body, err)
+	}
+	close(release)
+	wg.Wait()
+	if m.rejected.Load() != 1 {
+		t.Fatalf("rejected counter = %d, want 1", m.rejected.Load())
+	}
+	if m.inFlight.Load() != 0 {
+		t.Fatalf("in-flight gauge = %d after drain, want 0", m.inFlight.Load())
+	}
+}
+
+// TestMetricsTotalsMatchSummedStats drives 8 concurrent clients and
+// checks that the /metrics node-access and candidate totals equal the
+// sums of the per-request stats the clients received.
+func TestMetricsTotalsMatchSummedStats(t *testing.T) {
+	srv, ts, d := newTestServer(t, Config{}, 3000, index.KindRStar)
+	const clients = 8
+	const perClient = 10
+	sums := make([]WireStats, clients)
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				ref := d.Queries[(c*perClient+i)%len(d.Queries)]
+				_, stats, errLine := postQuery(t, ts.URL, QueryRequest{
+					Relations: []string{"not_disjoint"},
+					Ref:       []float64{ref.Min.X, ref.Min.Y, ref.Max.X, ref.Max.Y},
+				})
+				if errLine != "" {
+					t.Errorf("client %d: %s", c, errLine)
+					return
+				}
+				sums[c].NodeAccesses += stats.NodeAccesses
+				sums[c].Candidates += stats.Candidates
+			}
+		}(c)
+	}
+	wg.Wait()
+	var wantAccesses uint64
+	var wantCandidates int
+	for _, s := range sums {
+		wantAccesses += s.NodeAccesses
+		wantCandidates += s.Candidates
+	}
+	if got := srv.Metrics().NodeAccessesTotal(); got != wantAccesses {
+		t.Fatalf("folded node accesses %d, per-request sum %d", got, wantAccesses)
+	}
+	if got := srv.Metrics().CandidatesTotal(); got != uint64(wantCandidates) {
+		t.Fatalf("folded candidates %d, per-request sum %d", got, wantCandidates)
+	}
+	// And the text exposition agrees with the registry.
+	if got := scrapeCounterValue(t, ts.URL, "topod_node_accesses_total"); got != wantAccesses {
+		t.Fatalf("/metrics topod_node_accesses_total = %d, want %d", got, wantAccesses)
+	}
+	if got := scrapeCounterValue(t, ts.URL, "topod_candidates_total"); got != uint64(wantCandidates) {
+		t.Fatalf("/metrics topod_candidates_total = %d, want %d", got, wantCandidates)
+	}
+}
+
+func scrapeCounterValue(t *testing.T, base, name string) uint64 {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		if strings.HasPrefix(sc.Text(), name+" ") {
+			v, err := strconv.ParseUint(strings.TrimSpace(strings.TrimPrefix(sc.Text(), name+" ")), 10, 64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return v
+		}
+	}
+	t.Fatalf("counter %s not in exposition", name)
+	return 0
+}
+
+// TestKNNEndpoint checks the kNN answers against the index's own
+// NearestCtx and the folding of its traversal stats.
+func TestKNNEndpoint(t *testing.T) {
+	srv, ts, _ := newTestServer(t, Config{}, 1500, index.KindRTree)
+	inst, err := srv.instance("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := geom.Point{X: 400, Y: 600}
+	want, wantTS, err := inst.Idx.NearestCtx(context.Background(), p, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := srv.Metrics().NodeAccessesTotal()
+	resp, err := http.Get(fmt.Sprintf("%s/v1/knn?k=5&x=%g&y=%g", ts.URL, p.X, p.Y))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("knn returned HTTP %d", resp.StatusCode)
+	}
+	var got KNNResponse
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Neighbours) != len(want) {
+		t.Fatalf("%d neighbours, want %d", len(got.Neighbours), len(want))
+	}
+	for i, nb := range got.Neighbours {
+		if nb.OID != want[i].OID || nb.Dist != want[i].Dist {
+			t.Fatalf("neighbour %d = %+v, want %+v", i, nb, want[i])
+		}
+	}
+	if got.NodeAccesses != wantTS.NodeAccesses {
+		t.Fatalf("knn node accesses %d, want %d", got.NodeAccesses, wantTS.NodeAccesses)
+	}
+	if folded := srv.Metrics().NodeAccessesTotal() - before; folded != wantTS.NodeAccesses {
+		t.Fatalf("metrics folded %d accesses for knn, want %d", folded, wantTS.NodeAccesses)
+	}
+}
+
+// TestMutationsAndIndexes exercises insert/delete and the index
+// listing.
+func TestMutationsAndIndexes(t *testing.T) {
+	_, ts, _ := newTestServer(t, Config{}, 200, index.KindRTree)
+	post := func(path string, req UpdateRequest) (*http.Response, UpdateResponse) {
+		t.Helper()
+		body, _ := json.Marshal(req)
+		resp, err := http.Post(ts.URL+path, "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var ur UpdateResponse
+		_ = json.NewDecoder(resp.Body).Decode(&ur)
+		return resp, ur
+	}
+	rect := []float64{1, 1, 2, 2}
+	resp, ur := post("/v1/insert", UpdateRequest{OID: 99999, Rect: rect})
+	if resp.StatusCode != http.StatusOK || !ur.OK || ur.Objects != 201 {
+		t.Fatalf("insert: HTTP %d, %+v", resp.StatusCode, ur)
+	}
+	// The inserted rectangle is immediately queryable.
+	matches, _, errLine := postQuery(t, ts.URL, QueryRequest{
+		Relations: []string{"equal"},
+		Ref:       rect,
+	})
+	if errLine != "" || len(matches) != 1 || matches[0].OID != 99999 {
+		t.Fatalf("inserted object not found: %v %v", matches, errLine)
+	}
+	resp, ur = post("/v1/delete", UpdateRequest{OID: 99999, Rect: rect})
+	if resp.StatusCode != http.StatusOK || ur.Objects != 200 {
+		t.Fatalf("delete: HTTP %d, %+v", resp.StatusCode, ur)
+	}
+	resp, _ = post("/v1/delete", UpdateRequest{OID: 99999, Rect: rect})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("double delete: HTTP %d, want 404", resp.StatusCode)
+	}
+
+	lresp, err := http.Get(ts.URL + "/v1/indexes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lresp.Body.Close()
+	var infos []IndexInfo
+	if err := json.NewDecoder(lresp.Body).Decode(&infos); err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 1 || infos[0].Name != "rtree" || infos[0].Objects != 200 || infos[0].Bounds == nil {
+		t.Fatalf("indexes listing = %+v", infos)
+	}
+}
+
+// TestBadRequests covers the pre-stream error paths.
+func TestBadRequests(t *testing.T) {
+	_, ts, _ := newTestServer(t, Config{}, 100, index.KindRTree)
+	cases := []struct {
+		req  QueryRequest
+		code int
+	}{
+		{QueryRequest{Relations: []string{"overlap"}, Ref: []float64{0, 0, 1, 1}, Index: "nope"}, http.StatusNotFound},
+		{QueryRequest{Relations: []string{"sideways"}, Ref: []float64{0, 0, 1, 1}}, http.StatusBadRequest},
+		{QueryRequest{Relations: nil, Ref: []float64{0, 0, 1, 1}}, http.StatusBadRequest},
+		{QueryRequest{Relations: []string{"overlap"}, Ref: []float64{5, 5, 1, 1}}, http.StatusBadRequest},
+		{QueryRequest{Relations: []string{"overlap"}, Ref: []float64{1, 2, 3}}, http.StatusBadRequest},
+	}
+	for i, c := range cases {
+		body, _ := json.Marshal(c.req)
+		resp, err := http.Post(ts.URL+"/v1/query", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != c.code {
+			t.Errorf("case %d: HTTP %d, want %d", i, resp.StatusCode, c.code)
+		}
+	}
+}

@@ -1,0 +1,145 @@
+package server
+
+import (
+	"fmt"
+	"strings"
+
+	"mbrtopo/internal/geom"
+	"mbrtopo/internal/query"
+	"mbrtopo/internal/topo"
+)
+
+// This file defines the wire shapes shared by the handlers, the
+// topod -bench client, and the tests. Rectangles travel as
+// [minx, miny, maxx, maxy].
+
+// QueryRequest is the body of POST /v1/query.
+type QueryRequest struct {
+	// Index names the target index; empty selects the default.
+	Index string `json:"index,omitempty"`
+	// Relations is the disjunctive relation set, e.g. ["overlap"] or
+	// ["inside","covered_by"]. The aliases "in" (inside ∨ covered_by)
+	// and "not_disjoint"/"window" expand as in the paper's Section 5.
+	Relations []string `json:"relations"`
+	// Ref is the reference MBR.
+	Ref []float64 `json:"ref"`
+	// Limit, when positive, caps the number of streamed matches; the
+	// traversal stops as soon as the limit is reached.
+	Limit int `json:"limit,omitempty"`
+	// TimeoutMS, when positive, bounds the request's processing time.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// WireStats is query.Stats on the wire.
+type WireStats struct {
+	NodeAccesses    uint64 `json:"node_accesses"`
+	Candidates      int    `json:"candidates"`
+	RefinementTests int    `json:"refinement_tests,omitempty"`
+	DirectAccepts   int    `json:"direct_accepts,omitempty"`
+	FalseHits       int    `json:"false_hits,omitempty"`
+}
+
+// QueryLine is one NDJSON line of a /v1/query response. Match lines
+// carry OID+Rect; the final line carries Stats (or Error when the
+// traversal failed mid-stream).
+type QueryLine struct {
+	OID   *uint64     `json:"oid,omitempty"`
+	Rect  *[4]float64 `json:"rect,omitempty"`
+	Stats *WireStats  `json:"stats,omitempty"`
+	Error string      `json:"error,omitempty"`
+}
+
+// UpdateRequest is the body of POST /v1/insert and /v1/delete.
+type UpdateRequest struct {
+	Index string    `json:"index,omitempty"`
+	OID   uint64    `json:"oid"`
+	Rect  []float64 `json:"rect"`
+}
+
+// UpdateResponse acknowledges a mutation.
+type UpdateResponse struct {
+	OK      bool `json:"ok"`
+	Objects int  `json:"objects"`
+}
+
+// KNNNeighbour is one nearest-neighbour answer.
+type KNNNeighbour struct {
+	OID  uint64     `json:"oid"`
+	Rect [4]float64 `json:"rect"`
+	Dist float64    `json:"dist"`
+}
+
+// KNNResponse is the body of GET /v1/knn.
+type KNNResponse struct {
+	Neighbours   []KNNNeighbour `json:"neighbours"`
+	NodeAccesses uint64         `json:"node_accesses"`
+}
+
+// IndexInfo describes one served index in GET /v1/indexes.
+type IndexInfo struct {
+	Name         string      `json:"name"`
+	Kind         string      `json:"kind"`
+	Objects      int         `json:"objects"`
+	Height       int         `json:"height"`
+	Bounds       *[4]float64 `json:"bounds,omitempty"`
+	BufferFrames int         `json:"buffer_frames,omitempty"`
+	BufferHits   uint64      `json:"buffer_hits,omitempty"`
+	BufferMisses uint64      `json:"buffer_misses,omitempty"`
+}
+
+// ErrorResponse is the body of non-streaming error replies.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// ParseRelationSet resolves relation names (plus the "in" and
+// "not_disjoint"/"window" aliases) into a disjunctive set.
+func ParseRelationSet(names []string) (topo.Set, error) {
+	var set topo.Set
+	for _, name := range names {
+		switch strings.ToLower(strings.TrimSpace(name)) {
+		case "in":
+			set = set.Union(topo.In)
+		case "not_disjoint", "notdisjoint", "window":
+			set = set.Union(topo.NotDisjoint)
+		default:
+			r, err := topo.ParseRelation(strings.ToLower(strings.TrimSpace(name)))
+			if err != nil {
+				return 0, err
+			}
+			set = set.Add(r)
+		}
+	}
+	if set.IsEmpty() {
+		return 0, fmt.Errorf("server: empty relation set")
+	}
+	return set, nil
+}
+
+// RectFromWire validates a [minx,miny,maxx,maxy] quadruple.
+func RectFromWire(vals []float64) (geom.Rect, error) {
+	if len(vals) != 4 {
+		return geom.Rect{}, fmt.Errorf("server: rect needs 4 coordinates, got %d", len(vals))
+	}
+	r := geom.R(vals[0], vals[1], vals[2], vals[3])
+	if !r.Valid() {
+		return geom.Rect{}, fmt.Errorf("server: degenerate rect %v", r)
+	}
+	return r, nil
+}
+
+// RectToWire flattens a Rect for the wire.
+func RectToWire(r geom.Rect) [4]float64 {
+	return [4]float64{r.Min.X, r.Min.Y, r.Max.X, r.Max.Y}
+}
+
+// StatsToWire converts engine statistics to the wire shape.
+func StatsToWire(s query.Stats) WireStats {
+	return WireStats{
+		NodeAccesses:    s.NodeAccesses,
+		Candidates:      s.Candidates,
+		RefinementTests: s.RefinementTests,
+		DirectAccepts:   s.DirectAccepts,
+		FalseHits:       s.FalseHits,
+	}
+}

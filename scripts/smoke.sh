@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Server smoke test: boot topod on an ephemeral port against a
+# synthetic dataset, run one NDJSON query and a /metrics scrape, then
+# assert the daemon drains cleanly on SIGTERM.
+set -euo pipefail
+
+TOPOD="${1:?usage: smoke.sh path/to/topod}"
+LOG="$(mktemp)"
+cleanup() { kill -9 "$PID" 2>/dev/null || true; rm -f "$LOG"; }
+
+"$TOPOD" -gen 2000 -tree rstar -frames 32 -addr 127.0.0.1:0 >"$LOG" 2>&1 &
+PID=$!
+trap cleanup EXIT
+
+ADDR=""
+for _ in $(seq 1 100); do
+  ADDR="$(sed -n 's/^topod: listening on //p' "$LOG" | head -1)"
+  [ -n "$ADDR" ] && break
+  sleep 0.1
+done
+if [ -z "$ADDR" ]; then
+  echo "smoke: topod never started listening" >&2
+  cat "$LOG" >&2
+  exit 1
+fi
+BASE="http://$ADDR"
+
+curl -sf "$BASE/v1/indexes" | grep -q '"objects":2000' \
+  || { echo "smoke: /v1/indexes missing the loaded index" >&2; exit 1; }
+
+RESP="$(curl -sf -d '{"relations":["not_disjoint"],"ref":[100,100,300,300]}' "$BASE/v1/query")"
+echo "$RESP" | tail -1 | grep -q '"stats"' \
+  || { echo "smoke: query stream did not end with a stats line: $RESP" >&2; exit 1; }
+
+curl -sf "$BASE/metrics" | grep -q '^topod_node_accesses_total [1-9]' \
+  || { echo "smoke: /metrics did not fold the query's node accesses" >&2; exit 1; }
+
+kill -TERM "$PID"
+if ! wait "$PID"; then
+  echo "smoke: topod exited non-zero on SIGTERM" >&2
+  cat "$LOG" >&2
+  exit 1
+fi
+grep -q '^topod: bye$' "$LOG" \
+  || { echo "smoke: drain message missing from log" >&2; cat "$LOG" >&2; exit 1; }
+
+echo "smoke OK: query + metrics + graceful drain"
