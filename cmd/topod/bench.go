@@ -48,7 +48,34 @@ type clientResult struct {
 	candidates   uint64
 	matches      uint64
 	retries429   int
+	backoff      time.Duration
 	err          error
+}
+
+// Backoff bounds for retries after a 429: exponential from
+// backoffBase, capped at backoffCap, with equal jitter, never below
+// the server's Retry-After.
+const (
+	backoffBase = 5 * time.Millisecond
+	backoffCap  = time.Second
+)
+
+// backoffDelay returns the sleep before retry number attempt (0-based):
+// capped exponential with equal jitter (half fixed, half random, so
+// synchronized clients spread out), floored at the Retry-After the
+// server advertised.
+func backoffDelay(attempt int, retryAfter time.Duration, rng *rand.Rand) time.Duration {
+	d := backoffCap
+	if attempt < 30 { // avoid shift overflow
+		if e := backoffBase << uint(attempt); e < backoffCap {
+			d = e
+		}
+	}
+	d = d/2 + time.Duration(rng.Int63n(int64(d/2)+1))
+	if d < retryAfter {
+		d = retryAfter
+	}
+	return d
 }
 
 // runBench drives concurrent clients against a topod instance and
@@ -116,6 +143,7 @@ func runBench(cfg benchConfig) error {
 	var all []time.Duration
 	var nodeAccesses, candidates, matches uint64
 	var retries int
+	var backoff time.Duration
 	done := 0
 	for _, r := range results {
 		if r.err != nil {
@@ -126,6 +154,7 @@ func runBench(cfg benchConfig) error {
 		candidates += r.candidates
 		matches += r.matches
 		retries += r.retries429
+		backoff += r.backoff
 		done += len(r.latencies)
 	}
 	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
@@ -139,8 +168,8 @@ func runBench(cfg benchConfig) error {
 		done, cfg.clients, elapsed.Seconds(), float64(done)/elapsed.Seconds())
 	fmt.Printf("bench: latency p50 %v  p90 %v  p99 %v  max %v\n",
 		pct(0.50), pct(0.90), pct(0.99), pct(1.0))
-	fmt.Printf("bench: %d matches, %d node accesses (mean %.1f/req), %d candidates, %d retries after 429\n",
-		matches, nodeAccesses, float64(nodeAccesses)/float64(max(done, 1)), candidates, retries)
+	fmt.Printf("bench: %d matches, %d node accesses (mean %.1f/req), %d candidates, %d retries after 429 (%v total backoff)\n",
+		matches, nodeAccesses, float64(nodeAccesses)/float64(max(done, 1)), candidates, retries, backoff.Round(time.Millisecond))
 
 	scraped, err := scrapeCounter(httpClient, base+"/metrics", "topod_node_accesses_total")
 	if err != nil {
@@ -178,16 +207,18 @@ func driveClient(client *http.Client, base string, relations []string, limit int
 			res.err = err
 			return res
 		}
-		for {
+		for attempt := 0; ; attempt++ {
 			t0 := time.Now()
-			stats, nMatches, status, err := doQuery(client, base, body)
+			stats, nMatches, status, retryAfter, err := doQuery(client, base, body)
 			if err != nil {
 				res.err = err
 				return res
 			}
 			if status == http.StatusTooManyRequests {
 				res.retries429++
-				time.Sleep(10 * time.Millisecond)
+				d := backoffDelay(attempt, retryAfter, rng)
+				res.backoff += d
+				time.Sleep(d)
 				continue
 			}
 			if status != http.StatusOK {
@@ -205,16 +236,21 @@ func driveClient(client *http.Client, base string, relations []string, limit int
 }
 
 // doQuery posts one query and consumes the NDJSON stream, returning
-// the trailing stats line and the number of match lines.
-func doQuery(client *http.Client, base string, body []byte) (server.WireStats, int, int, error) {
+// the trailing stats line, the number of match lines, and — on a 429 —
+// the server's Retry-After as a duration.
+func doQuery(client *http.Client, base string, body []byte) (server.WireStats, int, int, time.Duration, error) {
 	resp, err := client.Post(base+"/v1/query", "application/json", bytes.NewReader(body))
 	if err != nil {
-		return server.WireStats{}, 0, 0, err
+		return server.WireStats{}, 0, 0, 0, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		_, _ = io.Copy(io.Discard, resp.Body)
-		return server.WireStats{}, 0, resp.StatusCode, nil
+		var retryAfter time.Duration
+		if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
+			retryAfter = time.Duration(secs) * time.Second
+		}
+		return server.WireStats{}, 0, resp.StatusCode, retryAfter, nil
 	}
 	sc := bufio.NewScanner(resp.Body)
 	sc.Buffer(make([]byte, 64*1024), 1024*1024)
@@ -224,11 +260,11 @@ func doQuery(client *http.Client, base string, body []byte) (server.WireStats, i
 	for sc.Scan() {
 		var line server.QueryLine
 		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
-			return server.WireStats{}, 0, 0, fmt.Errorf("bad NDJSON line: %w", err)
+			return server.WireStats{}, 0, 0, 0, fmt.Errorf("bad NDJSON line: %w", err)
 		}
 		switch {
 		case line.Error != "":
-			return server.WireStats{}, 0, 0, fmt.Errorf("server error: %s", line.Error)
+			return server.WireStats{}, 0, 0, 0, fmt.Errorf("server error: %s", line.Error)
 		case line.Stats != nil:
 			stats = *line.Stats
 			sawStats = true
@@ -237,12 +273,12 @@ func doQuery(client *http.Client, base string, body []byte) (server.WireStats, i
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return server.WireStats{}, 0, 0, err
+		return server.WireStats{}, 0, 0, 0, err
 	}
 	if !sawStats {
-		return server.WireStats{}, 0, 0, fmt.Errorf("stream ended without a stats line")
+		return server.WireStats{}, 0, 0, 0, fmt.Errorf("stream ended without a stats line")
 	}
-	return stats, nMatches, http.StatusOK, nil
+	return stats, nMatches, http.StatusOK, 0, nil
 }
 
 // scrapeCounter fetches a Prometheus exposition and returns the value

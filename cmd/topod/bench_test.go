@@ -1,0 +1,43 @@
+package main
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestBackoffDelayGrowsAndCaps(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for attempt := 0; attempt < 40; attempt++ {
+		// Expected envelope before the Retry-After floor: equal jitter
+		// around the capped exponential.
+		exp := backoffCap
+		if attempt < 30 {
+			if e := backoffBase << uint(attempt); e < backoffCap {
+				exp = e
+			}
+		}
+		for trial := 0; trial < 50; trial++ {
+			d := backoffDelay(attempt, 0, rng)
+			if d < exp/2 || d > exp {
+				t.Fatalf("attempt %d: delay %v outside [%v, %v]", attempt, d, exp/2, exp)
+			}
+		}
+	}
+}
+
+func TestBackoffDelayHonoursRetryAfter(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	retryAfter := 2 * time.Second // above the cap: the floor must win
+	for attempt := 0; attempt < 10; attempt++ {
+		if d := backoffDelay(attempt, retryAfter, rng); d < retryAfter {
+			t.Fatalf("attempt %d: delay %v below Retry-After %v", attempt, d, retryAfter)
+		}
+	}
+	// A small Retry-After must not shrink an already-larger backoff.
+	for trial := 0; trial < 50; trial++ {
+		if d := backoffDelay(10, time.Millisecond, rng); d < backoffCap/2 {
+			t.Fatalf("late attempt collapsed to %v under a tiny Retry-After", d)
+		}
+	}
+}

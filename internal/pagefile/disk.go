@@ -4,20 +4,27 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
+	"io"
 	"os"
 	"sync"
 )
 
 // DiskFile is a File backed by an operating-system file, giving the
-// access methods real persistence. Layout:
+// access methods real persistence. Every page carries a CRC32-C
+// trailer so a torn or bit-flipped page is detected on read instead of
+// being decoded as a valid node. Layout:
 //
-//	offset 0:               header (one page slot)
-//	offset id*pageSize:     page id (ids start at 1)
+//	offset 0:            header (one page slot)
+//	offset id*slotSize:  page id (ids start at 1), payload ‖ crc32c
 //
-// Header: magic (8) | pageSize u32 | next u32 | freeHead u32 |
-// userMeta (32 bytes). Freed pages form a linked list threaded through
-// their first four bytes; the whole list is loaded at open so that
-// reads of freed pages are detected, like MemFile does.
+// where slotSize = pageSize + 4. Header: magic (8) | pageSize u32 |
+// next u32 | freeHead u32 | userMeta (32 bytes) | crc32c u32 covering
+// the preceding bytes. Freed pages form a linked list threaded through
+// their first four bytes; the whole list is loaded (and validated
+// against cycles and out-of-range ids) at open so that reads of freed
+// pages are detected, like MemFile does. Freed pages are dead data and
+// are not re-checksummed until reallocation.
 //
 // The header is flushed by Sync and Close (and after every Alloc/Free
 // so a crashed process loses at most unsynced page payloads, not the
@@ -34,20 +41,34 @@ type DiskFile struct {
 }
 
 // UserMetaSize is the number of user metadata bytes persisted in the
-// header (enough for an access method's root/depth/size record).
+// header (enough for an access method's root/depth/size record plus a
+// WAL generation number).
 const UserMetaSize = 32
 
 const (
-	diskMagic      = "MBRTOPO1"
-	diskHeaderSize = 8 + 4 + 4 + 4 + UserMetaSize
+	diskMagic       = "MBRTOPO2"
+	diskHeaderSize  = 8 + 4 + 4 + 4 + UserMetaSize + 4 // trailing crc32c
+	pageTrailerSize = 4
+	// maxDiskPageSize bounds the header's page-size field so a corrupt
+	// header cannot drive allocations of absurd sizes.
+	maxDiskPageSize = 1 << 24
 )
 
-var errClosed = errors.New("pagefile: file is closed")
+var (
+	errClosed = errors.New("pagefile: file is closed")
+
+	// castagnoli is the CRC32-C polynomial table (hardware-accelerated
+	// on amd64/arm64), shared by page and header checksums.
+	castagnoli = crc32.MakeTable(crc32.Castagnoli)
+)
 
 // CreateDiskFile creates (or truncates) a disk-backed page file.
 func CreateDiskFile(path string, pageSize int) (*DiskFile, error) {
 	if pageSize < diskHeaderSize {
 		return nil, fmt.Errorf("pagefile: page size %d below header size %d", pageSize, diskHeaderSize)
+	}
+	if pageSize > maxDiskPageSize {
+		return nil, fmt.Errorf("pagefile: page size %d above maximum %d", pageSize, maxDiskPageSize)
 	}
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
@@ -66,20 +87,37 @@ func CreateDiskFile(path string, pageSize int) (*DiskFile, error) {
 	return d, nil
 }
 
-// OpenDiskFile opens an existing disk-backed page file.
+// OpenDiskFile opens an existing disk-backed page file, validating the
+// header (magic, checksum, page-size range) and the free list (ids in
+// range, no cycles) so a corrupt or truncated file fails cleanly
+// instead of panicking or looping.
 func OpenDiskFile(path string) (*DiskFile, error) {
 	f, err := os.OpenFile(path, os.O_RDWR, 0)
 	if err != nil {
 		return nil, err
 	}
+	d, err := openDisk(f, path)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return d, nil
+}
+
+func openDisk(f *os.File, path string) (*DiskFile, error) {
 	hdr := make([]byte, diskHeaderSize)
 	if _, err := f.ReadAt(hdr, 0); err != nil {
-		f.Close()
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			return nil, fmt.Errorf("pagefile: %s: truncated header (%w)", path, err)
+		}
 		return nil, fmt.Errorf("pagefile: reading header: %w", err)
 	}
 	if string(hdr[:8]) != diskMagic {
-		f.Close()
-		return nil, fmt.Errorf("pagefile: %s is not a page file", path)
+		return nil, fmt.Errorf("pagefile: %s is not a page file (bad magic %q)", path, hdr[:8])
+	}
+	sum := binary.LittleEndian.Uint32(hdr[diskHeaderSize-4:])
+	if crc32.Checksum(hdr[:diskHeaderSize-4], castagnoli) != sum {
+		return nil, fmt.Errorf("%w: %s: header checksum mismatch", ErrCorrupt, path)
 	}
 	d := &DiskFile{
 		f:        f,
@@ -88,12 +126,36 @@ func OpenDiskFile(path string) (*DiskFile, error) {
 		freeHead: PageID(binary.LittleEndian.Uint32(hdr[16:20])),
 		freeSet:  map[PageID]PageID{},
 	}
-	copy(d.userMeta[:], hdr[20:])
-	// Walk the free list so freed-page accesses are detected.
+	copy(d.userMeta[:], hdr[20:20+UserMetaSize])
+	if d.pageSize < diskHeaderSize || d.pageSize > maxDiskPageSize {
+		return nil, fmt.Errorf("pagefile: %s: page size %d out of range [%d, %d]",
+			path, d.pageSize, diskHeaderSize, maxDiskPageSize)
+	}
+	if d.next == NilPage {
+		return nil, fmt.Errorf("pagefile: %s: next page id is zero", path)
+	}
+	if d.next > 1 {
+		st, err := f.Stat()
+		if err != nil {
+			return nil, err
+		}
+		if want := d.offset(d.next); st.Size() < want {
+			return nil, fmt.Errorf("pagefile: %s: page area truncated (%d bytes, need %d for %d pages)",
+				path, st.Size(), want, d.next-1)
+		}
+	}
+	// Walk the free list so freed-page accesses are detected. The walk
+	// is bounded: every id must be in range and unseen.
 	buf := make([]byte, 4)
 	for id := d.freeHead; id != NilPage; {
+		if id >= d.next {
+			return nil, fmt.Errorf("pagefile: %s: free list references page %d beyond allocation bound %d",
+				path, id, d.next)
+		}
+		if _, cycle := d.freeSet[id]; cycle {
+			return nil, fmt.Errorf("pagefile: %s: free-list cycle at page %d", path, id)
+		}
 		if _, err := f.ReadAt(buf, d.offset(id)); err != nil {
-			f.Close()
 			return nil, fmt.Errorf("pagefile: walking free list: %w", err)
 		}
 		next := PageID(binary.LittleEndian.Uint32(buf))
@@ -103,8 +165,11 @@ func OpenDiskFile(path string) (*DiskFile, error) {
 	return d, nil
 }
 
+// slotSize is the on-disk footprint of one page: payload + checksum.
+func (d *DiskFile) slotSize() int { return d.pageSize + pageTrailerSize }
+
 func (d *DiskFile) offset(id PageID) int64 {
-	return int64(id) * int64(d.pageSize)
+	return int64(id) * int64(d.slotSize())
 }
 
 func (d *DiskFile) writeHeader() error {
@@ -114,8 +179,35 @@ func (d *DiskFile) writeHeader() error {
 	binary.LittleEndian.PutUint32(hdr[12:16], uint32(d.next))
 	binary.LittleEndian.PutUint32(hdr[16:20], uint32(d.freeHead))
 	copy(hdr[20:], d.userMeta[:])
+	binary.LittleEndian.PutUint32(hdr[diskHeaderSize-4:], crc32.Checksum(hdr[:diskHeaderSize-4], castagnoli))
 	_, err := d.f.WriteAt(hdr, 0)
 	return err
+}
+
+// writePage writes payload (already pageSize bytes) plus its checksum
+// as one slot. Caller holds the lock.
+func (d *DiskFile) writePage(id PageID, payload []byte) error {
+	slot := make([]byte, d.slotSize())
+	copy(slot, payload)
+	binary.LittleEndian.PutUint32(slot[d.pageSize:], crc32.Checksum(slot[:d.pageSize], castagnoli))
+	_, err := d.f.WriteAt(slot, d.offset(id))
+	return err
+}
+
+// verifyPage reads one slot into buf (len ≥ pageSize) and checks the
+// checksum. Caller holds at least a read lock.
+func (d *DiskFile) verifyPage(id PageID, buf []byte) error {
+	if _, err := d.f.ReadAt(buf[:d.pageSize], d.offset(id)); err != nil {
+		return err
+	}
+	var trailer [pageTrailerSize]byte
+	if _, err := d.f.ReadAt(trailer[:], d.offset(id)+int64(d.pageSize)); err != nil {
+		return err
+	}
+	if crc32.Checksum(buf[:d.pageSize], castagnoli) != binary.LittleEndian.Uint32(trailer[:]) {
+		return fmt.Errorf("%w: page %d checksum mismatch", ErrCorrupt, id)
+	}
+	return nil
 }
 
 // PageSize returns the page size in bytes.
@@ -155,17 +247,17 @@ func (d *DiskFile) Alloc() (PageID, error) {
 		id = d.next
 		d.next++
 	}
-	zero := make([]byte, d.pageSize)
-	if _, err := d.f.WriteAt(zero, d.offset(id)); err != nil {
+	if err := d.writePage(id, nil); err != nil {
 		return NilPage, err
 	}
 	d.stats.allocs.Add(1)
 	return id, d.writeHeader()
 }
 
-// Read copies the page into buf. Reads share the lock (ReadAt is
-// safe for concurrent use), so parallel traversals do not serialise
-// on the disk file.
+// Read copies the page into buf after verifying its checksum; a torn
+// or bit-flipped page surfaces as ErrCorrupt instead of decoding as a
+// valid node. Reads share the lock (ReadAt is safe for concurrent
+// use), so parallel traversals do not serialise on the disk file.
 func (d *DiskFile) Read(id PageID, buf []byte) error {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
@@ -178,14 +270,14 @@ func (d *DiskFile) Read(id PageID, buf []byte) error {
 	if len(buf) < d.pageSize {
 		return ErrBadSize
 	}
-	if _, err := d.f.ReadAt(buf[:d.pageSize], d.offset(id)); err != nil {
+	if err := d.verifyPage(id, buf); err != nil {
 		return err
 	}
 	d.stats.reads.Add(1)
 	return nil
 }
 
-// Write replaces the page contents.
+// Write replaces the page contents (and its checksum).
 func (d *DiskFile) Write(id PageID, data []byte) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -200,7 +292,7 @@ func (d *DiskFile) Write(id PageID, data []byte) error {
 	}
 	page := make([]byte, d.pageSize)
 	copy(page, data)
-	if _, err := d.f.WriteAt(page, d.offset(id)); err != nil {
+	if err := d.writePage(id, page); err != nil {
 		return err
 	}
 	d.stats.writes.Add(1)
@@ -236,6 +328,29 @@ func (d *DiskFile) checkLive(id PageID) error {
 		return fmt.Errorf("%w: %d", ErrPageFreed, id)
 	}
 	return nil
+}
+
+// Scrub verifies the checksum of every live page and returns the ids
+// that fail (unreadable pages count as corrupt). It takes the shared
+// lock, so scrubbing can run concurrently with searches. Scrub does
+// not touch the read counters: it is maintenance, not query work.
+func (d *DiskFile) Scrub() ([]PageID, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if d.f == nil {
+		return nil, errClosed
+	}
+	buf := make([]byte, d.pageSize)
+	var bad []PageID
+	for id := PageID(1); id < d.next; id++ {
+		if _, freed := d.freeSet[id]; freed {
+			continue
+		}
+		if err := d.verifyPage(id, buf); err != nil {
+			bad = append(bad, id)
+		}
+	}
+	return bad, nil
 }
 
 // Stats returns a snapshot of the counters.

@@ -25,6 +25,10 @@ var (
 	ErrPageNotFound = errors.New("pagefile: page not found")
 	ErrPageFreed    = errors.New("pagefile: page was freed")
 	ErrBadSize      = errors.New("pagefile: data does not fit page size")
+	// ErrCorrupt is returned when a page (or file header) fails its
+	// checksum: the stored bytes are not what was written, and serving
+	// them as a node would silently return wrong query answers.
+	ErrCorrupt = errors.New("pagefile: corrupt page")
 )
 
 // Stats counts physical page operations.

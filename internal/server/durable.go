@@ -1,0 +1,429 @@
+package server
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"mbrtopo/internal/geom"
+	"mbrtopo/internal/index"
+	"mbrtopo/internal/pagefile"
+	"mbrtopo/internal/rtree"
+	"mbrtopo/internal/wal"
+)
+
+// The durable state of an index named N in a data directory:
+//
+//	N.snap        checksummed page-file snapshot as of the last
+//	              checkpoint (rewritten atomically: tmp + rename)
+//	N.wal.<gen>   mutation log since that checkpoint
+//	N.pages       working copy the live tree mutates; recreated from
+//	              N.snap on every boot, never read during recovery
+//
+// The snapshot's user metadata stores the tree meta (root/depth/size)
+// plus the WAL generation it covers, so a crash between the snapshot
+// rename and the old log's removal can never double-apply: the new
+// snapshot points at the new (empty or missing ⇒ empty) generation and
+// the stale log is simply deleted. Mutations apply to the working copy
+// and append to the WAL before the 200 is written; recovery copies the
+// snapshot over the working file and replays the log, which tolerates
+// a torn tail.
+type durable struct {
+	mu   sync.Mutex
+	dir  string
+	name string
+	kind index.Kind
+
+	disk    *pagefile.DiskFile // working copy under the live tree
+	log     *wal.Log
+	walOpts wal.Options
+	gen     uint64
+
+	every   int // checkpoint after this many appended records (0 = manual)
+	since   int // records since the last checkpoint
+	metrics *Metrics
+}
+
+func (d *durable) snapPath() string { return filepath.Join(d.dir, d.name+".snap") }
+func (d *durable) workPath() string { return filepath.Join(d.dir, d.name+".pages") }
+func (d *durable) walPath(gen uint64) string {
+	return filepath.Join(d.dir, fmt.Sprintf("%s.wal.%d", d.name, gen))
+}
+
+// metaGen extracts the WAL generation from a snapshot's user metadata
+// (bytes 16..24; the tree meta occupies 0..16).
+func metaGen(um [pagefile.UserMetaSize]byte) uint64 {
+	return binary.LittleEndian.Uint64(um[16:24])
+}
+
+// persistMeta writes the tree meta and the WAL generation into the
+// working file's header.
+func persistMeta(idx index.Index, disk *pagefile.DiskFile, gen uint64) error {
+	if err := index.Persist(idx, disk); err != nil {
+		return err
+	}
+	um := disk.UserMeta()
+	binary.LittleEndian.PutUint64(um[16:24], gen)
+	return disk.SetUserMeta(um)
+}
+
+// copyFile copies src over dst (truncating), syncing dst.
+func copyFile(src, dst string) error {
+	in, err := os.Open(src)
+	if err != nil {
+		return err
+	}
+	defer in.Close()
+	out, err := os.OpenFile(dst, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := io.Copy(out, in); err != nil {
+		out.Close()
+		return err
+	}
+	if err := out.Sync(); err != nil {
+		out.Close()
+		return err
+	}
+	return out.Close()
+}
+
+// syncDir fsyncs a directory so a just-renamed file is durable.
+func syncDir(dir string) error {
+	f, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return f.Sync()
+}
+
+// publishSnapshot atomically replaces the snapshot with the current
+// working file: copy to a temp file, fsync, rename, fsync the dir.
+func (d *durable) publishSnapshot() error {
+	tmp := d.snapPath() + ".tmp"
+	if err := copyFile(d.workPath(), tmp); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, d.snapPath()); err != nil {
+		return err
+	}
+	return syncDir(d.dir)
+}
+
+// removeStaleWALs deletes every WAL generation of this index except
+// keep (leftovers of checkpoints cut short by a crash).
+func (d *durable) removeStaleWALs(keep uint64) {
+	matches, err := filepath.Glob(filepath.Join(d.dir, d.name+".wal.*"))
+	if err != nil {
+		return
+	}
+	keepPath := d.walPath(keep)
+	for _, m := range matches {
+		if m != keepPath {
+			_ = os.Remove(m)
+		}
+	}
+}
+
+// checkpoint publishes the current tree state as the new snapshot and
+// rotates the WAL to a fresh generation. Caller holds d.mu. The
+// ordering is crash-safe at every step:
+//
+//  1. working header gets meta + gen+1, working file fsyncs
+//  2. snapshot is atomically replaced (tmp, fsync, rename, dir fsync)
+//  3. the WAL rotates to generation gen+1; the old log is deleted
+//
+// A crash before 2 leaves the old (snapshot, WAL gen) pair intact; a
+// crash after 2 boots from the new snapshot with an empty gen+1 log
+// (created on demand) and deletes the stale old log.
+func (d *durable) checkpoint(idx index.Index) error {
+	next := d.gen + 1
+	if err := persistMeta(idx, d.disk, next); err != nil {
+		return fmt.Errorf("checkpoint: persisting meta: %w", err)
+	}
+	if err := d.disk.Sync(); err != nil {
+		return fmt.Errorf("checkpoint: syncing working file: %w", err)
+	}
+	if err := d.publishSnapshot(); err != nil {
+		return fmt.Errorf("checkpoint: publishing snapshot: %w", err)
+	}
+	newLog, replayed, err := wal.Open(d.walPath(next), d.walOpts)
+	if err != nil {
+		return fmt.Errorf("checkpoint: rotating wal: %w", err)
+	}
+	if len(replayed) != 0 {
+		// A fresh generation must be empty; anything else is a stale
+		// leftover the snapshot already covers.
+		if err := newLog.Truncate(); err != nil {
+			newLog.Close()
+			return fmt.Errorf("checkpoint: clearing stale wal generation: %w", err)
+		}
+	}
+	old := d.log
+	d.log = newLog
+	d.gen = next
+	d.since = 0
+	if old != nil {
+		oldPath := old.Path()
+		_ = old.Close()
+		_ = os.Remove(oldPath)
+	}
+	if d.metrics != nil {
+		d.metrics.checkpoints.Add(1)
+	}
+	return nil
+}
+
+// apply runs one mutation under the durable lock: tree first, then the
+// log (so replayed records are exactly the mutations that succeeded),
+// then an automatic checkpoint when the log has grown enough. The
+// record is on the log — per the fsync policy — before the caller
+// writes its 200.
+func (d *durable) apply(inst *Instance, op wal.Op, rect geom.Rect, oid uint64) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var err error
+	switch op {
+	case wal.OpInsert:
+		err = inst.Idx.Insert(rect, oid)
+	case wal.OpDelete:
+		err = inst.Idx.Delete(rect, oid)
+	default:
+		err = fmt.Errorf("server: unknown mutation op %v", op)
+	}
+	if err != nil {
+		return err
+	}
+	if err := d.log.Append(wal.Record{Op: op, OID: oid, Rect: rect}); err != nil {
+		// The mutation is applied in memory but will not survive a
+		// restart: that is a durability contract violation, so the
+		// index degrades to unhealthy instead of lying.
+		inst.MarkUnhealthy("wal append failed: " + err.Error())
+		return fmt.Errorf("server: mutation applied but not logged: %w", err)
+	}
+	if d.metrics != nil {
+		d.metrics.walRecords.Add(1)
+	}
+	d.since++
+	if d.every > 0 && d.since >= d.every {
+		if err := d.checkpoint(inst.Idx); err != nil {
+			inst.MarkUnhealthy("checkpoint failed: " + err.Error())
+			return fmt.Errorf("server: mutation logged but checkpoint failed: %w", err)
+		}
+	}
+	return nil
+}
+
+// Checkpoint forces a checkpoint now (topod runs one on clean
+// shutdown so the next boot replays nothing).
+func (inst *Instance) Checkpoint() error {
+	if inst.dur == nil {
+		return nil
+	}
+	inst.dur.mu.Lock()
+	defer inst.dur.mu.Unlock()
+	return inst.dur.checkpoint(inst.Idx)
+}
+
+// Close checkpoints (when healthy) and releases the durable files.
+func (inst *Instance) Close() error {
+	if inst.dur == nil {
+		return nil
+	}
+	inst.dur.mu.Lock()
+	defer inst.dur.mu.Unlock()
+	var firstErr error
+	if inst.Healthy() && inst.Idx != nil {
+		firstErr = inst.dur.checkpoint(inst.Idx)
+	}
+	if inst.dur.log != nil {
+		if err := inst.dur.log.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		inst.dur.log = nil
+	}
+	if inst.dur.disk != nil {
+		if err := inst.dur.disk.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		inst.dur.disk = nil
+	}
+	return firstErr
+}
+
+// openDurable builds or recovers a durable instance. Recovery failures
+// do not abort: the instance comes back unhealthy (Idx possibly nil)
+// so the server can answer 503 on its routes instead of crashing —
+// "degrade, don't serve garbage".
+func (s *Server) openDurable(spec IndexSpec, items []index.Item) (*Instance, error) {
+	if err := os.MkdirAll(spec.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("server: index %q: %w", spec.Name, err)
+	}
+	d := &durable{
+		dir:     spec.Dir,
+		name:    spec.Name,
+		kind:    spec.Kind,
+		walOpts: wal.Options{Policy: spec.Fsync, Interval: spec.FsyncInterval},
+		every:   spec.CheckpointEvery,
+		metrics: s.metrics,
+	}
+	inst := &Instance{Name: spec.Name, Kind: spec.Kind, Frames: spec.Frames, dur: d}
+
+	if _, err := os.Stat(d.snapPath()); err == nil {
+		s.recoverDurable(spec, d, inst)
+		return inst, nil
+	} else if !errors.Is(err, os.ErrNotExist) {
+		return nil, fmt.Errorf("server: index %q: %w", spec.Name, err)
+	}
+
+	// Fresh directory: build from items and publish the first
+	// snapshot before serving.
+	disk, err := pagefile.CreateDiskFile(d.workPath(), spec.PageSize)
+	if err != nil {
+		return nil, fmt.Errorf("server: index %q: %w", spec.Name, err)
+	}
+	d.disk = disk
+	file, pool := wrapFile(disk, spec)
+	idx, err := index.NewOnFile(spec.Kind, file)
+	if err == nil {
+		err = index.Load(idx, items)
+	}
+	if err != nil {
+		disk.Close()
+		return nil, fmt.Errorf("server: index %q: %w", spec.Name, err)
+	}
+	inst.Idx = idx
+	inst.Pool = pool
+	d.gen = 1
+	if err := persistMeta(idx, disk, d.gen); err != nil {
+		disk.Close()
+		return nil, fmt.Errorf("server: index %q: %w", spec.Name, err)
+	}
+	if err := disk.Sync(); err != nil {
+		disk.Close()
+		return nil, fmt.Errorf("server: index %q: %w", spec.Name, err)
+	}
+	if err := d.publishSnapshot(); err != nil {
+		disk.Close()
+		return nil, fmt.Errorf("server: index %q: publishing initial snapshot: %w", spec.Name, err)
+	}
+	log, _, err := wal.Open(d.walPath(d.gen), d.walOpts)
+	if err != nil {
+		disk.Close()
+		return nil, fmt.Errorf("server: index %q: opening wal: %w", spec.Name, err)
+	}
+	d.log = log
+	d.removeStaleWALs(d.gen)
+	return inst, nil
+}
+
+// recoverDurable rebuilds the working state from snapshot + WAL. Any
+// failure marks the instance unhealthy instead of returning an error.
+func (s *Server) recoverDurable(spec IndexSpec, d *durable, inst *Instance) {
+	fail := func(reason string) {
+		inst.MarkUnhealthy(reason)
+		if d.log != nil {
+			d.log.Close()
+			d.log = nil
+		}
+		if d.disk != nil {
+			d.disk.Close()
+			d.disk = nil
+		}
+		inst.Idx = nil
+		inst.Pool = nil
+	}
+
+	if err := copyFile(d.snapPath(), d.workPath()); err != nil {
+		fail("restoring working copy: " + err.Error())
+		return
+	}
+	disk, err := pagefile.OpenDiskFile(d.workPath())
+	if err != nil {
+		if errors.Is(err, pagefile.ErrCorrupt) {
+			s.metrics.checksumFailures.Add(1)
+		}
+		fail("opening snapshot: " + err.Error())
+		return
+	}
+	d.disk = disk
+	bad, err := disk.Scrub()
+	if err != nil {
+		fail("scrubbing snapshot: " + err.Error())
+		return
+	}
+	if len(bad) > 0 {
+		s.metrics.checksumFailures.Add(uint64(len(bad)))
+		fail(fmt.Sprintf("snapshot has %d corrupt pages (first: %d)", len(bad), bad[0]))
+		return
+	}
+	um := disk.UserMeta()
+	d.gen = metaGen(um)
+	file, pool := wrapFile(disk, spec)
+	idx, err := index.Resume(spec.Kind, file, rtree.DecodeMeta(um))
+	if err != nil {
+		fail("resuming index: " + err.Error())
+		return
+	}
+	inst.Idx = idx
+	inst.Pool = pool
+	log, recs, err := wal.Open(d.walPath(d.gen), d.walOpts)
+	if err != nil {
+		fail("opening wal: " + err.Error())
+		return
+	}
+	d.log = log
+	d.removeStaleWALs(d.gen)
+	for i, rec := range recs {
+		var err error
+		switch rec.Op {
+		case wal.OpInsert:
+			err = idx.Insert(rec.Rect, rec.OID)
+		case wal.OpDelete:
+			err = idx.Delete(rec.Rect, rec.OID)
+		default:
+			err = fmt.Errorf("unknown op %v", rec.Op)
+		}
+		if err != nil {
+			// Replayed records are exactly the mutations that
+			// succeeded before the crash, in order, so a replay
+			// failure means the snapshot and log disagree.
+			fail(fmt.Sprintf("replaying wal record %d/%d (%s oid %d): %v",
+				i+1, len(recs), rec.Op, rec.OID, err))
+			return
+		}
+	}
+	s.metrics.walReplays.Add(uint64(len(recs)))
+	inst.Recovered = true
+	inst.Replayed = len(recs)
+	if len(recs) > 0 {
+		d.mu.Lock()
+		err := d.checkpoint(idx)
+		d.mu.Unlock()
+		if err != nil {
+			fail("post-recovery checkpoint: " + err.Error())
+			return
+		}
+	}
+}
+
+// wrapFile applies the test hook and the buffer pool around the
+// working disk file.
+func wrapFile(disk *pagefile.DiskFile, spec IndexSpec) (pagefile.File, *pagefile.BufferPool) {
+	var file pagefile.File = disk
+	if spec.FileWrapper != nil {
+		file = spec.FileWrapper(file)
+	}
+	var pool *pagefile.BufferPool
+	if spec.Frames > 0 {
+		pool = pagefile.NewBufferPool(file, spec.Frames)
+		file = pool
+	}
+	return file, pool
+}

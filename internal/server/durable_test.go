@@ -1,0 +1,491 @@
+package server
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"mbrtopo/internal/geom"
+	"mbrtopo/internal/index"
+	"mbrtopo/internal/pagefile"
+	"mbrtopo/internal/query"
+	"mbrtopo/internal/rtree"
+	"mbrtopo/internal/topo"
+	"mbrtopo/internal/wal"
+	"mbrtopo/internal/workload"
+)
+
+// durabilityWindows are the query rectangles every equivalence check
+// runs (the whole world plus assorted sub-windows).
+var durabilityWindows = []geom.Rect{
+	geom.R(-1, -1, 1001, 1001),
+	geom.R(100, 100, 400, 400),
+	geom.R(300, 500, 700, 900),
+	geom.R(0, 0, 50, 50),
+	geom.R(950, 950, 1000, 1000),
+}
+
+// queryOIDs runs a not-disjoint window query and returns the sorted
+// distinct OIDs.
+func queryOIDs(t *testing.T, idx index.Index, win geom.Rect) []uint64 {
+	t.Helper()
+	p := &query.Processor{Idx: idx}
+	res, err := p.QuerySetMBRCtx(context.Background(), topo.NotDisjoint, win)
+	if err != nil {
+		t.Fatalf("query %v: %v", win, err)
+	}
+	seen := make(map[uint64]bool, len(res.Matches))
+	oids := make([]uint64, 0, len(res.Matches))
+	for _, m := range res.Matches {
+		if !seen[m.OID] {
+			seen[m.OID] = true
+			oids = append(oids, m.OID)
+		}
+	}
+	sort.Slice(oids, func(i, j int) bool { return oids[i] < oids[j] })
+	return oids
+}
+
+// assertSameAnswers compares got against a ground-truth index over
+// every durability window.
+func assertSameAnswers(t *testing.T, label string, got, want index.Index) {
+	t.Helper()
+	if got.Len() != want.Len() {
+		t.Errorf("%s: Len = %d, want %d", label, got.Len(), want.Len())
+	}
+	for _, win := range durabilityWindows {
+		g, w := queryOIDs(t, got, win), queryOIDs(t, want, win)
+		if len(g) != len(w) {
+			t.Fatalf("%s: window %v: %d matches, want %d", label, win, len(g), len(w))
+		}
+		for i := range g {
+			if g[i] != w[i] {
+				t.Fatalf("%s: window %v: oid[%d] = %d, want %d", label, win, i, g[i], w[i])
+			}
+		}
+	}
+}
+
+// groundTruth builds an in-memory index holding items plus the acked
+// mutation suffix.
+func groundTruth(t *testing.T, items []index.Item, acked []wal.Record) index.Index {
+	t.Helper()
+	idx, err := index.New(index.KindRTree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := index.Load(idx, items); err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range acked {
+		switch rec.Op {
+		case wal.OpInsert:
+			err = idx.Insert(rec.Rect, rec.OID)
+		case wal.OpDelete:
+			err = idx.Delete(rec.Rect, rec.OID)
+		}
+		if err != nil {
+			t.Fatalf("ground truth %s oid %d: %v", rec.Op, rec.OID, err)
+		}
+	}
+	return idx
+}
+
+func TestDurableBuildRestartCleanClose(t *testing.T) {
+	dir := t.TempDir()
+	d := workload.NewDataset(workload.Medium, 200, 0, 7)
+	spec := IndexSpec{Name: "main", Kind: index.KindRTree, PageSize: 512, Dir: dir, Fsync: wal.SyncNever}
+
+	srv := New(Config{})
+	inst, err := srv.AddIndex(spec, d.Items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !inst.Durable() || inst.Recovered {
+		t.Fatalf("fresh build: Durable=%v Recovered=%v, want true/false", inst.Durable(), inst.Recovered)
+	}
+	muts := []wal.Record{
+		{Op: wal.OpInsert, OID: 9001, Rect: geom.R(10, 10, 12, 12)},
+		{Op: wal.OpInsert, OID: 9002, Rect: geom.R(500, 500, 502, 502)},
+		{Op: wal.OpDelete, OID: d.Items[0].OID, Rect: d.Items[0].Rect},
+	}
+	for _, m := range muts {
+		if m.Op == wal.OpInsert {
+			err = inst.Insert(m.Rect, m.OID)
+		} else {
+			err = inst.Delete(m.Rect, m.OID)
+		}
+		if err != nil {
+			t.Fatalf("%s oid %d: %v", m.Op, m.OID, err)
+		}
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	srv2 := New(Config{})
+	inst2, err := srv2.AddIndex(spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+	if !inst2.Recovered || !inst2.Healthy() {
+		t.Fatalf("reopen: Recovered=%v Healthy=%v (%s)", inst2.Recovered, inst2.Healthy(), inst2.FailReason())
+	}
+	if inst2.Replayed != 0 {
+		t.Errorf("clean close should checkpoint: replayed %d records, want 0", inst2.Replayed)
+	}
+	assertSameAnswers(t, "clean restart", inst2.Idx, groundTruth(t, d.Items, muts))
+}
+
+func TestDurableRecoveryReplaysWAL(t *testing.T) {
+	dir := t.TempDir()
+	d := workload.NewDataset(workload.Medium, 150, 0, 11)
+	spec := IndexSpec{Name: "main", Kind: index.KindRTree, PageSize: 512, Dir: dir, Fsync: wal.SyncAlways}
+
+	srv := New(Config{})
+	inst, err := srv.AddIndex(spec, d.Items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	muts := []wal.Record{
+		{Op: wal.OpInsert, OID: 7001, Rect: geom.R(20, 20, 21, 21)},
+		{Op: wal.OpDelete, OID: d.Items[3].OID, Rect: d.Items[3].Rect},
+		{Op: wal.OpInsert, OID: 7002, Rect: geom.R(800, 100, 803, 104)},
+	}
+	for _, m := range muts {
+		if m.Op == wal.OpInsert {
+			err = inst.Insert(m.Rect, m.OID)
+		} else {
+			err = inst.Delete(m.Rect, m.OID)
+		}
+		if err != nil {
+			t.Fatalf("%s oid %d: %v", m.Op, m.OID, err)
+		}
+	}
+	// Simulate a crash: release the file handles without the clean-
+	// shutdown checkpoint, leaving the snapshot + WAL pair on disk.
+	inst.dur.log.Close()
+	inst.dur.disk.Close()
+	inst.dur = nil
+
+	srv2 := New(Config{})
+	inst2, err := srv2.AddIndex(spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+	if !inst2.Recovered || !inst2.Healthy() {
+		t.Fatalf("reopen: Recovered=%v Healthy=%v (%s)", inst2.Recovered, inst2.Healthy(), inst2.FailReason())
+	}
+	if inst2.Replayed != len(muts) {
+		t.Errorf("replayed %d records, want %d", inst2.Replayed, len(muts))
+	}
+	if got := srv2.Metrics().WALReplaysTotal(); got != uint64(len(muts)) {
+		t.Errorf("wal_replays_total = %d, want %d", got, len(muts))
+	}
+	// Replay triggers a post-recovery checkpoint, so a third boot
+	// replays nothing.
+	if got := srv2.Metrics().CheckpointsTotal(); got == 0 {
+		t.Error("post-recovery checkpoint not taken")
+	}
+	assertSameAnswers(t, "crash restart", inst2.Idx, groundTruth(t, d.Items, muts))
+}
+
+// crashScript is the deterministic mutation sequence the crash-point
+// property test replays against every crash index.
+func crashScript(items []index.Item) []wal.Record {
+	muts := make([]wal.Record, 0, 18)
+	for i := 0; i < 10; i++ {
+		muts = append(muts, wal.Record{
+			Op:   wal.OpInsert,
+			OID:  uint64(5000 + i),
+			Rect: geom.R(float64(40*i), float64(30*i), float64(40*i+7), float64(30*i+5)),
+		})
+	}
+	for i := 0; i < 8; i++ {
+		it := items[i*3]
+		muts = append(muts, wal.Record{Op: wal.OpDelete, OID: it.OID, Rect: it.Rect})
+	}
+	return muts
+}
+
+// runCrashScenario builds a durable index over a CrashFile, arms a
+// crash after armAfter mutation page-ops, runs the script until the
+// crash fires, and returns the acked prefix. armAfter < 0 leaves the
+// crash unarmed (dry run); the returned ops count then measures the
+// crash-point space.
+func runCrashScenario(t *testing.T, dir string, items []index.Item, armAfter int, mode pagefile.CrashMode) (acked []wal.Record, ops int) {
+	t.Helper()
+	var cf *pagefile.CrashFile
+	spec := IndexSpec{
+		Name: "crash", Kind: index.KindRTree, PageSize: 512, Dir: dir,
+		Fsync: wal.SyncNever, CheckpointEvery: 5,
+		FileWrapper: func(f pagefile.File) pagefile.File {
+			cf = pagefile.NewCrashFile(f)
+			return cf
+		},
+	}
+	srv := New(Config{})
+	inst, err := srv.AddIndex(spec, items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if armAfter >= 0 {
+		cf.CrashAfter(armAfter, mode)
+	} else {
+		cf.CrashAfter(1<<30, pagefile.CrashClean)
+	}
+	for _, m := range crashScript(items) {
+		if m.Op == wal.OpInsert {
+			err = inst.Insert(m.Rect, m.OID)
+		} else {
+			err = inst.Delete(m.Rect, m.OID)
+		}
+		if err != nil {
+			if !cf.Crashed() {
+				t.Fatalf("unexpected mutation failure before crash point: %v", err)
+			}
+			break
+		}
+		acked = append(acked, m)
+	}
+	ops = cf.Ops()
+	// Abandon without checkpoint, as a dead process would; drop the
+	// handles so the recovery below works on the on-disk state alone.
+	if inst.dur != nil {
+		if inst.dur.log != nil {
+			inst.dur.log.Close()
+		}
+		if inst.dur.disk != nil {
+			inst.dur.disk.Close()
+		}
+		inst.dur = nil
+	}
+	return acked, ops
+}
+
+// TestCrashAtEveryWritePoint is the recovery property test: the
+// mutation workload is killed at every page-write index (cycling the
+// clean/torn/corrupt crash modes), the index is reopened from the
+// surviving snapshot + WAL, and its answers must match a ground-truth
+// index holding exactly the acked mutations. Never a wrong answer,
+// never a crash.
+func TestCrashAtEveryWritePoint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("crash-point sweep is slow")
+	}
+	items := workload.NewDataset(workload.Medium, 60, 0, 23).Items
+
+	// Dry run: measure how many mutation page-ops the script performs.
+	_, total := runCrashScenario(t, t.TempDir(), items, -1, pagefile.CrashClean)
+	if total == 0 {
+		t.Fatal("dry run performed no page mutations")
+	}
+	t.Logf("crash-point space: %d mutation page-ops", total)
+
+	spec := IndexSpec{Name: "crash", Kind: index.KindRTree, PageSize: 512, Dir: "", Fsync: wal.SyncNever}
+	for k := 0; k <= total; k++ {
+		mode := pagefile.CrashMode(k % 3)
+		dir := t.TempDir()
+		acked, _ := runCrashScenario(t, dir, items, k, mode)
+
+		reopen := spec
+		reopen.Dir = dir
+		srv := New(Config{})
+		inst, err := srv.AddIndex(reopen, nil)
+		if err != nil {
+			t.Fatalf("crash point %d (%v): reopen: %v", k, mode, err)
+		}
+		if !inst.Recovered || !inst.Healthy() {
+			t.Fatalf("crash point %d (%v): Recovered=%v Healthy=%v (%s)",
+				k, mode, inst.Recovered, inst.Healthy(), inst.FailReason())
+		}
+		if inst.Replayed != 0 && inst.Replayed > len(acked) {
+			t.Fatalf("crash point %d (%v): replayed %d > acked %d",
+				k, mode, inst.Replayed, len(acked))
+		}
+		assertSameAnswers(t, fmt.Sprintf("crash point %d (%v)", k, mode),
+			inst.Idx, groundTruth(t, items, acked))
+		srv.Close()
+	}
+}
+
+func TestCorruptSnapshotDegradesTo503(t *testing.T) {
+	dir := t.TempDir()
+	d := workload.NewDataset(workload.Medium, 120, 0, 31)
+	spec := IndexSpec{Name: "main", Kind: index.KindRTree, PageSize: 512, Dir: dir, Fsync: wal.SyncNever}
+
+	srv := New(Config{})
+	if _, err := srv.AddIndex(spec, d.Items); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip one byte inside the root page of the snapshot.
+	snap := filepath.Join(dir, "main.snap")
+	df, err := pagefile.OpenDiskFile(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta := rtree.DecodeMeta(df.UserMeta())
+	df.Close()
+	f, err := os.OpenFile(snap, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off := int64(meta.Root) * int64(spec.PageSize+4)
+	buf := make([]byte, 1)
+	if _, err := f.ReadAt(buf, off+16); err != nil {
+		t.Fatal(err)
+	}
+	buf[0] ^= 0xFF
+	if _, err := f.WriteAt(buf, off+16); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	srv2 := New(Config{})
+	inst, err := srv2.AddIndex(spec, nil)
+	if err != nil {
+		t.Fatalf("corrupt snapshot must register unhealthy, not error: %v", err)
+	}
+	defer srv2.Close()
+	if inst.Healthy() {
+		t.Fatal("corrupt snapshot recovered as healthy")
+	}
+	if got := srv2.Metrics().ChecksumFailuresTotal(); got == 0 {
+		t.Error("checksum_failures_total = 0 after corrupt recovery")
+	}
+
+	ts := httptest.NewServer(srv2.Handler())
+	defer ts.Close()
+
+	// Liveness stays green; readiness and the index's routes go 503.
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("/healthz = %d, want 200", resp.StatusCode)
+	}
+	resp, err = http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("/readyz = %d, want 503 (body %s)", resp.StatusCode, body)
+	}
+	resp, err = http.Post(ts.URL+"/v1/query", "application/json",
+		strings.NewReader(`{"relations":["overlap"],"ref":[0,0,100,100]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("query on corrupt index = %d, want 503 (body %s)", resp.StatusCode, body)
+	}
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), `topod_index_healthy{index="main"} 0`) {
+		t.Errorf("metrics missing unhealthy gauge:\n%s", body)
+	}
+	if !strings.Contains(string(body), "topod_checksum_failures_total") {
+		t.Errorf("metrics missing checksum failure counter")
+	}
+}
+
+func TestCheckpointEveryRotatesWAL(t *testing.T) {
+	dir := t.TempDir()
+	spec := IndexSpec{
+		Name: "main", Kind: index.KindRTree, PageSize: 512, Dir: dir,
+		Fsync: wal.SyncNever, CheckpointEvery: 4,
+	}
+	srv := New(Config{})
+	inst, err := srv.AddIndex(spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 9; i++ {
+		if err := inst.Insert(geom.R(float64(i), 0, float64(i)+1, 1), uint64(100+i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := srv.Metrics().CheckpointsTotal(); got != 2 {
+		t.Errorf("checkpoints_total = %d after 9 inserts at every=4, want 2", got)
+	}
+	if got := srv.Metrics().WALRecordsTotal(); got != 9 {
+		t.Errorf("wal_records_total = %d, want 9", got)
+	}
+	// Exactly one WAL generation remains and the snapshot covers it.
+	wals, err := filepath.Glob(filepath.Join(dir, "main.wal.*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wals) != 1 || filepath.Base(wals[0]) != "main.wal.3" {
+		t.Errorf("wal files = %v, want [main.wal.3]", wals)
+	}
+	// The crash-simulated reopen replays only the records past the
+	// last checkpoint (9 - 2*4 = 1).
+	inst.dur.log.Close()
+	inst.dur.disk.Close()
+	inst.dur = nil
+	srv2 := New(Config{})
+	inst2, err := srv2.AddIndex(spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+	if inst2.Replayed != 1 {
+		t.Errorf("replayed %d records, want 1", inst2.Replayed)
+	}
+	if inst2.Idx.Len() != 9 {
+		t.Errorf("recovered %d objects, want 9", inst2.Idx.Len())
+	}
+}
+
+// TestWALGenerationInMeta pins the userMeta layout: tree meta in bytes
+// 0..16, WAL generation in 16..24.
+func TestWALGenerationInMeta(t *testing.T) {
+	dir := t.TempDir()
+	spec := IndexSpec{Name: "g", Kind: index.KindRTree, PageSize: 512, Dir: dir,
+		Fsync: wal.SyncNever, CheckpointEvery: -1}
+	srv := New(Config{})
+	inst, err := srv.AddIndex(spec, []index.Item{{Rect: geom.R(0, 0, 1, 1), OID: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil { // close checkpoints again
+		t.Fatal(err)
+	}
+	df, err := pagefile.OpenDiskFile(filepath.Join(dir, "g.snap"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer df.Close()
+	um := df.UserMeta()
+	if gen := binary.LittleEndian.Uint64(um[16:24]); gen != 3 {
+		t.Errorf("snapshot covers generation %d, want 3 (build + 2 checkpoints)", gen)
+	}
+}

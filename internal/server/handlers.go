@@ -8,6 +8,7 @@ import (
 	"strconv"
 
 	"mbrtopo/internal/geom"
+	"mbrtopo/internal/pagefile"
 	"mbrtopo/internal/query"
 	"mbrtopo/internal/rtree"
 )
@@ -25,6 +26,35 @@ func writeJSONError(w http.ResponseWriter, code int, msg string) {
 	writeJSON(w, code, ErrorResponse{Error: msg})
 }
 
+// servingInstance resolves a request's index and gates on health: an
+// index whose recovery failed or that detected corruption answers 503
+// on its routes instead of serving garbage (or crashing the process).
+func (s *Server) servingInstance(w http.ResponseWriter, name string) (*Instance, bool) {
+	inst, err := s.instance(name)
+	if err != nil {
+		writeJSONError(w, http.StatusNotFound, err.Error())
+		return nil, false
+	}
+	if !inst.Healthy() {
+		writeJSONError(w, http.StatusServiceUnavailable,
+			"index "+inst.Name+" is unhealthy: "+inst.FailReason())
+		return nil, false
+	}
+	return inst, true
+}
+
+// noteCorrupt folds a detected checksum failure into the metrics and
+// degrades the index so subsequent requests get 503s, reporting
+// whether err was a corruption.
+func (s *Server) noteCorrupt(inst *Instance, err error) bool {
+	if err == nil || !errors.Is(err, pagefile.ErrCorrupt) {
+		return false
+	}
+	s.metrics.checksumFailures.Add(1)
+	inst.MarkUnhealthy("checksum failure while serving: " + err.Error())
+	return true
+}
+
 // handleQuery streams a window query as NDJSON: one QueryLine per
 // match in traversal order, then a trailing stats line. The stream is
 // context-aware end to end — a client disconnect or deadline stops the
@@ -36,9 +66,8 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeJSONError(w, http.StatusBadRequest, "bad request body: "+err.Error())
 		return
 	}
-	inst, err := s.instance(req.Index)
-	if err != nil {
-		writeJSONError(w, http.StatusNotFound, err.Error())
+	inst, ok := s.servingInstance(w, req.Index)
+	if !ok {
 		return
 	}
 	rels, err := ParseRelationSet(req.Relations)
@@ -82,6 +111,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err != nil {
+		s.noteCorrupt(inst, err)
 		_ = enc.Encode(QueryLine{Error: err.Error()})
 		return
 	}
@@ -95,13 +125,13 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 // handleKNN answers GET /v1/knn?index=name&k=5&x=10&y=20.
 func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
-	inst, err := s.instance(q.Get("index"))
-	if err != nil {
-		writeJSONError(w, http.StatusNotFound, err.Error())
+	inst, ok := s.servingInstance(w, q.Get("index"))
+	if !ok {
 		return
 	}
 	k := 1
 	if v := q.Get("k"); v != "" {
+		var err error
 		k, err = strconv.Atoi(v)
 		if err != nil || k <= 0 {
 			writeJSONError(w, http.StatusBadRequest, "k must be a positive integer")
@@ -117,6 +147,10 @@ func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) {
 	nn, ts, err := inst.Idx.NearestCtx(r.Context(), geom.Point{X: x, Y: y}, k)
 	s.metrics.FoldTraversal(ts)
 	if err != nil {
+		if s.noteCorrupt(inst, err) {
+			writeJSONError(w, http.StatusServiceUnavailable, err.Error())
+			return
+		}
 		writeJSONError(w, http.StatusInternalServerError, err.Error())
 		return
 	}
@@ -127,18 +161,15 @@ func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// handleInsert stores one rectangle.
+// handleInsert stores one rectangle. On a durable index the insert is
+// appended to the WAL before the 200 is sent.
 func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
-	s.handleMutation(w, r, func(inst *Instance, rect geom.Rect, oid uint64) error {
-		return inst.Idx.Insert(rect, oid)
-	})
+	s.handleMutation(w, r, (*Instance).Insert)
 }
 
-// handleDelete removes one rectangle/id entry.
+// handleDelete removes one rectangle/id entry, WAL-logged like insert.
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
-	s.handleMutation(w, r, func(inst *Instance, rect geom.Rect, oid uint64) error {
-		return inst.Idx.Delete(rect, oid)
-	})
+	s.handleMutation(w, r, (*Instance).Delete)
 }
 
 func (s *Server) handleMutation(w http.ResponseWriter, r *http.Request, op func(*Instance, geom.Rect, uint64) error) {
@@ -147,9 +178,8 @@ func (s *Server) handleMutation(w http.ResponseWriter, r *http.Request, op func(
 		writeJSONError(w, http.StatusBadRequest, "bad request body: "+err.Error())
 		return
 	}
-	inst, err := s.instance(req.Index)
-	if err != nil {
-		writeJSONError(w, http.StatusNotFound, err.Error())
+	inst, ok := s.servingInstance(w, req.Index)
+	if !ok {
 		return
 	}
 	rect, err := RectFromWire(req.Rect)
@@ -159,8 +189,13 @@ func (s *Server) handleMutation(w http.ResponseWriter, r *http.Request, op func(
 	}
 	if err := op(inst, rect, req.OID); err != nil {
 		code := http.StatusInternalServerError
-		if errors.Is(err, rtree.ErrNotFound) {
+		switch {
+		case errors.Is(err, rtree.ErrNotFound):
 			code = http.StatusNotFound
+		case s.noteCorrupt(inst, err) || !inst.Healthy():
+			// Corruption detected mid-mutation, or the WAL append
+			// failed: the mutation is not durable, degrade.
+			code = http.StatusServiceUnavailable
 		}
 		writeJSONError(w, code, err.Error())
 		return
@@ -176,12 +211,20 @@ func (s *Server) handleIndexes(w http.ResponseWriter, r *http.Request) {
 		info := IndexInfo{
 			Name:    inst.Name,
 			Kind:    inst.Kind.String(),
-			Objects: inst.Idx.Len(),
-			Height:  inst.Idx.Height(),
+			Healthy: inst.Healthy(),
+			Durable: inst.Durable(),
 		}
-		if b, ok := inst.Idx.Bounds(); ok {
-			wb := RectToWire(b)
-			info.Bounds = &wb
+		if !info.Healthy {
+			info.FailReason = inst.FailReason()
+		}
+		// A failed recovery registers the instance without a tree.
+		if inst.Idx != nil {
+			info.Objects = inst.Idx.Len()
+			info.Height = inst.Idx.Height()
+			if b, ok := inst.Idx.Bounds(); ok {
+				wb := RectToWire(b)
+				info.Bounds = &wb
+			}
 		}
 		if inst.Pool != nil {
 			info.BufferFrames = inst.Frames
@@ -190,6 +233,34 @@ func (s *Server) handleIndexes(w http.ResponseWriter, r *http.Request) {
 		infos = append(infos, info)
 	}
 	writeJSON(w, http.StatusOK, infos)
+}
+
+// handleHealthz is the liveness probe: the process is up and serving
+// HTTP. It says nothing about index health and bypasses admission
+// control, so orchestrators never kill a loaded-but-busy process.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, HealthResponse{Status: "ok"})
+}
+
+// handleReadyz is the readiness probe: 200 only when every registered
+// index is healthy, 503 (naming the sick indexes) otherwise. Like
+// /healthz it bypasses admission control.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	instances := s.listInstances()
+	resp := ReadyResponse{Ready: true, Indexes: make([]IndexHealth, 0, len(instances))}
+	for _, inst := range instances {
+		ih := IndexHealth{Index: inst.Name, Healthy: inst.Healthy()}
+		if !ih.Healthy {
+			ih.Reason = inst.FailReason()
+			resp.Ready = false
+		}
+		resp.Indexes = append(resp.Indexes, ih)
+	}
+	code := http.StatusOK
+	if !resp.Ready {
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, resp)
 }
 
 // handleMetrics renders the Prometheus text exposition.

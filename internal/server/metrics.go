@@ -31,18 +31,34 @@ type Metrics struct {
 	directAccepts   atomic.Uint64
 	falseHits       atomic.Uint64
 
+	// Durability counters: pages failing their checksum, WAL records
+	// appended by this process, WAL records replayed during recovery,
+	// and checkpoints taken.
+	checksumFailures atomic.Uint64
+	walRecords       atomic.Uint64
+	walReplays       atomic.Uint64
+	checkpoints      atomic.Uint64
+
 	mu        sync.Mutex
 	endpoints map[string]*endpointMetrics
 
 	// poolStats lets /metrics surface buffer-pool hit/miss counters of
 	// the served indexes without the registry importing the server.
 	poolStats func() []PoolStat
+	// healthStats surfaces per-index health the same way.
+	healthStats func() []HealthStat
 }
 
 // PoolStat is one index's buffer-pool counters for /metrics.
 type PoolStat struct {
 	Index        string
 	Hits, Misses uint64
+}
+
+// HealthStat is one index's health gauge for /metrics.
+type HealthStat struct {
+	Index   string
+	Healthy bool
 }
 
 // endpointMetrics is one endpoint's request counters and latency
@@ -121,6 +137,18 @@ func (m *Metrics) NodeAccessesTotal() uint64 { return m.nodeAccesses.Load() }
 
 // CandidatesTotal returns the folded filter-candidate counter.
 func (m *Metrics) CandidatesTotal() uint64 { return m.candidates.Load() }
+
+// ChecksumFailuresTotal returns the corrupt-page counter.
+func (m *Metrics) ChecksumFailuresTotal() uint64 { return m.checksumFailures.Load() }
+
+// WALRecordsTotal returns the appended WAL record counter.
+func (m *Metrics) WALRecordsTotal() uint64 { return m.walRecords.Load() }
+
+// WALReplaysTotal returns the recovered-record counter.
+func (m *Metrics) WALReplaysTotal() uint64 { return m.walReplays.Load() }
+
+// CheckpointsTotal returns the checkpoint counter.
+func (m *Metrics) CheckpointsTotal() uint64 { return m.checkpoints.Load() }
 
 // statusWriter records the response code and keeps http.Flusher
 // reachable through the wrapping.
@@ -232,6 +260,22 @@ func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
 	counter("topod_refinement_tests_total", "Candidates that needed an exact geometry test.", m.refinementTests.Load())
 	counter("topod_direct_accepts_total", "Candidates accepted from MBR configuration alone (Figure 9).", m.directAccepts.Load())
 	counter("topod_false_hits_total", "Candidates rejected by refinement.", m.falseHits.Load())
+	counter("topod_checksum_failures_total", "Pages that failed their CRC32-C check (scrub or serving).", m.checksumFailures.Load())
+	counter("topod_wal_records_total", "Mutations appended to the write-ahead logs by this process.", m.walRecords.Load())
+	counter("topod_wal_replays_total", "WAL records replayed during crash recovery.", m.walReplays.Load())
+	counter("topod_checkpoints_total", "Snapshot checkpoints taken (WAL rotations).", m.checkpoints.Load())
+
+	if m.healthStats != nil {
+		fmt.Fprintf(cw, "# HELP topod_index_healthy Whether the index is serving (1) or degraded to 503s (0).\n")
+		fmt.Fprintf(cw, "# TYPE topod_index_healthy gauge\n")
+		for _, hs := range m.healthStats() {
+			v := 0
+			if hs.Healthy {
+				v = 1
+			}
+			fmt.Fprintf(cw, "topod_index_healthy{index=%q} %d\n", hs.Index, v)
+		}
+	}
 
 	if m.poolStats != nil {
 		stats := m.poolStats()

@@ -14,6 +14,9 @@
 //	POST /v1/delete   remove a rectangle/id entry
 //	GET  /v1/indexes  the loaded indexes (kind, size, height, bounds)
 //	GET  /metrics     Prometheus text exposition
+//	GET  /healthz     process liveness (always 200 while serving)
+//	GET  /readyz      readiness: 200 only when every index recovered
+//	                  and is healthy, 503 otherwise
 //
 // All /v1 endpoints pass through admission control: at most
 // Config.MaxInFlight requests execute concurrently; excess requests
@@ -27,11 +30,14 @@ import (
 	"net/http"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"mbrtopo/internal/geom"
 	"mbrtopo/internal/index"
 	"mbrtopo/internal/pagefile"
 	"mbrtopo/internal/query"
+	"mbrtopo/internal/wal"
 )
 
 // Config tunes the service. The zero value is usable: defaults are
@@ -62,17 +68,91 @@ type IndexSpec struct {
 	// Frames, when positive, layers a pagefile.BufferPool with that
 	// many frames between the tree and the page file.
 	Frames int
+	// Dir, when non-empty, makes the index durable: its state lives in
+	// this directory as a checksummed snapshot plus a mutation WAL,
+	// recovered on AddIndex (in which case items is ignored) and
+	// checkpointed as the log grows.
+	Dir string
+	// Fsync is the WAL fsync policy for durable indexes.
+	Fsync wal.SyncPolicy
+	// FsyncInterval is the flush staleness bound under
+	// wal.SyncInterval (0 → the wal package default).
+	FsyncInterval time.Duration
+	// CheckpointEvery checkpoints after this many logged mutations
+	// (0 → DefaultCheckpointEvery; negative → manual only).
+	CheckpointEvery int
+	// FileWrapper, when set, wraps the page file under the tree — the
+	// crash-recovery tests inject a pagefile.CrashFile here.
+	FileWrapper func(pagefile.File) pagefile.File
 }
+
+// DefaultCheckpointEvery is the automatic checkpoint cadence (logged
+// mutations between snapshot rewrites) when the spec leaves it zero.
+const DefaultCheckpointEvery = 1024
 
 // Instance is one served index with its query processor.
 type Instance struct {
 	Name string
 	Kind index.Kind
+	// Idx is nil when recovery failed and the instance is unhealthy.
 	Idx  index.Index
 	Proc *query.Processor
 	// Pool is the buffer pool under the tree, nil when unbuffered.
 	Pool   *pagefile.BufferPool
 	Frames int
+
+	// Recovered reports that AddIndex resumed existing durable state
+	// instead of building from items; Replayed counts the WAL records
+	// applied on top of the snapshot.
+	Recovered bool
+	Replayed  int
+
+	dur        *durable
+	unhealthy  atomic.Bool
+	mu         sync.Mutex // guards failReason
+	failReason string
+}
+
+// Healthy reports whether the index may serve traffic. An index whose
+// recovery or scrub failed — or that detected corruption while
+// serving — answers 503 instead of wrong answers.
+func (inst *Instance) Healthy() bool { return !inst.unhealthy.Load() }
+
+// FailReason returns why the instance is unhealthy ("" when healthy).
+func (inst *Instance) FailReason() string {
+	inst.mu.Lock()
+	defer inst.mu.Unlock()
+	return inst.failReason
+}
+
+// MarkUnhealthy takes the instance out of service (first reason wins).
+func (inst *Instance) MarkUnhealthy(reason string) {
+	if inst.unhealthy.CompareAndSwap(false, true) {
+		inst.mu.Lock()
+		inst.failReason = reason
+		inst.mu.Unlock()
+	}
+}
+
+// Durable reports whether the instance persists to a data directory.
+func (inst *Instance) Durable() bool { return inst.dur != nil }
+
+// Insert stores one rectangle, logging it to the WAL (before the
+// caller acknowledges) when the index is durable.
+func (inst *Instance) Insert(r geom.Rect, oid uint64) error {
+	if inst.dur != nil {
+		return inst.dur.apply(inst, wal.OpInsert, r, oid)
+	}
+	return inst.Idx.Insert(r, oid)
+}
+
+// Delete removes one rectangle/id entry, logging it to the WAL when
+// the index is durable.
+func (inst *Instance) Delete(r geom.Rect, oid uint64) error {
+	if inst.dur != nil {
+		return inst.dur.apply(inst, wal.OpDelete, r, oid)
+	}
+	return inst.Idx.Delete(r, oid)
 }
 
 // Server routes the wire API onto a set of named indexes.
@@ -105,7 +185,17 @@ func New(cfg Config) *Server {
 		instances: make(map[string]*Instance),
 	}
 	m.poolStats = s.poolStats
+	m.healthStats = s.healthStats
 	return s
+}
+
+// healthStats snapshots per-index health for the /metrics exposition.
+func (s *Server) healthStats() []HealthStat {
+	var out []HealthStat
+	for _, inst := range s.listInstances() {
+		out = append(out, HealthStat{Index: inst.Name, Healthy: inst.Healthy()})
+	}
+	return out
 }
 
 // poolStats snapshots the buffer-pool counters of the buffered
@@ -127,7 +217,11 @@ func (s *Server) poolStats() []PoolStat {
 func (s *Server) Metrics() *Metrics { return s.metrics }
 
 // AddIndex builds an index per spec, loads items into it, and serves
-// it under spec.Name. The first index added becomes the default.
+// it under spec.Name. The first index added becomes the default. With
+// spec.Dir set the index is durable: existing state in the directory
+// is recovered (items is then ignored) and a recovery failure yields a
+// registered-but-unhealthy instance answering 503 rather than an
+// error — the process serves its other indexes instead of dying.
 func (s *Server) AddIndex(spec IndexSpec, items []index.Item) (*Instance, error) {
 	if spec.Name == "" {
 		return nil, fmt.Errorf("server: index needs a name")
@@ -135,30 +229,49 @@ func (s *Server) AddIndex(spec IndexSpec, items []index.Item) (*Instance, error)
 	if spec.PageSize <= 0 {
 		spec.PageSize = index.PaperPageSize
 	}
-	var file pagefile.File = pagefile.NewMemFile(spec.PageSize)
-	var pool *pagefile.BufferPool
-	if spec.Frames > 0 {
-		pool = pagefile.NewBufferPool(file, spec.Frames)
-		file = pool
+	if spec.CheckpointEvery == 0 {
+		spec.CheckpointEvery = DefaultCheckpointEvery
 	}
-	idx, err := index.NewOnFile(spec.Kind, file)
-	if err != nil {
-		return nil, fmt.Errorf("server: index %q: %w", spec.Name, err)
+
+	var inst *Instance
+	if spec.Dir != "" {
+		var err error
+		inst, err = s.openDurable(spec, items)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		var file pagefile.File = pagefile.NewMemFile(spec.PageSize)
+		if spec.FileWrapper != nil {
+			file = spec.FileWrapper(file)
+		}
+		var pool *pagefile.BufferPool
+		if spec.Frames > 0 {
+			pool = pagefile.NewBufferPool(file, spec.Frames)
+			file = pool
+		}
+		idx, err := index.NewOnFile(spec.Kind, file)
+		if err != nil {
+			return nil, fmt.Errorf("server: index %q: %w", spec.Name, err)
+		}
+		if err := index.Load(idx, items); err != nil {
+			return nil, fmt.Errorf("server: index %q: %w", spec.Name, err)
+		}
+		inst = &Instance{
+			Name:   spec.Name,
+			Kind:   spec.Kind,
+			Idx:    idx,
+			Pool:   pool,
+			Frames: spec.Frames,
+		}
 	}
-	if err := index.Load(idx, items); err != nil {
-		return nil, fmt.Errorf("server: index %q: %w", spec.Name, err)
-	}
-	inst := &Instance{
-		Name:   spec.Name,
-		Kind:   spec.Kind,
-		Idx:    idx,
-		Proc:   &query.Processor{Idx: idx},
-		Pool:   pool,
-		Frames: spec.Frames,
+	if inst.Idx != nil {
+		inst.Proc = &query.Processor{Idx: inst.Idx}
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, dup := s.instances[spec.Name]; dup {
+		_ = inst.Close()
 		return nil, fmt.Errorf("server: duplicate index %q", spec.Name)
 	}
 	s.instances[spec.Name] = inst
@@ -166,6 +279,18 @@ func (s *Server) AddIndex(spec IndexSpec, items []index.Item) (*Instance, error)
 		s.defaultName = spec.Name
 	}
 	return inst, nil
+}
+
+// Close checkpoints and releases every durable index. The server must
+// not be serving requests any more (call after http.Server.Shutdown).
+func (s *Server) Close() error {
+	var firstErr error
+	for _, inst := range s.listInstances() {
+		if err := inst.Close(); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("server: closing index %q: %w", inst.Name, err)
+		}
+	}
+	return firstErr
 }
 
 // instance resolves a request's index name ("" → default).
@@ -206,7 +331,11 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("POST /v1/insert", v1("insert", s.handleInsert))
 	mux.Handle("POST /v1/delete", v1("delete", s.handleDelete))
 	mux.Handle("GET /v1/indexes", v1("indexes", s.handleIndexes))
+	// Observability and health bypass admission control so probes and
+	// scrapes survive saturation.
 	mux.Handle("GET /metrics", s.metrics.instrument("metrics", http.HandlerFunc(s.handleMetrics)))
+	mux.Handle("GET /healthz", s.metrics.instrument("healthz", http.HandlerFunc(s.handleHealthz)))
+	mux.Handle("GET /readyz", s.metrics.instrument("readyz", http.HandlerFunc(s.handleReadyz)))
 	return mux
 }
 

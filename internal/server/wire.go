@@ -81,10 +81,32 @@ type IndexInfo struct {
 	Kind         string      `json:"kind"`
 	Objects      int         `json:"objects"`
 	Height       int         `json:"height"`
+	Healthy      bool        `json:"healthy"`
+	Durable      bool        `json:"durable,omitempty"`
+	FailReason   string      `json:"fail_reason,omitempty"`
 	Bounds       *[4]float64 `json:"bounds,omitempty"`
 	BufferFrames int         `json:"buffer_frames,omitempty"`
 	BufferHits   uint64      `json:"buffer_hits,omitempty"`
 	BufferMisses uint64      `json:"buffer_misses,omitempty"`
+}
+
+// HealthResponse is the body of GET /healthz (process liveness).
+type HealthResponse struct {
+	Status string `json:"status"`
+}
+
+// IndexHealth is one index's entry in the /readyz report.
+type IndexHealth struct {
+	Index   string `json:"index"`
+	Healthy bool   `json:"healthy"`
+	Reason  string `json:"reason,omitempty"`
+}
+
+// ReadyResponse is the body of GET /readyz: ready only when every
+// registered index is healthy.
+type ReadyResponse struct {
+	Ready   bool          `json:"ready"`
+	Indexes []IndexHealth `json:"indexes"`
 }
 
 // ErrorResponse is the body of non-streaming error replies.

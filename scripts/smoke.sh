@@ -1,38 +1,64 @@
 #!/usr/bin/env bash
 # Server smoke test: boot topod on an ephemeral port against a
 # synthetic dataset, run one NDJSON query and a /metrics scrape, then
-# assert the daemon drains cleanly on SIGTERM.
+# assert the daemon drains cleanly on SIGTERM. A second leg kill -9s a
+# durable topod mid-traffic and asserts the restart recovers every
+# acknowledged mutation.
 set -euo pipefail
 
 TOPOD="${1:?usage: smoke.sh path/to/topod}"
 LOG="$(mktemp)"
-cleanup() { kill -9 "$PID" 2>/dev/null || true; rm -f "$LOG"; }
+DATADIR="$(mktemp -d)"
+cleanup() {
+  kill -9 "$PID" 2>/dev/null || true
+  kill -9 "$PID2" 2>/dev/null || true
+  rm -rf "$LOG" "$LOG2" "$LOG3" "$DATADIR" 2>/dev/null || true
+}
+PID="" PID2="" LOG2="" LOG3=""
+
+# wait_listen LOGFILE: echo the address once the daemon logs it.
+wait_listen() {
+  local addr=""
+  for _ in $(seq 1 100); do
+    addr="$(sed -n 's/^topod: listening on //p' "$1" | head -1)"
+    [ -n "$addr" ] && { echo "$addr"; return 0; }
+    sleep 0.1
+  done
+  return 1
+}
+
+# wait_ready BASE: poll /readyz until it reports 200.
+wait_ready() {
+  for _ in $(seq 1 100); do
+    curl -sf "$1/readyz" >/dev/null 2>&1 && return 0
+    sleep 0.1
+  done
+  return 1
+}
 
 "$TOPOD" -gen 2000 -tree rstar -frames 32 -addr 127.0.0.1:0 >"$LOG" 2>&1 &
 PID=$!
 trap cleanup EXIT
 
-ADDR=""
-for _ in $(seq 1 100); do
-  ADDR="$(sed -n 's/^topod: listening on //p' "$LOG" | head -1)"
-  [ -n "$ADDR" ] && break
-  sleep 0.1
-done
-if [ -z "$ADDR" ]; then
+ADDR="$(wait_listen "$LOG")" || {
   echo "smoke: topod never started listening" >&2
   cat "$LOG" >&2
   exit 1
-fi
+}
 BASE="http://$ADDR"
 
-curl -sf "$BASE/v1/indexes" | grep -q '"objects":2000' \
-  || { echo "smoke: /v1/indexes missing the loaded index" >&2; exit 1; }
+# Capture responses before grepping: `curl | grep -q` races under
+# pipefail (grep's early exit SIGPIPEs curl into exit 23).
+IDX="$(curl -sf "$BASE/v1/indexes")"
+echo "$IDX" | grep -q '"objects":2000' \
+  || { echo "smoke: /v1/indexes missing the loaded index: $IDX" >&2; exit 1; }
 
 RESP="$(curl -sf -d '{"relations":["not_disjoint"],"ref":[100,100,300,300]}' "$BASE/v1/query")"
 echo "$RESP" | tail -1 | grep -q '"stats"' \
   || { echo "smoke: query stream did not end with a stats line: $RESP" >&2; exit 1; }
 
-curl -sf "$BASE/metrics" | grep -q '^topod_node_accesses_total [1-9]' \
+METRICS="$(curl -sf "$BASE/metrics")"
+echo "$METRICS" | grep -q '^topod_node_accesses_total [1-9]' \
   || { echo "smoke: /metrics did not fold the query's node accesses" >&2; exit 1; }
 
 kill -TERM "$PID"
@@ -45,3 +71,67 @@ grep -q '^topod: bye$' "$LOG" \
   || { echo "smoke: drain message missing from log" >&2; cat "$LOG" >&2; exit 1; }
 
 echo "smoke OK: query + metrics + graceful drain"
+
+# ---- crash-recovery leg: kill -9 a durable topod, restart, verify ----
+
+LOG2="$(mktemp)"
+"$TOPOD" -gen 500 -tree rtree -data-dir "$DATADIR" -fsync always \
+  -addr 127.0.0.1:0 >"$LOG2" 2>&1 &
+PID2=$!
+
+ADDR2="$(wait_listen "$LOG2")" || {
+  echo "smoke: durable topod never started listening" >&2
+  cat "$LOG2" >&2
+  exit 1
+}
+BASE2="http://$ADDR2"
+wait_ready "$BASE2" || { echo "smoke: durable topod never became ready" >&2; exit 1; }
+
+# A marker mutation that must survive the crash (fsync=always: the WAL
+# record is on disk before the 200).
+ACK="$(curl -sf -d '{"oid":424242,"rect":[11111,11111,11112,11112]}' "$BASE2/v1/insert")"
+echo "$ACK" | grep -q '"ok":true' \
+  || { echo "smoke: marker insert failed: $ACK" >&2; exit 1; }
+
+# Background traffic so the kill lands mid-flight.
+for i in $(seq 1 20); do
+  curl -s -d '{"relations":["not_disjoint"],"ref":[100,100,300,300]}' \
+    "$BASE2/v1/query" >/dev/null 2>&1 &
+done
+kill -9 "$PID2"
+wait "$PID2" 2>/dev/null || true
+wait # reap the background curls
+
+# Restart on the same data dir: recovery must replay the marker. A
+# fresh log file keeps the listening-address scrape unambiguous.
+LOG3="$(mktemp)"
+"$TOPOD" -gen 500 -tree rtree -data-dir "$DATADIR" -fsync always \
+  -addr 127.0.0.1:0 >"$LOG3" 2>&1 &
+PID2=$!
+
+ADDR2="$(wait_listen "$LOG3")" || {
+  echo "smoke: restarted topod never started listening" >&2
+  cat "$LOG3" >&2
+  exit 1
+}
+BASE2="http://$ADDR2"
+wait_ready "$BASE2" || {
+  echo "smoke: restarted topod never became ready" >&2
+  cat "$LOG3" >&2
+  exit 1
+}
+grep -q '^topod: recovered ' "$LOG3" \
+  || { echo "smoke: restart did not report recovery" >&2; cat "$LOG3" >&2; exit 1; }
+
+MARKER="$(curl -sf -d '{"relations":["not_disjoint"],"ref":[11110,11110,11113,11113]}' "$BASE2/v1/query")"
+echo "$MARKER" | grep -q '"oid":424242' \
+  || { echo "smoke: pre-crash mutation lost after recovery: $MARKER" >&2; cat "$LOG3" >&2; exit 1; }
+
+kill -TERM "$PID2"
+if ! wait "$PID2"; then
+  echo "smoke: recovered topod exited non-zero on SIGTERM" >&2
+  cat "$LOG3" >&2
+  exit 1
+fi
+
+echo "smoke OK: kill -9 + restart recovered every acknowledged mutation"
