@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify race test bench fmt smoke
+.PHONY: verify race test bench fmt smoke fuzz
 
 # Tier-1 gate: everything must build, vet clean, and pass.
 verify:
@@ -8,10 +8,17 @@ verify:
 	$(GO) vet ./...
 	$(GO) test ./...
 
-# Concurrency gate: the read path must be race-free with exact
-# per-query statistics (internal packages + the facade tests).
+# Concurrency gate: readers, batched writers, and group commit must be
+# race-free across every package, with exact per-query statistics.
 race:
-	$(GO) test -race ./internal/... .
+	$(GO) test -race ./...
+
+# Fuzz gate: run each fuzzer for a bounded budget on top of its seed
+# corpus under testdata/fuzz/ (also run in CI).
+FUZZTIME ?= 20s
+fuzz:
+	$(GO) test -run='^$$' -fuzz=FuzzWALReplay -fuzztime=$(FUZZTIME) ./internal/wal
+	$(GO) test -run='^$$' -fuzz=FuzzWireDecode -fuzztime=$(FUZZTIME) ./internal/server
 
 test:
 	$(GO) test ./...

@@ -1,12 +1,15 @@
-// Command datagen emits the paper's synthetic workloads as CSV: a data
-// file of rectangles (oid,minx,miny,maxx,maxy) and a search file of
-// query rectangles (minx,miny,maxx,maxy).
+// Command datagen emits the paper's synthetic workloads: a data file
+// of rectangles and a search file of query rectangles, as CSV
+// (oid,minx,miny,maxx,maxy) or as NDJSON matching the topod
+// POST /v1/bulk line format.
 //
 // Usage:
 //
 //	datagen -class medium -n 10000 -queries 100 -seed 1995 \
 //	        -out data.csv -qout queries.csv
 //	datagen -class large -clustered -clusters 8 -out data.csv
+//	datagen -n 100000 -format ndjson -out - -qout "" |
+//	    curl -s --data-binary @- 'localhost:8080/v1/bulk?index=main'
 package main
 
 import (
@@ -28,12 +31,21 @@ func main() {
 		qout      = flag.String("qout", "queries.csv", "search file path (- for stdout, empty to skip)")
 		clustered = flag.Bool("clustered", false, "generate clustered instead of uniform data")
 		clusters  = flag.Int("clusters", 8, "number of clusters for -clustered")
+		format    = flag.String("format", "csv", "output format: csv, ndjson (ndjson matches POST /v1/bulk lines)")
 	)
 	flag.Parse()
 
 	cls, err := parseClass(*class)
 	if err != nil {
 		fatal(err)
+	}
+	writeItems, writeRects := workload.WriteItemsCSV, workload.WriteRectsCSV
+	switch strings.ToLower(*format) {
+	case "csv":
+	case "ndjson":
+		writeItems, writeRects = workload.WriteItemsNDJSON, workload.WriteRectsNDJSON
+	default:
+		fatal(fmt.Errorf("unknown format %q (want csv or ndjson)", *format))
 	}
 	var d *workload.Dataset
 	if *clustered {
@@ -43,13 +55,13 @@ func main() {
 	}
 
 	if err := writeTo(*out, func(f *os.File) error {
-		return workload.WriteItemsCSV(f, d.Items)
+		return writeItems(f, d.Items)
 	}); err != nil {
 		fatal(err)
 	}
 	if *qout != "" {
 		if err := writeTo(*qout, func(f *os.File) error {
-			return workload.WriteRectsCSV(f, d.Queries)
+			return writeRects(f, d.Queries)
 		}); err != nil {
 			fatal(err)
 		}

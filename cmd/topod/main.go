@@ -2,13 +2,18 @@
 // topological retrieval as a wire API with NDJSON streaming, admission
 // control, and Prometheus metrics (package server).
 //
-// Serve a data file:
+// Serve a data file (CSV, or NDJSON in the /v1/bulk line format):
 //
 //	topod -addr :8080 -data data.csv -tree rstar -frames 64
 //	curl -s localhost:8080/v1/indexes
 //	curl -s -d '{"relations":["overlap"],"ref":[10,10,40,30]}' localhost:8080/v1/query
 //	curl -s 'localhost:8080/v1/knn?k=5&x=100&y=200'
 //	curl -s localhost:8080/metrics
+//
+// With -bulk the startup load is Sort-Tile-Recursive packed instead of
+// inserted one by one — the way to serve a large data file quickly:
+//
+//	topod -data data.csv -bulk
 //
 // Without -data, -gen N serves a synthetic dataset of N rectangles
 // (deterministic in -seed). SIGINT/SIGTERM drain in-flight requests
@@ -55,8 +60,9 @@ import (
 func main() {
 	var (
 		addr        = flag.String("addr", ":8080", "listen address")
-		dataPath    = flag.String("data", "", "data CSV (oid,minx,miny,maxx,maxy)")
-		gen         = flag.Int("gen", 0, "serve a synthetic dataset of this many rectangles (when -data is empty)")
+		dataPath    = flag.String("data", "", "data file: CSV (oid,minx,miny,maxx,maxy) or .ndjson (/v1/bulk lines)")
+		bulk        = flag.Bool("bulk", false, "STR bulk-load the startup data instead of inserting one by one")
+		gen         = flag.Int("gen", 0, "serve a synthetic dataset of this many rectangles (0 with no -data: start empty, fill via /v1/bulk)")
 		className   = flag.String("class", "medium", "size class for -gen (small, medium, large)")
 		seed        = flag.Int64("seed", 1995, "random seed for -gen and -bench workloads")
 		tree        = flag.String("tree", "rtree", "access method: rtree, rplus, rstar")
@@ -119,6 +125,7 @@ func main() {
 		Kind:     kind,
 		PageSize: *pageSize,
 		Frames:   *frames,
+		Bulk:     *bulk,
 	}
 	if *dataDir != "" {
 		policy, err := wal.ParseSyncPolicy(*fsync)
@@ -141,10 +148,12 @@ func main() {
 		MaxInFlight:    *maxInFlight,
 		DefaultTimeout: *timeout,
 	})
+	buildStart := time.Now()
 	inst, err := srv.AddIndex(spec, items)
 	if err != nil {
 		fatal(err)
 	}
+	buildTime := time.Since(buildStart)
 	switch {
 	case !inst.Healthy():
 		fmt.Printf("topod: index %q UNHEALTHY (%s); serving 503 on its routes\n",
@@ -153,8 +162,12 @@ func main() {
 		fmt.Printf("topod: recovered %d rectangles in %s %q from %s (replayed %d WAL records)\n",
 			inst.Idx.Len(), inst.Kind, inst.Name, *dataDir, inst.Replayed)
 	default:
-		fmt.Printf("topod: serving %d rectangles in %s %q (height %d, frames %d)\n",
-			inst.Idx.Len(), inst.Kind, inst.Name, inst.Idx.Height(), *frames)
+		build := "loaded"
+		if *bulk {
+			build = "bulk-loaded"
+		}
+		fmt.Printf("topod: %s %d rectangles in %s %q in %s (height %d, frames %d)\n",
+			build, inst.Idx.Len(), inst.Kind, inst.Name, buildTime.Round(time.Millisecond), inst.Idx.Height(), *frames)
 	}
 
 	ln, err := net.Listen("tcp", *addr)
@@ -189,7 +202,8 @@ func main() {
 	}
 }
 
-// loadItems reads the data CSV, or generates a synthetic dataset.
+// loadItems reads the data file (CSV, or NDJSON by extension), or
+// generates a synthetic dataset.
 func loadItems(path string, gen int, cls workload.SizeClass, seed int64) ([]index.Item, error) {
 	if path != "" {
 		f, err := os.Open(path)
@@ -197,10 +211,18 @@ func loadItems(path string, gen int, cls workload.SizeClass, seed int64) ([]inde
 			return nil, err
 		}
 		defer f.Close()
+		if strings.HasSuffix(path, ".ndjson") {
+			return workload.ReadItemsNDJSON(f)
+		}
 		return workload.ReadItemsCSV(f)
 	}
-	if gen <= 0 {
-		return nil, fmt.Errorf("provide -data or -gen")
+	if gen < 0 {
+		return nil, fmt.Errorf("-gen must be non-negative")
+	}
+	if gen == 0 {
+		// Start empty: the dataset arrives later through POST /v1/bulk
+		// (or one insert at a time).
+		return nil, nil
 	}
 	return workload.NewDataset(cls, gen, 0, seed).Items, nil
 }

@@ -8,26 +8,32 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"mbrtopo"
 )
 
 func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(w io.Writer) error {
 	idx, err := mbrtopo.NewRStar()
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	store := mbrtopo.RegionStore{}
 
-	add := func(oid uint64, r mbrtopo.Region) {
+	add := func(oid uint64, r mbrtopo.Region) error {
 		if err := r.Validate(); err != nil {
-			log.Fatalf("oid %d: %v", oid, err)
+			return fmt.Errorf("oid %d: %w", oid, err)
 		}
 		store[oid] = r
-		if err := idx.Insert(r.Bounds(), oid); err != nil {
-			log.Fatal(err)
-		}
+		return idx.Insert(r.Bounds(), oid)
 	}
 
 	// The strait: a narrow vertical sea lane.
@@ -40,31 +46,39 @@ func main() {
 		mbrtopo.R(20, 40, 44, 60).Polygon(),
 		mbrtopo.R(56, 40, 80, 60).Polygon(),
 	}
-	add(1, twoShores)
+	if err := add(1, twoShores); err != nil {
+		return err
+	}
 
 	// An archipelago inside a bay (all components within the strait).
 	inStrait := mbrtopo.MultiPolygon{
 		mbrtopo.R(47, 10, 49, 13).Polygon(),
 		mbrtopo.R(51, 20, 53, 24).Polygon(),
 	}
-	add(2, inStrait)
+	if err := add(2, inStrait); err != nil {
+		return err
+	}
 
 	// A coastal state meeting the strait's west bank.
 	coastal := mbrtopo.MultiPolygon{
 		mbrtopo.R(30, 70, 45, 90).Polygon(),
 		mbrtopo.R(25, 60, 35, 68).Polygon(),
 	}
-	add(3, coastal)
+	if err := add(3, coastal); err != nil {
+		return err
+	}
 
 	// A far-away island group.
-	add(4, mbrtopo.MultiPolygon{
+	if err := add(4, mbrtopo.MultiPolygon{
 		mbrtopo.R(85, 85, 90, 90).Polygon(),
 		mbrtopo.R(92, 92, 97, 97).Polygon(),
-	})
+	}); err != nil {
+		return err
+	}
 
-	fmt.Println("territories vs the strait (exact):")
+	fmt.Fprintln(w, "territories vs the strait (exact):")
 	for oid := uint64(1); oid <= 4; oid++ {
-		fmt.Printf("  oid %d: %v (MBR config %v)\n",
+		fmt.Fprintf(w, "  oid %d: %v (MBR config %v)\n",
 			oid, mbrtopo.RelateRegions(store[oid], strait),
 			mbrtopo.ConfigOf(store[oid].Bounds(), strait.Bounds()))
 	}
@@ -72,31 +86,32 @@ func main() {
 	contiguous := &mbrtopo.Processor{Idx: idx, Objects: store}
 	relaxed := &mbrtopo.Processor{Idx: idx, Objects: store, NonContiguous: true}
 
-	fmt.Println("\nquery: territories DISJOINT from the strait")
+	fmt.Fprintln(w, "\nquery: territories DISJOINT from the strait")
 	res, err := contiguous.Query(mbrtopo.Disjoint, strait)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("  contiguous tables:     %v   ← misses oid 1 (crossing config excluded)\n", oidsOf(res))
+	fmt.Fprintf(w, "  contiguous tables:     %v   ← misses oid 1 (crossing config excluded)\n", oidsOf(res))
 	res, err = relaxed.Query(mbrtopo.Disjoint, strait)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("  non-contiguous tables: %v\n", oidsOf(res))
+	fmt.Fprintf(w, "  non-contiguous tables: %v\n", oidsOf(res))
 
-	fmt.Println("\nquery: territories INSIDE the strait")
+	fmt.Fprintln(w, "\nquery: territories INSIDE the strait")
 	res, err = relaxed.Query(mbrtopo.Inside, strait)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("  non-contiguous tables: %v\n", oidsOf(res))
+	fmt.Fprintf(w, "  non-contiguous tables: %v\n", oidsOf(res))
 
-	fmt.Println("\nquery: territories that MEET the strait")
+	fmt.Fprintln(w, "\nquery: territories that MEET the strait")
 	res, err = relaxed.Query(mbrtopo.Meet, strait)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("  non-contiguous tables: %v\n", oidsOf(res))
+	fmt.Fprintf(w, "  non-contiguous tables: %v\n", oidsOf(res))
+	return nil
 }
 
 func oidsOf(r mbrtopo.Result) []uint64 {

@@ -7,17 +7,25 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
 	"math/rand"
+	"os"
 
 	"mbrtopo"
 )
 
 func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(w io.Writer) error {
 	rng := rand.New(rand.NewSource(7))
 	idx, err := mbrtopo.NewRTree()
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	store := mbrtopo.MapStore{}
 
@@ -30,17 +38,17 @@ func main() {
 				oid++
 				x := float64(gx*100) + rng.Float64()*70
 				y := float64(gy*100) + rng.Float64()*70
-				w := 5 + rng.Float64()*40
-				h := 5 + rng.Float64()*40
-				parcel := quadIn(rng, mbrtopo.R(x, y, x+w, y+h))
+				pw := 5 + rng.Float64()*40
+				ph := 5 + rng.Float64()*40
+				parcel := quadIn(rng, mbrtopo.R(x, y, x+pw, y+ph))
 				store[oid] = parcel
 				if err := idx.Insert(parcel.Bounds(), oid); err != nil {
-					log.Fatal(err)
+					return err
 				}
 			}
 		}
 	}
-	fmt.Printf("registered %d parcels (R-tree height %d)\n", idx.Len(), idx.Height())
+	fmt.Fprintf(w, "registered %d parcels (R-tree height %d)\n", idx.Len(), idx.Height())
 
 	proc := &mbrtopo.Processor{Idx: idx, Objects: store}
 	district := mbrtopo.R(200, 200, 500, 500).Polygon()
@@ -48,10 +56,10 @@ func main() {
 	// The low-resolution "in" query.
 	res, err := proc.QuerySet(mbrtopo.In, district)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("\nparcels in district [200,200 – 500,500]: %d\n", len(res.Matches))
-	fmt.Printf("  node accesses: %d, candidates: %d, refinement tests: %d, direct accepts: %d\n",
+	fmt.Fprintf(w, "\nparcels in district [200,200 – 500,500]: %d\n", len(res.Matches))
+	fmt.Fprintf(w, "  node accesses: %d, candidates: %d, refinement tests: %d, direct accepts: %d\n",
 		res.Stats.NodeAccesses, res.Stats.Candidates,
 		res.Stats.RefinementTests, res.Stats.DirectAccepts)
 
@@ -59,16 +67,20 @@ func main() {
 	// candidates.
 	cb, err := proc.Query(mbrtopo.CoveredBy, district)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("\ncost identity: in-query accesses = %d, covered_by accesses = %d (identical: %v)\n",
+	fmt.Fprintf(w, "\ncost identity: in-query accesses = %d, covered_by accesses = %d (identical: %v)\n",
 		res.Stats.NodeAccesses, cb.Stats.NodeAccesses,
 		res.Stats.NodeAccesses == cb.Stats.NodeAccesses)
 
 	// Distinguish the two member relations when the distinction matters.
-	inside, _ := proc.Query(mbrtopo.Inside, district)
-	fmt.Printf("of the %d parcels in the district, %d are strictly inside and %d touch its boundary\n",
+	inside, err := proc.Query(mbrtopo.Inside, district)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "of the %d parcels in the district, %d are strictly inside and %d touch its boundary\n",
 		len(res.Matches), len(inside.Matches), len(res.Matches)-len(inside.Matches))
+	return nil
 }
 
 // quadIn builds a random convex quadrilateral spanning r (crisp MBR).

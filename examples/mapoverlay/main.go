@@ -7,17 +7,25 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
 	"math/rand"
+	"os"
 
 	"mbrtopo"
 )
 
 func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(w io.Writer) error {
 	rng := rand.New(rand.NewSource(42))
 	idx, err := mbrtopo.NewRStar()
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	store := mbrtopo.MapStore{}
 
@@ -25,12 +33,12 @@ func main() {
 	for oid := uint64(1); oid <= 500; oid++ {
 		x := rng.Float64() * 950
 		y := rng.Float64() * 950
-		w := 4 + rng.Float64()*30
-		h := 4 + rng.Float64()*30
-		b := mbrtopo.R(x, y, x+w, y+h).Polygon()
+		bw := 4 + rng.Float64()*30
+		bh := 4 + rng.Float64()*30
+		b := mbrtopo.R(x, y, x+bw, y+bh).Polygon()
 		store[oid] = b
 		if err := idx.Insert(b.Bounds(), oid); err != nil {
-			log.Fatal(err)
+			return err
 		}
 	}
 	proc := &mbrtopo.Processor{Idx: idx, Objects: store}
@@ -44,32 +52,33 @@ func main() {
 	}
 	island := mbrtopo.R(850, 850, 980, 980).Polygon()
 
-	fmt.Printf("relation between flood zone and municipality: %v\n",
+	fmt.Fprintf(w, "relation between flood zone and municipality: %v\n",
 		mbrtopo.Relate(floodZone, municipality))
 
 	// Executed conjunction: the processor retrieves the cheaper side
 	// through the index and filters the other in memory.
 	res, err := proc.QueryConjunction(mbrtopo.Inside, floodZone, mbrtopo.Overlap, municipality)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("\nbuildings inside the flood zone AND overlapping the municipality: %d\n",
+	fmt.Fprintf(w, "\nbuildings inside the flood zone AND overlapping the municipality: %d\n",
 		len(res.Matches))
-	fmt.Printf("  node accesses: %d, refinement tests: %d\n",
+	fmt.Fprintf(w, "  node accesses: %d, refinement tests: %d\n",
 		res.Stats.NodeAccesses, res.Stats.RefinementTests)
 
 	// Provably-empty conjunction: the island is disjoint from the flood
 	// zone, and inside ∘ disjoint = {disjoint}, so nothing can be inside
 	// the island while overlapping the flood zone (Table 4).
-	fmt.Printf("\nrelation between island and flood zone: %v\n", mbrtopo.Relate(island, floodZone))
+	fmt.Fprintf(w, "\nrelation between island and flood zone: %v\n", mbrtopo.Relate(island, floodZone))
 	res2, err := proc.QueryConjunction(mbrtopo.Inside, island, mbrtopo.Overlap, floodZone)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("buildings inside the island AND overlapping the flood zone: %d (short-circuited: %v, node accesses: %d)\n",
+	fmt.Fprintf(w, "buildings inside the island AND overlapping the flood zone: %d (short-circuited: %v, node accesses: %d)\n",
 		len(res2.Matches), res2.Stats.ShortCircuited, res2.Stats.NodeAccesses)
 
 	// The underlying algebra, directly.
-	fmt.Printf("\ncomposition inside ∘ disjoint = %v\n",
+	fmt.Fprintf(w, "\ncomposition inside ∘ disjoint = %v\n",
 		mbrtopo.Compose(mbrtopo.Inside, mbrtopo.Disjoint))
+	return nil
 }

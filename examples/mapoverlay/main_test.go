@@ -1,0 +1,25 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRun(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"relation between flood zone and municipality: overlap",
+		"buildings inside the flood zone AND overlapping the municipality:",
+		"short-circuited: true, node accesses: 0", // Table 4 answers without IO
+		"composition inside ∘ disjoint = {disjoint}",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -8,23 +8,31 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
 	"math/rand"
+	"os"
 
 	"mbrtopo"
 )
 
 func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(w io.Writer) error {
 	rng := rand.New(rand.NewSource(5))
 
 	store := mbrtopo.MapStore{}
 	crispIdx, err := mbrtopo.NewRTree()
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	noisyIdx, err := mbrtopo.NewRTree()
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	// The reference region and an object exactly equal to it.
@@ -41,7 +49,8 @@ func main() {
 
 	// Load both indexes: one with crisp MBRs, one with MBRs enlarged by
 	// a tiny epsilon on random sides — the imprecision the paper
-	// describes ("slightly larger than required").
+	// describes ("slightly larger than required"). Load in OID order so
+	// both trees are deterministic.
 	enlarge := func(r mbrtopo.Rect) mbrtopo.Rect {
 		e := func() float64 { return rng.Float64() * 1e-6 }
 		return mbrtopo.Rect{
@@ -49,30 +58,39 @@ func main() {
 			Max: mbrtopo.Point{X: r.Max.X + e(), Y: r.Max.Y + e()},
 		}
 	}
-	for oid, pg := range store {
+	for oid := uint64(1); oid <= 400; oid++ {
+		pg := store[oid]
 		if err := crispIdx.Insert(pg.Bounds(), oid); err != nil {
-			log.Fatal(err)
+			return err
 		}
 		if err := noisyIdx.Insert(enlarge(pg.Bounds()), oid); err != nil {
-			log.Fatal(err)
+			return err
 		}
 	}
 
-	run := func(name string, proc *mbrtopo.Processor) {
+	query := func(name string, proc *mbrtopo.Processor) error {
 		res, err := proc.Query(mbrtopo.Equal, ref)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
-		fmt.Printf("%-34s → %d matches (candidates %d, accesses %d)\n",
+		fmt.Fprintf(w, "%-34s → %d matches (candidates %d, accesses %d)\n",
 			name, len(res.Matches), res.Stats.Candidates, res.Stats.NodeAccesses)
+		return nil
 	}
 
-	fmt.Println("query: find all objects EQUAL to the reference region")
-	run("crisp index, crisp filter", &mbrtopo.Processor{Idx: crispIdx, Objects: store})
-	run("NOISY index, crisp filter (wrong!)", &mbrtopo.Processor{Idx: noisyIdx, Objects: store})
-	run("noisy index, 2-neighbourhood filter", &mbrtopo.Processor{Idx: noisyIdx, Objects: store, NonCrisp: true})
+	fmt.Fprintln(w, "query: find all objects EQUAL to the reference region")
+	if err := query("crisp index, crisp filter", &mbrtopo.Processor{Idx: crispIdx, Objects: store}); err != nil {
+		return err
+	}
+	if err := query("NOISY index, crisp filter (wrong!)", &mbrtopo.Processor{Idx: noisyIdx, Objects: store}); err != nil {
+		return err
+	}
+	if err := query("noisy index, 2-neighbourhood filter", &mbrtopo.Processor{Idx: noisyIdx, Objects: store, NonCrisp: true}); err != nil {
+		return err
+	}
 
-	fmt.Println("\nThe crisp filter on the noisy index misses the equal object: its")
-	fmt.Println("stored configuration drifted away from R7_7. The Table 5 expansion")
-	fmt.Println("(81 configurations instead of 1 for equal) recovers it.")
+	fmt.Fprintln(w, "\nThe crisp filter on the noisy index misses the equal object: its")
+	fmt.Fprintln(w, "stored configuration drifted away from R7_7. The Table 5 expansion")
+	fmt.Fprintln(w, "(81 configurations instead of 1 for equal) recovers it.")
+	return nil
 }

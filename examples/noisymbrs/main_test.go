@@ -1,0 +1,32 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRun(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// The crisp filter finds the equal object on the crisp index, loses
+	// it on the noisy index, and the Table 5 expansion recovers it.
+	for _, want := range []struct{ line, count string }{
+		{"crisp index, crisp filter", "→ 1 matches"},
+		{"NOISY index, crisp filter (wrong!)", "→ 0 matches"},
+		{"noisy index, 2-neighbourhood filter", "→ 1 matches"},
+	} {
+		found := false
+		for _, l := range strings.Split(out, "\n") {
+			if strings.Contains(l, want.line) && strings.Contains(l, want.count) {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("no line with %q and %q:\n%s", want.line, want.count, out)
+		}
+	}
+}

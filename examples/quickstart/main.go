@@ -5,24 +5,33 @@ package main
 import (
 	"context"
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"mbrtopo"
 )
 
 func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(w io.Writer) error {
 	// An R*-tree over a simulated disk (50 entries per page).
 	idx, err := mbrtopo.NewRStar()
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	// Exact region geometry for the refinement step.
 	store := mbrtopo.MapStore{}
 
+	var addErr error
 	add := func(oid uint64, pg mbrtopo.Polygon) {
 		store[oid] = pg
-		if err := idx.Insert(pg.Bounds(), oid); err != nil {
-			log.Fatal(err)
+		if err := idx.Insert(pg.Bounds(), oid); err != nil && addErr == nil {
+			addErr = err
 		}
 	}
 
@@ -33,6 +42,9 @@ func main() {
 	add(3, mbrtopo.R(100, 0, 160, 60).Polygon())  // car park sharing the east fence
 	add(4, mbrtopo.R(60, 60, 130, 120).Polygon()) // construction site overlapping the corner
 	add(5, mbrtopo.R(300, 300, 320, 330).Polygon())
+	if addErr != nil {
+		return addErr
+	}
 
 	proc := &mbrtopo.Processor{Idx: idx, Objects: store}
 
@@ -41,19 +53,19 @@ func main() {
 	} {
 		res, err := proc.Query(rel, park)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
-		fmt.Printf("%-10s →", rel)
+		fmt.Fprintf(w, "%-10s →", rel)
 		for _, m := range res.Matches {
-			fmt.Printf(" oid=%d", m.OID)
+			fmt.Fprintf(w, " oid=%d", m.OID)
 		}
-		fmt.Printf("   (%d node accesses, %d candidates, %d refined)\n",
+		fmt.Fprintf(w, "   (%d node accesses, %d candidates, %d refined)\n",
 			res.Stats.NodeAccesses, res.Stats.Candidates, res.Stats.RefinementTests)
 	}
 
 	// Exact relations are also available directly.
-	fmt.Printf("\nexact check: Relate(pond, park) = %v\n", mbrtopo.Relate(store[1], park))
-	fmt.Printf("MBR-level configuration: %v\n", mbrtopo.ConfigOf(store[1].Bounds(), park.Bounds()))
+	fmt.Fprintf(w, "\nexact check: Relate(pond, park) = %v\n", mbrtopo.Relate(store[1], park))
+	fmt.Fprintf(w, "MBR-level configuration: %v\n", mbrtopo.ConfigOf(store[1].Bounds(), park.Bounds()))
 
 	// Streaming: filter-step candidates arrive as the traversal finds
 	// them, and the cursor stops the tree walk as soon as the consumer
@@ -61,9 +73,10 @@ func main() {
 	cur := proc.OpenCursor(context.Background(), mbrtopo.NewSet(mbrtopo.Overlap, mbrtopo.Meet),
 		park.Bounds(), 2)
 	defer cur.Close()
-	fmt.Printf("\nstreaming overlap ∨ meet candidates (first 2):")
+	fmt.Fprintf(w, "\nstreaming overlap ∨ meet candidates (first 2):")
 	for cur.Next() {
-		fmt.Printf(" oid=%d", cur.Match().OID)
+		fmt.Fprintf(w, " oid=%d", cur.Match().OID)
 	}
-	fmt.Printf("   (%d node accesses)\n", cur.Stats().NodeAccesses)
+	fmt.Fprintf(w, "   (%d node accesses)\n", cur.Stats().NodeAccesses)
+	return nil
 }

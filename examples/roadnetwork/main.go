@@ -7,22 +7,30 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
 	"math/rand"
+	"os"
 
 	"mbrtopo"
 )
 
 func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(w io.Writer) error {
 	rng := rand.New(rand.NewSource(11))
 	idx, err := mbrtopo.NewRStar()
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	roads := mbrtopo.LineStore{}
 
 	// A wiggly road generator.
-	addRoad := func(oid uint64, start mbrtopo.Point, dx, dy float64, segs int) {
+	addRoad := func(oid uint64, start mbrtopo.Point, dx, dy float64, segs int) error {
 		pl := mbrtopo.PolyLine{start}
 		p := start
 		for i := 0; i < segs; i++ {
@@ -33,12 +41,10 @@ func main() {
 			pl = append(pl, p)
 		}
 		if err := pl.Validate(); err != nil {
-			log.Fatalf("road %d: %v", oid, err)
+			return fmt.Errorf("road %d: %v", oid, err)
 		}
 		roads[oid] = pl
-		if err := idx.Insert(pl.Bounds(), oid); err != nil {
-			log.Fatal(err)
-		}
+		return idx.Insert(pl.Bounds(), oid)
 	}
 
 	// District under study.
@@ -46,17 +52,26 @@ func main() {
 		{X: 30, Y: 30}, {X: 70, Y: 28}, {X: 75, Y: 65}, {X: 45, Y: 75}, {X: 25, Y: 55},
 	}
 
-	addRoad(1, mbrtopo.Point{X: 0, Y: 50}, 12, 0, 9)   // highway crossing the district
-	addRoad(2, mbrtopo.Point{X: 40, Y: 40}, 5, 4, 4)   // local road within
-	addRoad(3, mbrtopo.Point{X: 0, Y: 0}, 9, 2, 8)     // southern road, outside
-	addRoad(4, mbrtopo.Point{X: 80, Y: 80}, 4, 3, 5)   // mountain trail, far away
-	addRoad(5, mbrtopo.Point{X: 10, Y: 90}, 10, -3, 7) // northern bypass
+	var addErr error
+	add := func(oid uint64, start mbrtopo.Point, dx, dy float64, segs int) {
+		if addErr == nil {
+			addErr = addRoad(oid, start, dx, dy, segs)
+		}
+	}
+	add(1, mbrtopo.Point{X: 0, Y: 50}, 12, 0, 9)   // highway crossing the district
+	add(2, mbrtopo.Point{X: 40, Y: 40}, 5, 4, 4)   // local road within
+	add(3, mbrtopo.Point{X: 0, Y: 0}, 9, 2, 8)     // southern road, outside
+	add(4, mbrtopo.Point{X: 80, Y: 80}, 4, 3, 5)   // mountain trail, far away
+	add(5, mbrtopo.Point{X: 10, Y: 90}, 10, -3, 7) // northern bypass
+	if addErr != nil {
+		return addErr
+	}
 
 	proc := &mbrtopo.Processor{Idx: idx}
 
-	fmt.Println("roads vs district:")
-	for oid, pl := range roads {
-		fmt.Printf("  road %d: %v\n", oid, mbrtopo.RelateLineRegion(pl, district))
+	fmt.Fprintln(w, "roads vs district:")
+	for oid := uint64(1); oid <= 5; oid++ {
+		fmt.Fprintf(w, "  road %d: %v\n", oid, mbrtopo.RelateLineRegion(roads[oid], district))
 	}
 
 	for _, rel := range []mbrtopo.LineRegionRelation{
@@ -64,18 +79,18 @@ func main() {
 	} {
 		res, err := proc.QueryLine(rel, district, roads)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		ids := make([]uint64, 0, len(res.Matches))
 		for _, m := range res.Matches {
 			ids = append(ids, m.OID)
 		}
-		fmt.Printf("\nquery %-12v → roads %v (candidates %d, accesses %d, refined %d)\n",
+		fmt.Fprintf(w, "\nquery %-12v → roads %v (candidates %d, accesses %d, refined %d)\n",
 			rel, ids, res.Stats.Candidates, res.Stats.NodeAccesses, res.Stats.RefinementTests)
 	}
 
 	// Point data: classify some facilities against the district.
-	fmt.Println("\nfacilities (point data):")
+	fmt.Fprintln(w, "\nfacilities (point data):")
 	for _, f := range []struct {
 		name string
 		p    mbrtopo.Point
@@ -84,6 +99,7 @@ func main() {
 		{"harbour", mbrtopo.Point{X: 30, Y: 30}},
 		{"airport", mbrtopo.Point{X: 90, Y: 10}},
 	} {
-		fmt.Printf("  %-8s at %v: %v\n", f.name, f.p, mbrtopo.RelatePointRegion(f.p, district))
+		fmt.Fprintf(w, "  %-8s at %v: %v\n", f.name, f.p, mbrtopo.RelatePointRegion(f.p, district))
 	}
+	return nil
 }

@@ -7,34 +7,48 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
 	"math/rand"
+	"os"
 
 	"mbrtopo"
 )
 
 func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(w io.Writer) error {
 	rng := rand.New(rand.NewSource(2))
 
 	// Layer A: administrative zones; layer B: land parcels.
-	zones, zoneIdx := makeLayer(rng, 60, 60, 140)
-	parcels, parcelIdx := makeLayer(rng, 300, 8, 40)
+	zones, zoneIdx, err := makeLayer(rng, 60, 60, 140)
+	if err != nil {
+		return err
+	}
+	parcels, parcelIdx, err := makeLayer(rng, 300, 8, 40)
+	if err != nil {
+		return err
+	}
 
 	// Join: which parcels lie inside which zones?
 	res, err := mbrtopo.JoinTopological(parcelIdx, zoneIdx,
 		mbrtopo.NewSet(mbrtopo.Inside, mbrtopo.CoveredBy),
 		mbrtopo.JoinOptions{LeftObjects: parcels, RightObjects: zones})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("parcels-in-zones join: %d pairs, %d node accesses, %d exact tests\n",
+	fmt.Fprintf(w, "parcels-in-zones join: %d pairs, %d node accesses, %d exact tests\n",
 		len(res.Pairs), res.Stats.NodeAccesses, res.Stats.RefinementTests)
 	for i, p := range res.Pairs {
 		if i >= 5 {
-			fmt.Printf("  … %d more\n", len(res.Pairs)-i)
+			fmt.Fprintf(w, "  … %d more\n", len(res.Pairs)-i)
 			break
 		}
-		fmt.Printf("  parcel %d in zone %d\n", p.LeftOID, p.RightOID)
+		fmt.Fprintf(w, "  parcel %d in zone %d\n", p.LeftOID, p.RightOID)
 	}
 
 	// Overlap self-join on zones: zoning conflicts.
@@ -42,20 +56,20 @@ func main() {
 		mbrtopo.NewSet(mbrtopo.Overlap),
 		mbrtopo.JoinOptions{LeftObjects: zones, RightObjects: zones})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("\nzone-overlap conflicts: %d ordered pairs\n", len(conf.Pairs))
+	fmt.Fprintf(w, "\nzone-overlap conflicts: %d ordered pairs\n", len(conf.Pairs))
 
 	// Consistency audit: a surveyor reports relations between four
 	// features; path consistency over the composition algebra reveals
 	// whether the report can describe any real scene.
-	fmt.Println("\nsurveyor report audit:")
+	fmt.Fprintln(w, "\nsurveyor report audit:")
 	good := mbrtopo.NewNetwork(4)
 	good.ConstrainRelation(0, 1, mbrtopo.Inside)    // house inside parcel
 	good.ConstrainRelation(1, 2, mbrtopo.CoveredBy) // parcel covered by zone
 	good.ConstrainRelation(2, 3, mbrtopo.Disjoint)  // zone disjoint from lake
 	if good.PathConsistency() {
-		fmt.Printf("  report A consistent; inferred rel(house, lake) = %v\n", good.Constraint(0, 3))
+		fmt.Fprintf(w, "  report A consistent; inferred rel(house, lake) = %v\n", good.Constraint(0, 3))
 	}
 
 	bad := mbrtopo.NewNetwork(3)
@@ -63,17 +77,18 @@ func main() {
 	bad.ConstrainRelation(1, 2, mbrtopo.Disjoint) // parcel disjoint from zone
 	bad.ConstrainRelation(0, 2, mbrtopo.Overlap)  // …but house overlaps zone?
 	if !bad.PathConsistency() {
-		fmt.Println("  report B rejected: house-inside-parcel ∧ parcel-disjoint-zone ∧ house-overlaps-zone is impossible")
+		fmt.Fprintln(w, "  report B rejected: house-inside-parcel ∧ parcel-disjoint-zone ∧ house-overlaps-zone is impossible")
 	}
+	return nil
 }
 
 // makeLayer builds n random rectangular features with sides in
 // [minSide, maxSide] and indexes their MBRs in an R*-tree.
-func makeLayer(rng *rand.Rand, n int, minSide, maxSide float64) (mbrtopo.MapStore, mbrtopo.Index) {
+func makeLayer(rng *rand.Rand, n int, minSide, maxSide float64) (mbrtopo.MapStore, mbrtopo.Index, error) {
 	store := mbrtopo.MapStore{}
 	idx, err := mbrtopo.NewRStar()
 	if err != nil {
-		log.Fatal(err)
+		return nil, nil, err
 	}
 	for oid := uint64(1); oid <= uint64(n); oid++ {
 		w := minSide + rng.Float64()*(maxSide-minSide)
@@ -83,8 +98,8 @@ func makeLayer(rng *rand.Rand, n int, minSide, maxSide float64) (mbrtopo.MapStor
 		pg := mbrtopo.R(x, y, x+w, y+h).Polygon()
 		store[oid] = pg
 		if err := idx.Insert(pg.Bounds(), oid); err != nil {
-			log.Fatal(err)
+			return nil, nil, err
 		}
 	}
-	return store, idx
+	return store, idx, nil
 }

@@ -26,6 +26,11 @@ type TraversalStats = rtree.TraversalStats
 type Index interface {
 	// Insert stores a rectangle under an object id.
 	Insert(r geom.Rect, oid uint64) error
+	// InsertBatch stores a batch of rectangles in one operation. The
+	// R-/R*-trees apply it atomically (queries see none or all of the
+	// batch) and Sort-Tile-Recursive pack the batch when the tree is
+	// empty; the R+-tree inserts under one lock acquisition.
+	InsertBatch(recs []rtree.Record) error
 	// Delete removes the entry with exactly this rectangle and id.
 	Delete(r geom.Rect, oid uint64) error
 	// Update moves an object to a new rectangle (delete + insert).
@@ -131,6 +136,21 @@ func Load(idx Index, items []Item) error {
 		if err := idx.Insert(it.Rect, it.OID); err != nil {
 			return fmt.Errorf("index: loading oid %d: %w", it.OID, err)
 		}
+	}
+	return nil
+}
+
+// LoadBulk loads items through InsertBatch: on an empty R-/R*-tree the
+// batch is Sort-Tile-Recursive packed — O(N log N), no per-insert
+// splits — which is the fast path for building a large index from a
+// data file at startup.
+func LoadBulk(idx Index, items []Item) error {
+	recs := make([]rtree.Record, len(items))
+	for i, it := range items {
+		recs[i] = rtree.Record{Rect: it.Rect, OID: it.OID}
+	}
+	if err := idx.InsertBatch(recs); err != nil {
+		return fmt.Errorf("index: bulk loading %d items: %w", len(items), err)
 	}
 	return nil
 }

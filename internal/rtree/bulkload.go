@@ -1,7 +1,6 @@
 package rtree
 
 import (
-	"fmt"
 	"sort"
 
 	"mbrtopo/internal/geom"
@@ -30,39 +29,39 @@ func BulkLoad(file pagefile.File, opts Options, name string, records []Record) (
 	if err != nil {
 		return nil, err
 	}
-	if len(records) == 0 {
-		return t, nil
+	if err := t.InsertBatch(records); err != nil {
+		return nil, err
 	}
-	for _, r := range records {
-		if !r.Rect.Valid() {
-			return nil, fmt.Errorf("rtree: bulk loading degenerate rect %v", r.Rect)
-		}
-	}
+	return t, nil
+}
 
-	entries := make([]Entry, len(records))
-	for i, r := range records {
+// packInto STR-packs recs into an empty tree, replacing the current
+// placeholder root. It runs inside a mutation (InsertBatch), so the
+// packed nodes are tracked as fresh and the superseded root page is
+// retired rather than freed under any concurrent reader.
+func (t *Tree) packInto(recs []Record) error {
+	old, err := t.st.readNode(t.root)
+	if err != nil {
+		return err
+	}
+	if err := t.freeMutNode(old); err != nil {
+		return err
+	}
+	entries := make([]Entry, len(recs))
+	for i, r := range recs {
 		entries[i] = Entry{Rect: r.Rect, OID: r.OID}
 	}
 	level := 0
 	for {
 		nodes, err := t.packLevel(entries, level)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if len(nodes) == 1 {
-			// Free the placeholder root created by New and install the
-			// packed root.
-			old, err := t.st.readNode(t.root)
-			if err != nil {
-				return nil, err
-			}
-			if err := t.st.freeNode(old); err != nil {
-				return nil, err
-			}
 			t.root = nodes[0].id
 			t.depth = level + 1
-			t.size = len(records)
-			return t, nil
+			t.size = len(recs)
+			return nil
 		}
 		next := make([]Entry, len(nodes))
 		for i, n := range nodes {
@@ -79,7 +78,7 @@ func (t *Tree) packLevel(entries []Entry, level int) ([]*node, error) {
 	chunks := strTile(entries, m, t.opts.minEntries())
 	nodes := make([]*node, 0, len(chunks))
 	for _, chunk := range chunks {
-		n, err := t.st.allocNode(level)
+		n, err := t.allocMutNode(level)
 		if err != nil {
 			return nil, err
 		}

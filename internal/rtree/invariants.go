@@ -17,8 +17,8 @@ import (
 // rectangle is the tight MBR of its child), fill factors within [m, M]
 // except for the root, and an entry count matching Len.
 func (t *Tree) CheckInvariants() error {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
+	s := t.acquire()
+	defer t.release(s)
 	leaves := 0
 	count := 0
 	minFill := t.opts.minEntries()
@@ -38,8 +38,8 @@ func (t *Tree) CheckInvariants() error {
 			return fmt.Errorf("rtree: internal root %d has %d entries", id, len(n.entries))
 		}
 		if n.isLeaf() {
-			if depth != t.depth {
-				return fmt.Errorf("rtree: leaf %d at depth %d, want %d", id, depth, t.depth)
+			if depth != s.depth {
+				return fmt.Errorf("rtree: leaf %d at depth %d, want %d", id, depth, s.depth)
 			}
 			if n.level != 0 {
 				return fmt.Errorf("rtree: leaf %d has level %d", id, n.level)
@@ -67,11 +67,11 @@ func (t *Tree) CheckInvariants() error {
 		}
 		return nil
 	}
-	if err := walk(t.root, 1, true); err != nil {
+	if err := walk(s.root, 1, true); err != nil {
 		return err
 	}
-	if count != t.size {
-		return fmt.Errorf("rtree: tree holds %d entries, Len says %d", count, t.size)
+	if count != s.size {
+		return fmt.Errorf("rtree: tree holds %d entries, Len says %d", count, s.size)
 	}
 	return nil
 }

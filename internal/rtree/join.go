@@ -15,30 +15,28 @@ import (
 //
 // The returned TraversalStats counts the pages this join read across
 // both trees — exact per-operation accounting, independent of any
-// concurrent queries on either index. Joins take both trees' read
-// locks (in a global order, so concurrent joins cannot deadlock
-// against queued writers) and run in parallel with other readers.
+// concurrent queries on either index. The join pins one published
+// snapshot of each tree, so it runs in parallel with other readers
+// and never blocks (or is blocked by) writers; self-joins see a
+// single consistent version.
 func Join(t1, t2 *Tree,
 	prune func(a, b geom.Rect) bool,
 	accept func(a, b geom.Rect) bool,
 	emit func(aRect geom.Rect, aOID uint64, bRect geom.Rect, bOID uint64) bool,
 ) (TraversalStats, error) {
-	first, second := t1, t2
-	if t2 != t1 && t2.lockID < t1.lockID {
-		first, second = t2, t1
-	}
-	first.mu.RLock()
-	defer first.mu.RUnlock()
-	if second != first {
-		second.mu.RLock()
-		defer second.mu.RUnlock()
+	s1 := t1.acquire()
+	defer t1.release(s1)
+	s2 := s1
+	if t2 != t1 {
+		s2 = t2.acquire()
+		defer t2.release(s2)
 	}
 	j := &joiner{t1: t1, t2: t2, prune: prune, accept: accept, emit: emit}
-	r1, err := j.read1(t1.root)
+	r1, err := j.read1(s1.root)
 	if err != nil {
 		return j.stats, err
 	}
-	r2, err := j.read2(t2.root)
+	r2, err := j.read2(s2.root)
 	if err != nil {
 		return j.stats, err
 	}

@@ -34,9 +34,9 @@ func (t *Tree) Nearest(p geom.Point, k int) ([]Neighbour, error) {
 // NearestCtx is Nearest with context cancellation and per-traversal IO
 // accounting. kNN searches run concurrently with other readers.
 func (t *Tree) NearestCtx(ctx context.Context, p geom.Point, k int) ([]Neighbour, TraversalStats, error) {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	return nearestSearch(ctx, t.st, t.root, p, k, false)
+	s := t.acquire()
+	defer t.release(s)
+	return nearestSearch(ctx, t.st, s.root, p, k, false)
 }
 
 // Nearest returns the k distinct objects closest to p. Duplicate

@@ -18,9 +18,9 @@ type Meta struct {
 
 // Meta returns the tree's persistent metadata.
 func (t *Tree) Meta() Meta {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	return Meta{Root: t.root, Depth: t.depth, Size: t.size}
+	s := t.acquire()
+	defer t.release(s)
+	return Meta{Root: s.root, Depth: s.depth, Size: s.size}
 }
 
 // Meta returns the tree's persistent metadata.
@@ -42,7 +42,9 @@ func Open(file pagefile.File, opts Options, name string, m Meta) (*Tree, error) 
 	if root.level != m.Depth-1 {
 		return nil, fmt.Errorf("rtree: meta depth %d inconsistent with root level %d", m.Depth, root.level)
 	}
-	return &Tree{lockID: lockSeq.Add(1), st: st, opts: opts, root: m.Root, depth: m.Depth, size: m.Size, name: name}, nil
+	t := &Tree{st: st, opts: opts, root: m.Root, depth: m.Depth, size: m.Size, name: name}
+	t.initSnapshot()
+	return t, nil
 }
 
 // OpenRPlus resumes an R+-tree persisted on file.

@@ -156,6 +156,43 @@ func (t *RPlusTree) Insert(r geom.Rect, oid uint64) error {
 	return nil
 }
 
+// InsertBatch inserts a batch of rectangles under one lock
+// acquisition. The R+-tree's partition regions do not admit STR
+// packing or snapshot publication, so unlike Tree.InsertBatch this is
+// not atomic with respect to failures — records before a failing one
+// stay inserted — and readers are excluded for the duration.
+func (t *RPlusTree) InsertBatch(recs []Record) error {
+	for _, r := range recs {
+		if !r.Rect.Valid() {
+			return fmt.Errorf("rtree: bulk loading degenerate rect %v", r.Rect)
+		}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, rec := range recs {
+		pieces, err := t.insertRec(t.root, worldRect(), Entry{Rect: rec.Rect, OID: rec.OID})
+		if err != nil {
+			return err
+		}
+		for len(pieces) > 1 {
+			level := t.depth
+			newRoot, err := t.st.allocNode(level)
+			if err != nil {
+				return err
+			}
+			newRoot.entries = pieces
+			t.root = newRoot.id
+			t.depth++
+			pieces, err = t.normalize(newRoot, worldRect())
+			if err != nil {
+				return err
+			}
+		}
+		t.size++
+	}
+	return nil
+}
+
 // insertRec inserts the entry into the subtree rooted at id (with the
 // given partition region) and returns the replacement parent entries
 // for this subtree: one entry when the node did not split, several

@@ -5,7 +5,6 @@ import (
 	"errors"
 	"fmt"
 	"sync"
-	"sync/atomic"
 
 	"mbrtopo/internal/geom"
 	"mbrtopo/internal/pagefile"
@@ -15,25 +14,36 @@ import (
 // R*-tree (Beckmann et al. 1990). Nodes live on a pagefile; the zero
 // value is not usable — construct with New, NewRTree or NewRStar.
 //
-// A Tree is safe for concurrent use: searches take a shared read lock
-// and run in parallel with each other, mutations take the exclusive
-// write lock. Per-traversal IO accounting (SearchCtx) stays exact
-// under any number of concurrent readers.
+// A Tree is safe for concurrent use and its readers never block behind
+// writers: searches pin an immutable published snapshot of the tree,
+// while mutations copy-on-write the pages they touch and publish a new
+// snapshot when they commit (see snapshot.go). Mutations are atomic —
+// a failed Insert or Delete leaves the published tree untouched — and
+// serialise among themselves on an internal writer mutex. Per-
+// traversal IO accounting (SearchCtx) stays exact under any number of
+// concurrent readers.
 type Tree struct {
-	mu     sync.RWMutex
-	lockID uint64 // global acquisition order for multi-tree operations
-	st     *store
-	opts   Options
-	root   pagefile.PageID
-	depth  int // number of levels; 1 = root is a leaf
-	size   int // number of stored entries
-	name   string
-}
+	mu   sync.Mutex // serialises mutations; readers never take it
+	st   *store
+	opts Options
+	name string
 
-// lockSeq issues tree lock-order ids. Operations locking two trees
-// (Join) acquire the lower id first, so concurrent multi-tree readers
-// cannot deadlock against queued writers.
-var lockSeq atomic.Uint64
+	// Working state of the (single) writer, guarded by mu. Between
+	// mutations it mirrors the current snapshot.
+	root  pagefile.PageID
+	depth int // number of levels; 1 = root is a leaf
+	size  int // number of stored entries
+
+	// Copy-on-write bookkeeping of the in-flight mutation (snapshot.go).
+	fresh   map[pagefile.PageID]bool // pages allocated by this mutation
+	retired []pagefile.PageID        // superseded pages, freed after the last reader
+
+	// Snapshot publication state.
+	pub        sync.Mutex // guards cur, oldest, and snapshot refs
+	cur        *snapshot  // currently published version
+	oldest     *snapshot  // head of the retirement queue
+	reclaimErr error      // first deferred-free failure, surfaced on the next mutation
+}
 
 // ErrNotFound is returned by Delete when no matching entry exists.
 var ErrNotFound = errors.New("rtree: entry not found")
@@ -52,7 +62,9 @@ func New(file pagefile.File, opts Options, name string) (*Tree, error) {
 	if err := st.writeNode(root); err != nil {
 		return nil, err
 	}
-	return &Tree{lockID: lockSeq.Add(1), st: st, opts: opts, root: root.id, depth: 1, name: name}, nil
+	t := &Tree{st: st, opts: opts, root: root.id, depth: 1, name: name}
+	t.initSnapshot()
+	return t, nil
 }
 
 // NewRTree creates an R-tree with the paper's settings: quadratic
@@ -76,23 +88,23 @@ func (t *Tree) Name() string { return t.name }
 
 // Len returns the number of stored entries.
 func (t *Tree) Len() int {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	return t.size
+	s := t.acquire()
+	defer t.release(s)
+	return s.size
 }
 
 // Height returns the number of levels (1 when the root is a leaf).
 func (t *Tree) Height() int {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	return t.depth
+	s := t.acquire()
+	defer t.release(s)
+	return s.depth
 }
 
 // Bounds returns the MBR of all stored rectangles.
 func (t *Tree) Bounds() (geom.Rect, bool) {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	root, err := t.st.readNode(t.root)
+	s := t.acquire()
+	defer t.release(s)
+	root, err := t.st.readNode(s.root)
 	if err != nil || len(root.entries) == 0 {
 		return geom.Rect{}, false
 	}
@@ -111,20 +123,56 @@ func (t *Tree) IOStats() pagefile.Stats { return t.st.file.Stats() }
 func (t *Tree) ResetIOStats() { t.st.file.ResetStats() }
 
 // Insert adds a rectangle with an object id. The rectangle must be
-// non-degenerate (the paper's MBR constraint).
+// non-degenerate (the paper's MBR constraint). The insertion becomes
+// visible to queries atomically, when it commits.
 func (t *Tree) Insert(r geom.Rect, oid uint64) error {
 	if !r.Valid() {
 		return fmt.Errorf("rtree: inserting degenerate rect %v", r)
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	// Forced-reinsert bookkeeping is per top-level insertion.
-	reinserted := make(map[int]bool)
-	if err := t.insertAtLevel(Entry{Rect: r, OID: oid}, 0, reinserted); err != nil {
-		return err
+	return t.mutateLocked(func() error {
+		// Forced-reinsert bookkeeping is per top-level insertion.
+		reinserted := make(map[int]bool)
+		if err := t.insertAtLevel(Entry{Rect: r, OID: oid}, 0, reinserted); err != nil {
+			return err
+		}
+		t.size++
+		return nil
+	})
+}
+
+// InsertBatch adds a batch of rectangles as one atomic mutation:
+// queries observe either none or all of the batch, and the snapshot is
+// published (with its page retirement bookkeeping) once instead of per
+// record. On an empty tree the batch is Sort-Tile-Recursive packed —
+// the O(N log N) bulk build with near-full nodes — instead of inserted
+// one by one; a non-empty tree takes the batch through the ordinary
+// insertion path under a single publication.
+func (t *Tree) InsertBatch(recs []Record) error {
+	for _, r := range recs {
+		if !r.Rect.Valid() {
+			return fmt.Errorf("rtree: bulk loading degenerate rect %v", r.Rect)
+		}
 	}
-	t.size++
-	return nil
+	if len(recs) == 0 {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.mutateLocked(func() error {
+		if t.size == 0 {
+			return t.packInto(recs)
+		}
+		for _, r := range recs {
+			reinserted := make(map[int]bool)
+			if err := t.insertAtLevel(Entry{Rect: r.Rect, OID: r.OID}, 0, reinserted); err != nil {
+				return err
+			}
+			t.size++
+		}
+		return nil
+	})
 }
 
 // insertAtLevel places an entry at the given level (0 = leaf level),
@@ -140,21 +188,34 @@ func (t *Tree) insertAtLevel(e Entry, level int, reinserted map[int]bool) error 
 }
 
 // choosePath descends from the root to a node at the target level,
-// returning the nodes along the way (root first).
+// returning the nodes along the way (root first). Every node on the
+// path will be modified, so each is shadowed onto a fresh page as it
+// is read (its parent is in memory and gets the new child id).
 func (t *Tree) choosePath(r geom.Rect, level int) ([]*node, error) {
 	var path []*node
 	id := t.root
+	parentIdx := -1
 	for {
 		n, err := t.st.readNode(id)
 		if err != nil {
 			return nil, err
 		}
+		if err := t.shadowNode(n); err != nil {
+			return nil, err
+		}
+		if n.id != id {
+			if len(path) == 0 {
+				t.root = n.id
+			} else {
+				path[len(path)-1].entries[parentIdx].Child = n.id
+			}
+		}
 		path = append(path, n)
 		if n.level == level {
 			return path, nil
 		}
-		idx := t.chooseSubtree(n, r)
-		id = n.entries[idx].Child
+		parentIdx = t.chooseSubtree(n, r)
+		id = n.entries[parentIdx].Child
 	}
 }
 
@@ -229,7 +290,7 @@ func (t *Tree) handleOverflowAndAdjust(path []*node, reinserted map[int]bool) er
 		if i == 0 {
 			// Root level: grow the tree if the root split.
 			if sibling != nil {
-				newRoot, err := t.st.allocNode(n.level + 1)
+				newRoot, err := t.allocMutNode(n.level + 1)
 				if err != nil {
 					return err
 				}
@@ -326,20 +387,25 @@ func (t *Tree) forceReinsert(path []*node, idx int, reinserted map[int]bool) err
 func (t *Tree) Delete(r geom.Rect, oid uint64) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	leafPath, slot, err := t.findLeaf(t.root, nil, r, oid)
-	if err != nil {
-		return err
-	}
-	if leafPath == nil {
-		return ErrNotFound
-	}
-	leaf := leafPath[len(leafPath)-1]
-	leaf.entries = append(leaf.entries[:slot], leaf.entries[slot+1:]...)
-	if err := t.condenseTree(leafPath); err != nil {
-		return err
-	}
-	t.size--
-	return nil
+	return t.mutateLocked(func() error {
+		leafPath, slot, err := t.findLeaf(t.root, nil, r, oid)
+		if err != nil {
+			return err
+		}
+		if leafPath == nil {
+			return ErrNotFound
+		}
+		if err := t.shadowPath(leafPath); err != nil {
+			return err
+		}
+		leaf := leafPath[len(leafPath)-1]
+		leaf.entries = append(leaf.entries[:slot], leaf.entries[slot+1:]...)
+		if err := t.condenseTree(leafPath); err != nil {
+			return err
+		}
+		t.size--
+		return nil
+	})
 }
 
 // findLeaf locates a leaf containing the (rect, oid) entry, returning
@@ -400,7 +466,7 @@ func (t *Tree) condenseTree(path []*node) error {
 			// Remove the node; its entries will be reinserted.
 			parent.entries = append(parent.entries[:slot], parent.entries[slot+1:]...)
 			orphans = append(orphans, orphan{level: n.level, entries: n.entries})
-			if err := t.st.freeNode(n); err != nil {
+			if err := t.freeMutNode(n); err != nil {
 				return err
 			}
 		} else {
@@ -432,7 +498,7 @@ func (t *Tree) condenseTree(path []*node) error {
 			return nil
 		}
 		child := root.entries[0].Child
-		if err := t.st.freeNode(root); err != nil {
+		if err := t.freeMutNode(root); err != nil {
 			return err
 		}
 		t.root = child
@@ -471,9 +537,9 @@ func (t *Tree) Search(nodePred, leafPred func(geom.Rect) bool, emit func(geom.Re
 // concurrently. On cancellation it returns ctx.Err() together with the
 // stats accumulated so far.
 func (t *Tree) SearchCtx(ctx context.Context, nodePred, leafPred func(geom.Rect) bool, emit func(geom.Rect, uint64) bool) (TraversalStats, error) {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	return traverse(ctx, t.st, t.root, nodePred, leafPred, emit, 0)
+	s := t.acquire()
+	defer t.release(s)
+	return traverse(ctx, t.st, s.root, nodePred, leafPred, emit, 0)
 }
 
 // SearchIntersects is the traditional window query: it emits every

@@ -13,7 +13,7 @@ import (
 // configured algorithm. The node keeps its page id (so the parent slot
 // stays valid); the sibling is newly allocated and returned unwritten.
 func (t *Tree) splitNode(n *node) (*node, error) {
-	sibling, err := t.st.allocNode(n.level)
+	sibling, err := t.allocMutNode(n.level)
 	if err != nil {
 		return nil, err
 	}

@@ -46,6 +46,29 @@ type durable struct {
 	every   int // checkpoint after this many appended records (0 = manual)
 	since   int // records since the last checkpoint
 	metrics *Metrics
+
+	// gacc accumulates group-commit counters of retired WAL
+	// generations, so /metrics counters never move backwards across a
+	// checkpoint rotation.
+	gacc wal.GroupStats
+}
+
+// groupStats returns cumulative group-commit counters across all WAL
+// generations of this index.
+func (d *durable) groupStats() wal.GroupStats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	gs := d.gacc
+	if d.log != nil {
+		cur := d.log.GroupStats()
+		gs.Commits += cur.Commits
+		gs.Records += cur.Records
+		if cur.MaxBatch > gs.MaxBatch {
+			gs.MaxBatch = cur.MaxBatch
+		}
+		gs.CommitTime += cur.CommitTime
+	}
+	return gs
 }
 
 func (d *durable) snapPath() string { return filepath.Join(d.dir, d.name+".snap") }
@@ -172,6 +195,13 @@ func (d *durable) checkpoint(idx index.Index) error {
 	if old != nil {
 		oldPath := old.Path()
 		_ = old.Close()
+		gs := old.GroupStats()
+		d.gacc.Commits += gs.Commits
+		d.gacc.Records += gs.Records
+		if gs.MaxBatch > d.gacc.MaxBatch {
+			d.gacc.MaxBatch = gs.MaxBatch
+		}
+		d.gacc.CommitTime += gs.CommitTime
 		_ = os.Remove(oldPath)
 	}
 	if d.metrics != nil {
@@ -180,14 +210,15 @@ func (d *durable) checkpoint(idx index.Index) error {
 	return nil
 }
 
-// apply runs one mutation under the durable lock: tree first, then the
-// log (so replayed records are exactly the mutations that succeeded),
-// then an automatic checkpoint when the log has grown enough. The
-// record is on the log — per the fsync policy — before the caller
-// writes its 200.
+// apply runs one mutation: tree and WAL reservation under the durable
+// lock (so replay order matches apply order exactly), the WAL flush
+// outside it. The record is on the log — per the fsync policy — before
+// the caller writes its 200, but concurrent mutations on one index
+// share that fsync through the log's group commit instead of
+// serialising on it: while one request waits inside the flush, the
+// next is already applying its tree change and reserving.
 func (d *durable) apply(inst *Instance, op wal.Op, rect geom.Rect, oid uint64) error {
 	d.mu.Lock()
-	defer d.mu.Unlock()
 	var err error
 	switch op {
 	case wal.OpInsert:
@@ -198,24 +229,66 @@ func (d *durable) apply(inst *Instance, op wal.Op, rect geom.Rect, oid uint64) e
 		err = fmt.Errorf("server: unknown mutation op %v", op)
 	}
 	if err != nil {
+		d.mu.Unlock()
 		return err
 	}
-	if err := d.log.Append(wal.Record{Op: op, OID: oid, Rect: rect}); err != nil {
-		// The mutation is applied in memory but will not survive a
-		// restart: that is a durability contract violation, so the
-		// index degrades to unhealthy instead of lying.
+	ticket := d.log.Reserve(wal.Record{Op: op, OID: oid, Rect: rect})
+	cpErr := d.afterReserveLocked(inst, 1)
+	d.mu.Unlock()
+	return d.settle(inst, ticket, cpErr)
+}
+
+// applyBulk inserts a batch as one atomic index mutation and one WAL
+// batch reservation (a single contiguous run, one group-committed
+// flush). Either the whole batch is applied, logged, and acked, or
+// none of it is visible.
+func (d *durable) applyBulk(inst *Instance, recs []rtree.Record) error {
+	if len(recs) == 0 {
+		return nil
+	}
+	d.mu.Lock()
+	if err := inst.Idx.InsertBatch(recs); err != nil {
+		d.mu.Unlock()
+		return err
+	}
+	wrecs := make([]wal.Record, len(recs))
+	for i, r := range recs {
+		wrecs[i] = wal.Record{Op: wal.OpInsert, OID: r.OID, Rect: r.Rect}
+	}
+	ticket := d.log.Reserve(wrecs...)
+	cpErr := d.afterReserveLocked(inst, len(recs))
+	d.mu.Unlock()
+	return d.settle(inst, ticket, cpErr)
+}
+
+// afterReserveLocked updates WAL counters and runs the automatic
+// checkpoint when the log has grown enough. The checkpoint closes the
+// old log generation, which flushes any reservation still pending on
+// it, so tickets taken before the rotation resolve normally. Caller
+// holds d.mu.
+func (d *durable) afterReserveLocked(inst *Instance, n int) error {
+	if d.metrics != nil {
+		d.metrics.walRecords.Add(uint64(n))
+	}
+	d.since += n
+	if d.every > 0 && d.since >= d.every {
+		return d.checkpoint(inst.Idx)
+	}
+	return nil
+}
+
+// settle waits for the WAL flush and folds in a checkpoint failure.
+// Both degrade the index to unhealthy: an unlogged mutation violates
+// the durability contract, and a failed checkpoint leaves a log that
+// can only grow.
+func (d *durable) settle(inst *Instance, ticket *wal.Ticket, cpErr error) error {
+	if err := ticket.Wait(); err != nil {
 		inst.MarkUnhealthy("wal append failed: " + err.Error())
 		return fmt.Errorf("server: mutation applied but not logged: %w", err)
 	}
-	if d.metrics != nil {
-		d.metrics.walRecords.Add(1)
-	}
-	d.since++
-	if d.every > 0 && d.since >= d.every {
-		if err := d.checkpoint(inst.Idx); err != nil {
-			inst.MarkUnhealthy("checkpoint failed: " + err.Error())
-			return fmt.Errorf("server: mutation logged but checkpoint failed: %w", err)
-		}
+	if cpErr != nil {
+		inst.MarkUnhealthy("checkpoint failed: " + cpErr.Error())
+		return fmt.Errorf("server: mutation logged but checkpoint failed: %w", cpErr)
 	}
 	return nil
 }
@@ -292,7 +365,7 @@ func (s *Server) openDurable(spec IndexSpec, items []index.Item) (*Instance, err
 	file, pool := wrapFile(disk, spec)
 	idx, err := index.NewOnFile(spec.Kind, file)
 	if err == nil {
-		err = index.Load(idx, items)
+		err = loadItems(idx, items, spec.Bulk)
 	}
 	if err != nil {
 		disk.Close()

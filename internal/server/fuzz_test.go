@@ -1,0 +1,72 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// FuzzWireDecode feeds arbitrary bytes through the wire-decoding paths
+// the handlers run on request bodies: the /v1/bulk NDJSON line loop,
+// and the /v1/query and /v1/insert JSON bodies. The property is that
+// decoding never panics and the validating helpers are self-consistent
+// — RectFromWire only returns valid rectangles (and round-trips them
+// through RectToWire bit-exactly), ParseRelationSet never returns an
+// empty set without an error.
+func FuzzWireDecode(f *testing.F) {
+	f.Add([]byte(`{"oid":1,"rect":[0,0,1,1]}`))
+	f.Add([]byte("{\"oid\":1,\"rect\":[0,0,1,1]}\n{\"oid\":2,\"rect\":[2,2,3,3]}\n"))
+	f.Add([]byte(`{"oid":2,"rect":[0,0]}`))
+	f.Add([]byte(`{"oid":3,"rect":[5,5,1,1]}`))
+	f.Add([]byte(`{"index":"a","relations":["overlap"],"ref":[0,0,5,5],"limit":3}`))
+	f.Add([]byte(`{"relations":["in","window","meet"],"ref":[1,1,0,0]}`))
+	f.Add([]byte(`{"relations":[],"ref":[0,0,1,1]}`))
+	f.Add([]byte(`{"oid":18446744073709551615,"rect":[-1e308,-1e308,1e308,1e308]}`))
+	f.Add([]byte(`not json at all`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// The /v1/bulk decode loop: NDJSON BulkLines until the first
+		// decode error (handleBulk rejects the request there).
+		dec := json.NewDecoder(bytes.NewReader(data))
+		for {
+			var line BulkLine
+			if err := dec.Decode(&line); err != nil {
+				break
+			}
+			rect, err := RectFromWire(line.Rect)
+			if err != nil {
+				continue
+			}
+			if !rect.Valid() {
+				t.Fatalf("RectFromWire(%v) returned invalid rect without error", line.Rect)
+			}
+			// JSON numbers are finite, so a valid rect round-trips
+			// bit-exactly.
+			w := RectToWire(rect)
+			for i := range w {
+				if w[i] != line.Rect[i] {
+					t.Fatalf("rect %v round-tripped as %v", line.Rect, w)
+				}
+			}
+		}
+
+		// The /v1/query body.
+		var qr QueryRequest
+		if err := json.Unmarshal(data, &qr); err == nil {
+			set, err := ParseRelationSet(qr.Relations)
+			if err == nil && set.IsEmpty() {
+				t.Fatalf("ParseRelationSet(%v) returned empty set without error", qr.Relations)
+			}
+			if _, err := RectFromWire(qr.Ref); err == nil && len(qr.Ref) != 4 {
+				t.Fatalf("RectFromWire accepted %d coordinates", len(qr.Ref))
+			}
+		}
+
+		// The /v1/insert and /v1/delete body.
+		var ur UpdateRequest
+		if err := json.Unmarshal(data, &ur); err == nil {
+			if rect, err := RectFromWire(ur.Rect); err == nil && !rect.Valid() {
+				t.Fatalf("RectFromWire(%v) returned invalid rect without error", ur.Rect)
+			}
+		}
+	})
+}

@@ -4,8 +4,11 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
+	"io"
 	"net/http"
 	"strconv"
+	"time"
 
 	"mbrtopo/internal/geom"
 	"mbrtopo/internal/pagefile"
@@ -15,6 +18,10 @@ import (
 
 // maxBodyBytes bounds request bodies; queries and mutations are tiny.
 const maxBodyBytes = 1 << 20
+
+// maxBulkBytes bounds /v1/bulk bodies, which carry whole datasets
+// (256 MiB ≈ tens of millions of NDJSON rectangles).
+const maxBulkBytes = 1 << 28
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
@@ -201,6 +208,54 @@ func (s *Server) handleMutation(w http.ResponseWriter, r *http.Request, op func(
 		return
 	}
 	writeJSON(w, http.StatusOK, UpdateResponse{OK: true, Objects: inst.Idx.Len()})
+}
+
+// handleBulk loads a batch of rectangles streamed as NDJSON (one
+// BulkLine per line) into the index named by ?index=. The batch is
+// applied as one atomic index mutation — Sort-Tile-Recursive packed
+// when the tree is empty — and, on a durable index, logged as one
+// contiguous WAL run with a single group-committed flush. Queries
+// running concurrently see none or all of the batch (R-/R*-trees).
+func (s *Server) handleBulk(w http.ResponseWriter, r *http.Request) {
+	inst, ok := s.servingInstance(w, r.URL.Query().Get("index"))
+	if !ok {
+		return
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBulkBytes))
+	var recs []rtree.Record
+	for {
+		var line BulkLine
+		if err := dec.Decode(&line); err != nil {
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			writeJSONError(w, http.StatusBadRequest,
+				fmt.Sprintf("bad bulk line %d: %v", len(recs)+1, err))
+			return
+		}
+		rect, err := RectFromWire(line.Rect)
+		if err != nil {
+			writeJSONError(w, http.StatusBadRequest,
+				fmt.Sprintf("bad bulk line %d: %v", len(recs)+1, err))
+			return
+		}
+		recs = append(recs, rtree.Record{Rect: rect, OID: line.OID})
+	}
+	start := time.Now()
+	if err := inst.InsertBatch(recs); err != nil {
+		code := http.StatusInternalServerError
+		if s.noteCorrupt(inst, err) || !inst.Healthy() {
+			code = http.StatusServiceUnavailable
+		}
+		writeJSONError(w, code, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, BulkResponse{
+		OK:       true,
+		Inserted: len(recs),
+		Objects:  inst.Idx.Len(),
+		TookMS:   time.Since(start).Milliseconds(),
+	})
 }
 
 // handleIndexes lists the served indexes.

@@ -47,6 +47,9 @@ type Metrics struct {
 	poolStats func() []PoolStat
 	// healthStats surfaces per-index health the same way.
 	healthStats func() []HealthStat
+	// walStats surfaces per-index WAL group-commit counters the same
+	// way.
+	walStats func() []WALStat
 }
 
 // PoolStat is one index's buffer-pool counters for /metrics.
@@ -59,6 +62,15 @@ type PoolStat struct {
 type HealthStat struct {
 	Index   string
 	Healthy bool
+}
+
+// WALStat is one durable index's group-commit counters for /metrics.
+type WALStat struct {
+	Index      string
+	Commits    uint64
+	Records    uint64
+	MaxBatch   uint64
+	CommitTime time.Duration
 }
 
 // endpointMetrics is one endpoint's request counters and latency
@@ -274,6 +286,32 @@ func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
 				v = 1
 			}
 			fmt.Fprintf(cw, "topod_index_healthy{index=%q} %d\n", hs.Index, v)
+		}
+	}
+
+	if m.walStats != nil {
+		stats := m.walStats()
+		if len(stats) > 0 {
+			fmt.Fprintf(cw, "# HELP topod_wal_group_commits_total Durable WAL batch flushes (one write + one policy fsync each), by index.\n")
+			fmt.Fprintf(cw, "# TYPE topod_wal_group_commits_total counter\n")
+			for _, ws := range stats {
+				fmt.Fprintf(cw, "topod_wal_group_commits_total{index=%q} %d\n", ws.Index, ws.Commits)
+			}
+			fmt.Fprintf(cw, "# HELP topod_wal_group_records_total Records across those flushes; records/commits is the achieved batching.\n")
+			fmt.Fprintf(cw, "# TYPE topod_wal_group_records_total counter\n")
+			for _, ws := range stats {
+				fmt.Fprintf(cw, "topod_wal_group_records_total{index=%q} %d\n", ws.Index, ws.Records)
+			}
+			fmt.Fprintf(cw, "# HELP topod_wal_group_max_batch_records Largest single flush, in records.\n")
+			fmt.Fprintf(cw, "# TYPE topod_wal_group_max_batch_records gauge\n")
+			for _, ws := range stats {
+				fmt.Fprintf(cw, "topod_wal_group_max_batch_records{index=%q} %d\n", ws.Index, ws.MaxBatch)
+			}
+			fmt.Fprintf(cw, "# HELP topod_wal_commit_seconds_total Cumulative wall time inside WAL write+fsync, by index.\n")
+			fmt.Fprintf(cw, "# TYPE topod_wal_commit_seconds_total counter\n")
+			for _, ws := range stats {
+				fmt.Fprintf(cw, "topod_wal_commit_seconds_total{index=%q} %g\n", ws.Index, ws.CommitTime.Seconds())
+			}
 		}
 	}
 

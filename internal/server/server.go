@@ -12,6 +12,9 @@
 //	GET  /v1/knn      k nearest rectangles to a point
 //	POST /v1/insert   store a rectangle under an object id
 //	POST /v1/delete   remove a rectangle/id entry
+//	POST /v1/bulk     stream rectangles as NDJSON; the batch is applied
+//	                  atomically (STR-packed when the tree is empty) and
+//	                  logged as one WAL group commit
 //	GET  /v1/indexes  the loaded indexes (kind, size, height, bounds)
 //	GET  /metrics     Prometheus text exposition
 //	GET  /healthz     process liveness (always 200 while serving)
@@ -37,6 +40,7 @@ import (
 	"mbrtopo/internal/index"
 	"mbrtopo/internal/pagefile"
 	"mbrtopo/internal/query"
+	"mbrtopo/internal/rtree"
 	"mbrtopo/internal/wal"
 )
 
@@ -68,6 +72,11 @@ type IndexSpec struct {
 	// Frames, when positive, layers a pagefile.BufferPool with that
 	// many frames between the tree and the page file.
 	Frames int
+	// Bulk loads the initial items through InsertBatch instead of
+	// one-by-one inserts: on an empty R-/R*-tree the batch is
+	// Sort-Tile-Recursive packed, which is the fast path for serving a
+	// large data file.
+	Bulk bool
 	// Dir, when non-empty, makes the index durable: its state lives in
 	// this directory as a checksummed snapshot plus a mutation WAL,
 	// recovered on AddIndex (in which case items is ignored) and
@@ -155,6 +164,17 @@ func (inst *Instance) Delete(r geom.Rect, oid uint64) error {
 	return inst.Idx.Delete(r, oid)
 }
 
+// InsertBatch stores a batch of rectangles as one index mutation —
+// atomic on the R-/R*-trees, STR-packed when the tree is empty — and,
+// on a durable index, one contiguous WAL run with a single
+// group-committed flush.
+func (inst *Instance) InsertBatch(recs []rtree.Record) error {
+	if inst.dur != nil {
+		return inst.dur.applyBulk(inst, recs)
+	}
+	return inst.Idx.InsertBatch(recs)
+}
+
 // Server routes the wire API onto a set of named indexes.
 type Server struct {
 	cfg     Config
@@ -186,7 +206,37 @@ func New(cfg Config) *Server {
 	}
 	m.poolStats = s.poolStats
 	m.healthStats = s.healthStats
+	m.walStats = s.walStats
 	return s
+}
+
+// loadItems builds the initial tree from items, through InsertBatch
+// (STR packing on an empty tree) when bulk is set.
+func loadItems(idx index.Index, items []index.Item, bulk bool) error {
+	if bulk {
+		return index.LoadBulk(idx, items)
+	}
+	return index.Load(idx, items)
+}
+
+// walStats snapshots per-index WAL group-commit counters of the
+// durable indexes for the /metrics exposition.
+func (s *Server) walStats() []WALStat {
+	var out []WALStat
+	for _, inst := range s.listInstances() {
+		if inst.dur == nil {
+			continue
+		}
+		gs := inst.dur.groupStats()
+		out = append(out, WALStat{
+			Index:      inst.Name,
+			Commits:    gs.Commits,
+			Records:    gs.Records,
+			MaxBatch:   gs.MaxBatch,
+			CommitTime: gs.CommitTime,
+		})
+	}
+	return out
 }
 
 // healthStats snapshots per-index health for the /metrics exposition.
@@ -254,7 +304,7 @@ func (s *Server) AddIndex(spec IndexSpec, items []index.Item) (*Instance, error)
 		if err != nil {
 			return nil, fmt.Errorf("server: index %q: %w", spec.Name, err)
 		}
-		if err := index.Load(idx, items); err != nil {
+		if err := loadItems(idx, items, spec.Bulk); err != nil {
 			return nil, fmt.Errorf("server: index %q: %w", spec.Name, err)
 		}
 		inst = &Instance{
@@ -330,6 +380,7 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("GET /v1/knn", v1("knn", s.handleKNN))
 	mux.Handle("POST /v1/insert", v1("insert", s.handleInsert))
 	mux.Handle("POST /v1/delete", v1("delete", s.handleDelete))
+	mux.Handle("POST /v1/bulk", v1("bulk", s.handleBulk))
 	mux.Handle("GET /v1/indexes", v1("indexes", s.handleIndexes))
 	// Observability and health bypass admission control so probes and
 	// scrapes survive saturation.

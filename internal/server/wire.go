@@ -62,6 +62,24 @@ type UpdateResponse struct {
 	Objects int  `json:"objects"`
 }
 
+// BulkLine is one NDJSON line of a POST /v1/bulk request body: one
+// rectangle to store. The target index is selected by the ?index=
+// query parameter, not per line.
+type BulkLine struct {
+	OID  uint64    `json:"oid"`
+	Rect []float64 `json:"rect"`
+}
+
+// BulkResponse acknowledges a bulk load: the whole batch is applied
+// atomically and (on a durable index) logged as one WAL run before
+// the response is written.
+type BulkResponse struct {
+	OK       bool  `json:"ok"`
+	Inserted int   `json:"inserted"`
+	Objects  int   `json:"objects"`
+	TookMS   int64 `json:"took_ms"`
+}
+
 // KNNNeighbour is one nearest-neighbour answer.
 type KNNNeighbour struct {
 	OID  uint64     `json:"oid"`

@@ -1,0 +1,74 @@
+package workload
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"mbrtopo/internal/geom"
+	"mbrtopo/internal/index"
+)
+
+// itemLine is the NDJSON shape of one data rectangle. It matches the
+// server's POST /v1/bulk line format, so a datagen -format ndjson file
+// can be piped straight into the endpoint.
+type itemLine struct {
+	OID  uint64    `json:"oid"`
+	Rect []float64 `json:"rect"`
+}
+
+// WriteItemsNDJSON writes one {"oid":N,"rect":[minx,miny,maxx,maxy]}
+// line per item — the wire format of POST /v1/bulk.
+func WriteItemsNDJSON(w io.Writer, items []index.Item) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, it := range items {
+		line := itemLine{
+			OID:  it.OID,
+			Rect: []float64{it.Rect.Min.X, it.Rect.Min.Y, it.Rect.Max.X, it.Rect.Max.Y},
+		}
+		if err := enc.Encode(line); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadItemsNDJSON parses lines written by WriteItemsNDJSON.
+func ReadItemsNDJSON(r io.Reader) ([]index.Item, error) {
+	dec := json.NewDecoder(r)
+	var out []index.Item
+	for {
+		var line itemLine
+		if err := dec.Decode(&line); err != nil {
+			if err == io.EOF {
+				return out, nil
+			}
+			return nil, fmt.Errorf("workload: bad ndjson line %d: %w", len(out)+1, err)
+		}
+		if len(line.Rect) != 4 {
+			return nil, fmt.Errorf("workload: ndjson line %d: rect needs 4 coordinates, got %d", len(out)+1, len(line.Rect))
+		}
+		rect := geom.R(line.Rect[0], line.Rect[1], line.Rect[2], line.Rect[3])
+		if !rect.Valid() {
+			return nil, fmt.Errorf("workload: degenerate rect for oid %d", line.OID)
+		}
+		out = append(out, index.Item{OID: line.OID, Rect: rect})
+	}
+}
+
+// WriteRectsNDJSON writes one {"rect":[...]} line per query rectangle.
+func WriteRectsNDJSON(w io.Writer, rects []geom.Rect) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, r := range rects {
+		line := struct {
+			Rect []float64 `json:"rect"`
+		}{Rect: []float64{r.Min.X, r.Min.Y, r.Max.X, r.Max.Y}}
+		if err := enc.Encode(line); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -3,7 +3,9 @@
 # synthetic dataset, run one NDJSON query and a /metrics scrape, then
 # assert the daemon drains cleanly on SIGTERM. A second leg kill -9s a
 # durable topod mid-traffic and asserts the restart recovers every
-# acknowledged mutation.
+# acknowledged mutation. A third leg STR bulk-loads a durable topod,
+# streams more rectangles through POST /v1/bulk, kill -9s it, and
+# asserts the restart replays the whole batch.
 set -euo pipefail
 
 TOPOD="${1:?usage: smoke.sh path/to/topod}"
@@ -12,9 +14,10 @@ DATADIR="$(mktemp -d)"
 cleanup() {
   kill -9 "$PID" 2>/dev/null || true
   kill -9 "$PID2" 2>/dev/null || true
-  rm -rf "$LOG" "$LOG2" "$LOG3" "$DATADIR" 2>/dev/null || true
+  kill -9 "$PID3" 2>/dev/null || true
+  rm -rf "$LOG" "$LOG2" "$LOG3" "$LOG4" "$LOG5" "$BULK" "$DATADIR" "$DATADIR2" 2>/dev/null || true
 }
-PID="" PID2="" LOG2="" LOG3=""
+PID="" PID2="" PID3="" LOG2="" LOG3="" LOG4="" LOG5="" BULK="" DATADIR2=""
 
 # wait_listen LOGFILE: echo the address once the daemon logs it.
 wait_listen() {
@@ -135,3 +138,82 @@ if ! wait "$PID2"; then
 fi
 
 echo "smoke OK: kill -9 + restart recovered every acknowledged mutation"
+
+# ---- bulk leg: STR startup load + /v1/bulk batch + crash recovery ----
+
+LOG4="$(mktemp)"
+DATADIR2="$(mktemp -d)"
+"$TOPOD" -gen 1000 -bulk -tree rstar -data-dir "$DATADIR2" -fsync always \
+  -addr 127.0.0.1:0 >"$LOG4" 2>&1 &
+PID3=$!
+
+ADDR3="$(wait_listen "$LOG4")" || {
+  echo "smoke: bulk topod never started listening" >&2
+  cat "$LOG4" >&2
+  exit 1
+}
+BASE3="http://$ADDR3"
+wait_ready "$BASE3" || { echo "smoke: bulk topod never became ready" >&2; exit 1; }
+grep -q '^topod: bulk-loaded ' "$LOG4" \
+  || { echo "smoke: -bulk did not report an STR bulk load" >&2; cat "$LOG4" >&2; exit 1; }
+
+# Stream a batch through /v1/bulk: one rectangle per NDJSON line, all
+# acknowledged by a single group-committed WAL append (fsync=always:
+# durable before the 200).
+BULK="$(mktemp)"
+seq 1 300 | awk '{printf "{\"oid\":%d,\"rect\":[%d,%d,%d,%d]}\n", 700000+$1, 20000+$1, 20000+$1, 20001+$1, 20001+$1}' >"$BULK"
+BRESP="$(curl -sf --data-binary @"$BULK" "$BASE3/v1/bulk?index=main")"
+echo "$BRESP" | grep -q '"ok":true' \
+  || { echo "smoke: bulk load failed: $BRESP" >&2; exit 1; }
+echo "$BRESP" | grep -q '"inserted":300' \
+  || { echo "smoke: bulk response did not count 300 inserts: $BRESP" >&2; exit 1; }
+
+# A malformed line must reject the whole batch before any mutation.
+BADRESP="$(curl -s -o /dev/null -w '%{http_code}' \
+  --data-binary $'{"oid":900001,"rect":[1,1,2,2]}\n{"oid":900002,"rect":[5,5]}' \
+  "$BASE3/v1/bulk?index=main")"
+[ "$BADRESP" = "400" ] \
+  || { echo "smoke: malformed bulk line answered $BADRESP, want 400" >&2; exit 1; }
+
+QRESP="$(curl -sf -d '{"relations":["not_disjoint"],"ref":[20149,20149,20152,20152]}' "$BASE3/v1/query")"
+echo "$QRESP" | grep -q '"oid":700150' \
+  || { echo "smoke: bulk-loaded rectangle not found by query: $QRESP" >&2; exit 1; }
+
+MET3="$(curl -sf "$BASE3/metrics")"
+echo "$MET3" | grep -q '^topod_wal_group_commits_total' \
+  || { echo "smoke: /metrics missing group-commit counters" >&2; exit 1; }
+
+kill -9 "$PID3"
+wait "$PID3" 2>/dev/null || true
+
+LOG5="$(mktemp)"
+"$TOPOD" -gen 1000 -bulk -tree rstar -data-dir "$DATADIR2" -fsync always \
+  -addr 127.0.0.1:0 >"$LOG5" 2>&1 &
+PID3=$!
+
+ADDR3="$(wait_listen "$LOG5")" || {
+  echo "smoke: restarted bulk topod never started listening" >&2
+  cat "$LOG5" >&2
+  exit 1
+}
+BASE3="http://$ADDR3"
+wait_ready "$BASE3" || {
+  echo "smoke: restarted bulk topod never became ready" >&2
+  cat "$LOG5" >&2
+  exit 1
+}
+grep -q '^topod: recovered ' "$LOG5" \
+  || { echo "smoke: bulk restart did not report recovery" >&2; cat "$LOG5" >&2; exit 1; }
+
+QRESP2="$(curl -sf -d '{"relations":["not_disjoint"],"ref":[20149,20149,20152,20152]}' "$BASE3/v1/query")"
+echo "$QRESP2" | grep -q '"oid":700150' \
+  || { echo "smoke: bulk batch lost after crash recovery: $QRESP2" >&2; cat "$LOG5" >&2; exit 1; }
+
+kill -TERM "$PID3"
+if ! wait "$PID3"; then
+  echo "smoke: bulk topod exited non-zero on SIGTERM" >&2
+  cat "$LOG5" >&2
+  exit 1
+fi
+
+echo "smoke OK: STR bulk load + /v1/bulk batch survived kill -9"
