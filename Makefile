@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify race test bench fmt smoke fuzz
+.PHONY: verify race test bench bench-json fmt smoke fuzz
 
 # Tier-1 gate: everything must build, vet clean, and pass.
 verify:
@@ -26,11 +26,23 @@ test:
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
 
-# Service smoke test: boot topod, query it, scrape /metrics, and
-# assert a clean SIGTERM drain (also run in CI).
+# Machine-readable perf snapshot of the join engine: run
+# BenchmarkJoinParallel (naive-serial baseline vs sweep at 1–8
+# workers) and record ns/op, node accesses, and pairs/sec in
+# BENCH_join.json. CI runs it with BENCHTIME=1x as a smoke check.
+BENCHTIME ?= 3x
+bench-json:
+	$(GO) test -run='^$$' -bench=BenchmarkJoinParallel -benchtime=$(BENCHTIME) . | $(GO) run ./cmd/benchjson > BENCH_join.json
+	@cat BENCH_join.json
+
+# Service smoke test: boot topod, query it, scrape /metrics, assert a
+# clean SIGTERM drain, and check /v1/join pair counts against the
+# topoquery serial engine (also run in CI).
 smoke:
 	$(GO) build -o $(CURDIR)/bin/topod ./cmd/topod
-	bash scripts/smoke.sh $(CURDIR)/bin/topod
+	$(GO) build -o $(CURDIR)/bin/topoquery ./cmd/topoquery
+	$(GO) build -o $(CURDIR)/bin/datagen ./cmd/datagen
+	bash scripts/smoke.sh $(CURDIR)/bin/topod $(CURDIR)/bin/topoquery $(CURDIR)/bin/datagen
 
 fmt:
 	gofmt -l -w .

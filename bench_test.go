@@ -269,6 +269,56 @@ func BenchmarkJoin(b *testing.B) {
 	}
 }
 
+// BenchmarkJoinParallel measures the plane-sweep join engine on the
+// 100k uniform workload (two STR-packed 50k R*-trees): the legacy
+// serial nested-loop engine (naive-serial, which re-reads right child
+// pages) against the sweep engine at 1–8 workers. Metrics:
+// accesses/op (the paper's disk accesses) and pairs/sec. Run with
+// -benchtime 1x for the BENCH_join.json snapshot.
+func BenchmarkJoinParallel(b *testing.B) {
+	const nPerSide = 50000
+	cfg := benchConfig()
+	left := workload.NewDataset(workload.Small, nPerSide, 1, cfg.Seed+60)
+	right := workload.NewDataset(workload.Small, nPerSide, 1, cfg.Seed+61)
+	lIdx, err := index.NewPacked(index.KindRStar, cfg.PageSize, left.Items)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rIdx, err := index.NewPacked(index.KindRStar, cfg.PageSize, right.Items)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rels := topo.NotDisjoint
+	run := func(b *testing.B, opts query.JoinOptions) {
+		var accesses uint64
+		var pairs int
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			n := 0
+			stats, err := query.JoinStream(context.Background(), lIdx, rIdx, rels, opts,
+				func(query.JoinPair) bool { n++; return true })
+			if err != nil {
+				b.Fatal(err)
+			}
+			if n == 0 {
+				b.Fatal("join found no pairs")
+			}
+			accesses += stats.NodeAccesses
+			pairs += n
+		}
+		b.ReportMetric(float64(accesses)/float64(b.N), "accesses/op")
+		b.ReportMetric(float64(pairs)/b.Elapsed().Seconds(), "pairs/sec")
+	}
+	b.Run("naive-serial", func(b *testing.B) {
+		run(b, query.JoinOptions{NaiveReads: true})
+	})
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("sweep-%dw", workers), func(b *testing.B) {
+			run(b, query.JoinOptions{Workers: workers})
+		})
+	}
+}
+
 // BenchmarkNearest measures kNN on R-tree and R+-tree.
 func BenchmarkNearest(b *testing.B) {
 	for _, kind := range []index.Kind{index.KindRTree, index.KindRPlus} {

@@ -19,6 +19,12 @@
 // (deterministic in -seed). SIGINT/SIGTERM drain in-flight requests
 // before exiting.
 //
+// A second index (-data2 FILE or -gen2 N, named by -name2) turns the
+// process into a spatial-join service:
+//
+//	topod -gen 20000 -gen2 20000 -bulk
+//	curl -s -d '{"left":"main","right":"second","relations":["overlap"]}' localhost:8080/v1/join
+//
 // With -data-dir the index is durable: its state lives in the
 // directory as a checksummed page-file snapshot plus a mutation WAL
 // (-fsync always|interval|never), is checkpointed as the log grows
@@ -70,8 +76,13 @@ func main() {
 		pageSize    = flag.Int("pagesize", index.PaperPageSize, "page size in bytes")
 		frames      = flag.Int("frames", 0, "buffer-pool frames under the tree (0 = unbuffered)")
 		maxInFlight = flag.Int("maxinflight", 64, "admission-control bound on concurrent requests")
-		timeout     = flag.Duration("timeout", 30*time.Second, "default per-request deadline (0 = none)")
-		drain       = flag.Duration("drain", 10*time.Second, "graceful shutdown budget on SIGTERM")
+
+		data2   = flag.String("data2", "", "optional second data file, served as another index (join it with the first via /v1/join)")
+		gen2    = flag.Int("gen2", 0, "serve a second synthetic dataset of this many rectangles (seeded with -seed+1)")
+		name2   = flag.String("name2", "second", "second index name on the wire")
+		tree2   = flag.String("tree2", "", "second index access method (default: same as -tree)")
+		timeout = flag.Duration("timeout", 30*time.Second, "default per-request deadline (0 = none)")
+		drain   = flag.Duration("drain", 10*time.Second, "graceful shutdown budget on SIGTERM")
 
 		dataDir    = flag.String("data-dir", "", "durable state directory: snapshot + WAL, recovered on boot")
 		fsync      = flag.String("fsync", "always", "WAL fsync policy with -data-dir: always, interval, never")
@@ -168,6 +179,33 @@ func main() {
 		}
 		fmt.Printf("topod: %s %d rectangles in %s %q in %s (height %d, frames %d)\n",
 			build, inst.Idx.Len(), inst.Kind, inst.Name, buildTime.Round(time.Millisecond), inst.Idx.Height(), *frames)
+	}
+
+	// A second, non-durable index makes the process a join service:
+	// POST /v1/join with left/right set to the two names.
+	if *data2 != "" || *gen2 > 0 {
+		kind2 := kind
+		if *tree2 != "" {
+			if kind2, err = parseKind(*tree2); err != nil {
+				fatal(err)
+			}
+		}
+		items2, err := loadItems(*data2, *gen2, cls, *seed+1)
+		if err != nil {
+			fatal(err)
+		}
+		inst2, err := srv.AddIndex(server.IndexSpec{
+			Name:     *name2,
+			Kind:     kind2,
+			PageSize: *pageSize,
+			Frames:   *frames,
+			Bulk:     *bulk,
+		}, items2)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("topod: loaded %d rectangles in %s %q (height %d)\n",
+			inst2.Idx.Len(), inst2.Kind, inst2.Name, inst2.Idx.Height())
 	}
 
 	ln, err := net.Listen("tcp", *addr)

@@ -9,6 +9,7 @@
 //	topoquery -data data.csv -rel in -ref 0,0,500,500      # inside ∨ covered_by
 //	topoquery -data data.csv -rel meet -ref 10,10,40,30 -noncrisp
 //	topoquery -data data.csv -queries queries.csv -rel overlap   # batch mode
+//	topoquery -data left.csv -join right.csv -rel meet,overlap   # spatial join
 //	topoquery -data data.csv -rel overlap -ref 10,10,40,30 -frames 64   # LRU buffer pool
 package main
 
@@ -40,6 +41,7 @@ func main() {
 		frames    = flag.Int("frames", 0, "buffer-pool frames between tree and page file (0 = unbuffered)")
 		nonCrisp  = flag.Bool("noncrisp", false, "tolerate 2-degree MBR imprecision (Table 5 retrieval)")
 		nonContig = flag.Bool("noncontiguous", false, "objects may be multi-part (Section 7 tables)")
+		joinPath  = flag.String("join", "", "second data CSV: join -data (left) with this file (right) on -rel instead of running window queries")
 		knnSpec   = flag.String("knn", "", "k,x,y — report the k stored rectangles nearest to (x,y)")
 		dirName   = flag.String("dir", "", "direction relation (north, southwest, samelevel, strict_east, …) instead of -rel")
 		maxPrint  = flag.Int("maxprint", 20, "print at most this many matching oids")
@@ -80,6 +82,39 @@ func main() {
 		// Report query-time caching only, not the build's IO.
 		pool.ResetStats()
 		defer reportPool(pool, *frames)
+	}
+
+	// Join mode: synchronized-traversal join of the two layers, run
+	// serially — the ground truth the service smoke test compares
+	// /v1/join pair counts against.
+	if *joinPath != "" {
+		rItems, err := readItems(*joinPath)
+		if err != nil {
+			fatal(err)
+		}
+		rIdx, err := index.NewWithPageSize(kind, *pageSize)
+		if err != nil {
+			fatal(err)
+		}
+		if err := index.Load(rIdx, rItems); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("loaded %d rectangles into right %s (height %d)\n", rIdx.Len(), rIdx.Name(), rIdx.Height())
+		res, err := query.JoinTopological(idx, rIdx, rels, query.JoinOptions{
+			Workers: 1, NonContiguous: *nonContig,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("join %s: %d pairs, %d node accesses\n", *relName, len(res.Pairs), res.Stats.NodeAccesses)
+		for i, p := range res.Pairs {
+			if i >= *maxPrint {
+				fmt.Printf("  … %d more\n", len(res.Pairs)-i)
+				break
+			}
+			fmt.Printf("  (%d, %d)\n", p.LeftOID, p.RightOID)
+		}
+		return
 	}
 
 	// kNN mode.
@@ -203,18 +238,28 @@ func readItems(path string) ([]index.Item, error) {
 	return workload.ReadItemsCSV(f)
 }
 
+// parseRelSet resolves a comma-separated disjunction of relation names
+// ("meet,overlap"), with the same aliases as the wire API.
 func parseRelSet(s string) (topo.Set, error) {
-	switch strings.ToLower(s) {
-	case "in":
-		return topo.In, nil
-	case "not_disjoint", "notdisjoint", "window":
-		return topo.NotDisjoint, nil
+	var set topo.Set
+	for _, name := range strings.Split(s, ",") {
+		switch strings.ToLower(strings.TrimSpace(name)) {
+		case "in":
+			set = set.Union(topo.In)
+		case "not_disjoint", "notdisjoint", "window":
+			set = set.Union(topo.NotDisjoint)
+		default:
+			r, err := topo.ParseRelation(strings.ToLower(strings.TrimSpace(name)))
+			if err != nil {
+				return 0, err
+			}
+			set = set.Add(r)
+		}
 	}
-	r, err := topo.ParseRelation(strings.ToLower(s))
-	if err != nil {
-		return 0, err
+	if set.IsEmpty() {
+		return 0, fmt.Errorf("empty relation set %q", s)
 	}
-	return topo.NewSet(r), nil
+	return set, nil
 }
 
 func parseDirection(s string) (direction.Relation, error) {

@@ -84,11 +84,15 @@ func TestJoinExperiment(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, row := range res.Rows {
-		if row.JoinAccesses == 0 || row.NestedAccesses == 0 {
+		if row.JoinAccesses == 0 || row.NestedAccesses == 0 || row.NaiveAccesses == 0 {
 			t.Fatalf("%v: zero accesses recorded", row.Relation)
 		}
 		if row.JoinAccesses > row.NestedAccesses {
 			t.Errorf("%v: join (%d) costlier than nested (%d)", row.Relation, row.JoinAccesses, row.NestedAccesses)
+		}
+		if row.JoinAccesses > row.NaiveAccesses {
+			t.Errorf("%v: sweep (%d) read more pages than the naive engine (%d)",
+				row.Relation, row.JoinAccesses, row.NaiveAccesses)
 		}
 	}
 	if out := res.Render(); !strings.Contains(out, "spatial join") {

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"mbrtopo/internal/index"
 	"mbrtopo/internal/query"
@@ -11,8 +12,10 @@ import (
 )
 
 // JoinResultExp measures topological spatial joins between two layers:
-// synchronized-traversal cost versus the nested per-object baseline,
-// per relation.
+// the legacy nested-loop engine (which re-read right child pages),
+// the plane-sweep engine, and the parallel sweep, against the
+// per-object nested-query baseline — disk accesses and wall time per
+// relation.
 type JoinResultExp struct {
 	Config Config
 	Class  workload.SizeClass
@@ -25,11 +28,19 @@ type JoinRow struct {
 	Relation topo.Relation
 	// Pairs found at the filter level.
 	Pairs int
-	// JoinAccesses: page reads of the synchronized traversal.
+	// NaiveAccesses: page reads of the legacy nested-loop engine,
+	// which re-reads right children once per matching left entry.
+	NaiveAccesses uint64
+	// JoinAccesses: page reads of the sweep engine (child pages read
+	// at most once per node pair; identical for serial and parallel).
 	JoinAccesses uint64
 	// NestedAccesses: page reads of querying the right index once per
 	// left object.
 	NestedAccesses uint64
+	// Wall times of the three engine configurations.
+	NaiveTime    time.Duration
+	SweepTime    time.Duration
+	ParallelTime time.Duration
 }
 
 // RunJoin measures joins between two independently generated layers of
@@ -37,8 +48,8 @@ type JoinRow struct {
 // tractable).
 func RunJoin(cfg Config, class workload.SizeClass) (*JoinResultExp, error) {
 	n := cfg.NData
-	if n > 3000 {
-		n = 3000
+	if n > 20000 {
+		n = 20000
 	}
 	left := workload.NewDataset(class, n, 1, cfg.Seed+400)
 	right := workload.NewDataset(class, n, 1, cfg.Seed+401)
@@ -50,15 +61,29 @@ func RunJoin(cfg Config, class workload.SizeClass) (*JoinResultExp, error) {
 	if err != nil {
 		return nil, err
 	}
+	// timedJoin runs one engine configuration and reports accesses,
+	// pair count, and wall time.
+	timedJoin := func(rel topo.Relation, opts query.JoinOptions) (uint64, int, time.Duration, error) {
+		start := time.Now()
+		res, err := query.JoinTopological(lIdx, rIdx, topo.NewSet(rel), opts)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		return res.Stats.NodeAccesses, len(res.Pairs), time.Since(start), nil
+	}
 	out := &JoinResultExp{Config: cfg, Class: class, N: n}
 	for _, rel := range []topo.Relation{topo.Meet, topo.Overlap, topo.Inside, topo.Covers, topo.Equal} {
 		row := JoinRow{Relation: rel}
-		res, err := query.JoinTopological(lIdx, rIdx, topo.NewSet(rel), query.JoinOptions{})
-		if err != nil {
+		var err error
+		if row.NaiveAccesses, _, row.NaiveTime, err = timedJoin(rel, query.JoinOptions{NaiveReads: true}); err != nil {
 			return nil, err
 		}
-		row.Pairs = len(res.Pairs)
-		row.JoinAccesses = res.Stats.NodeAccesses
+		if row.JoinAccesses, row.Pairs, row.SweepTime, err = timedJoin(rel, query.JoinOptions{Workers: 1}); err != nil {
+			return nil, err
+		}
+		if _, _, row.ParallelTime, err = timedJoin(rel, query.JoinOptions{}); err != nil {
+			return nil, err
+		}
 
 		// Nested baseline: one topological query per left object, costed
 		// by summing each query's own traversal accounting.
@@ -80,15 +105,20 @@ func RunJoin(cfg Config, class workload.SizeClass) (*JoinResultExp, error) {
 // Render prints the join comparison.
 func (r *JoinResultExp) Render() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "Topological spatial join, two %s layers of %d objects (R*-trees)\n\n", r.Class, r.N)
-	t := &table{header: []string{"relation", "pairs", "join accesses", "nested accesses", "speedup"}}
+	fmt.Fprintf(&b, "Topological spatial join, two %s layers of %d objects (R*-trees)\n", r.Class, r.N)
+	fmt.Fprintf(&b, "naive = legacy nested-loop engine, sweep = plane-sweep with per-pair child dedup\n\n")
+	t := &table{header: []string{
+		"relation", "pairs", "naive acc", "sweep acc", "nested acc",
+		"naive ms", "sweep ms", "parallel ms",
+	}}
+	ms := func(d time.Duration) string { return fmt.Sprintf("%.1f", d.Seconds()*1e3) }
 	for _, row := range r.Rows {
-		speed := float64(row.NestedAccesses) / float64(row.JoinAccesses)
 		t.addRow(row.Relation.String(),
 			fmt.Sprintf("%d", row.Pairs),
+			fmt.Sprintf("%d", row.NaiveAccesses),
 			fmt.Sprintf("%d", row.JoinAccesses),
 			fmt.Sprintf("%d", row.NestedAccesses),
-			fmt.Sprintf("%.1f×", speed))
+			ms(row.NaiveTime), ms(row.SweepTime), ms(row.ParallelTime))
 	}
 	b.WriteString(t.String())
 	return b.String()

@@ -1,10 +1,16 @@
 package query
 
 import (
+	"context"
 	"fmt"
+	"iter"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"mbrtopo/internal/geom"
 	"mbrtopo/internal/index"
+	"mbrtopo/internal/interval"
 	"mbrtopo/internal/mbr"
 	"mbrtopo/internal/rtree"
 	"mbrtopo/internal/topo"
@@ -22,7 +28,7 @@ type JoinResult struct {
 	Stats Stats
 }
 
-// JoinOptions configure JoinTopological.
+// JoinOptions configure the join functions.
 type JoinOptions struct {
 	// LeftObjects / RightObjects enable exact refinement. When nil the
 	// join returns filter-level candidate pairs (configurations
@@ -33,23 +39,102 @@ type JoinOptions struct {
 	// KeepSelfPairs keeps (o, o) pairs in self-joins (by default a pair
 	// with equal OIDs from joining an index with itself is dropped).
 	KeepSelfPairs bool
+	// Workers bounds the synchronized-traversal worker pool of the join
+	// engine; all workers share the same two pinned tree snapshots.
+	// 0 (or negative) uses GOMAXPROCS; 1 traverses serially.
+	Workers int
+	// RefineWorkers bounds the worker pool of the exact-refinement
+	// stage, which runs concurrently with the traversal when both
+	// object stores are set (Processor semantics: negative uses
+	// GOMAXPROCS, 0 or 1 refines on a single goroutine).
+	RefineWorkers int
+	// NaiveReads selects the legacy nested-loop engine that re-reads
+	// right child pages (and a serial traversal). It is the cost
+	// baseline of the experiments and benchmarks; leave it unset.
+	NaiveReads bool
+}
+
+// refineWorkers resolves the refinement pool size.
+func (o JoinOptions) refineWorkers() int {
+	switch {
+	case o.RefineWorkers < 0:
+		return runtime.GOMAXPROCS(0)
+	case o.RefineWorkers == 0:
+		return 1
+	default:
+		return o.RefineWorkers
+	}
+}
+
+// joinTrees rejects access methods the synchronized traversal cannot
+// join: both sides must be covering-rectangle trees. R+-trees
+// partition space (one object may appear in several leaves), so join
+// them by running per-object queries instead.
+func joinTrees(left, right index.Index) (*rtree.Tree, *rtree.Tree, error) {
+	t1, ok1 := left.(*rtree.Tree)
+	t2, ok2 := right.(*rtree.Tree)
+	if !ok1 || !ok2 {
+		return nil, nil, fmt.Errorf("query: join requires covering-rectangle trees (got %s, %s)",
+			left.Name(), right.Name())
+	}
+	return t1, t2, nil
+}
+
+// CanJoin reports (as an error) whether the two indexes can be joined
+// by synchronized traversal. It lets callers that stream results over
+// a network reject unsupported pairs before committing to a response.
+func CanJoin(left, right index.Index) error {
+	_, _, err := joinTrees(left, right)
+	return err
+}
+
+// sweepSafe reports whether every admissible configuration shares at
+// least one point on each axis — the soundness condition for the
+// engine's plane-sweep matcher and node-MBR clipping, which only
+// enumerate axis-overlapping pairs. Every topological relation except
+// disjoint implies MBR intersection, so any relation set without
+// disjoint qualifies; sets containing disjoint fall back to the
+// pruned nested loop (which still dedups child reads and runs on the
+// worker pool).
+func sweepSafe(cands mbr.ConfigSet) bool {
+	xs, ys := cands.XRelations(), cands.YRelations()
+	return !xs.Has(interval.Before) && !xs.Has(interval.After) &&
+		!ys.Has(interval.Before) && !ys.Has(interval.After)
 }
 
 // JoinTopological finds all pairs (l, r) of objects from the two
 // indexes with rel(l, r) for some rel in rels, by synchronized
 // traversal of both trees with configuration-based pruning (the
-// two-sided analogue of the paper's Table 2, derived per axis). Both
-// indexes must be covering-rectangle trees (R-tree or R*-tree); join
-// an R+-tree by running per-object queries instead.
+// two-sided analogue of the paper's Table 2, derived per axis). It is
+// a collecting wrapper around JoinStream; pair order is unspecified.
 func JoinTopological(left, right index.Index, rels topo.Set, opts JoinOptions) (JoinResult, error) {
-	if rels.IsEmpty() {
-		return JoinResult{}, fmt.Errorf("query: empty relation set")
+	var out JoinResult
+	stats, err := JoinStream(context.Background(), left, right, rels, opts, func(p JoinPair) bool {
+		out.Pairs = append(out.Pairs, p)
+		return true
+	})
+	if err != nil {
+		return JoinResult{}, err
 	}
-	t1, ok1 := left.(*rtree.Tree)
-	t2, ok2 := right.(*rtree.Tree)
-	if !ok1 || !ok2 {
-		return JoinResult{}, fmt.Errorf("query: join requires covering-rectangle trees (got %s, %s)",
-			left.Name(), right.Name())
+	out.Stats = stats
+	return out, nil
+}
+
+// JoinStream runs the join, calling yield for every result pair as it
+// is found. Without object stores the pairs are filter-level
+// candidates; with both stores set each candidate is refined first
+// (Figure 9 direct accepts, exact geometry otherwise) on a pool of
+// RefineWorkers goroutines running concurrently with the traversal.
+// yield is never called concurrently; returning false from it stops
+// the join cleanly (nil error). On cancellation JoinStream returns
+// ctx.Err() together with the statistics accumulated so far.
+func JoinStream(ctx context.Context, left, right index.Index, rels topo.Set, opts JoinOptions, yield func(JoinPair) bool) (Stats, error) {
+	if rels.IsEmpty() {
+		return Stats{}, fmt.Errorf("query: empty relation set")
+	}
+	t1, t2, err := joinTrees(left, right)
+	if err != nil {
+		return Stats{}, err
 	}
 
 	var cands mbr.ConfigSet
@@ -59,57 +144,261 @@ func JoinTopological(left, right index.Index, rels topo.Set, opts JoinOptions) (
 		cands = mbr.CandidatesSet(rels)
 	}
 	prop := mbr.JoinPropagation(cands)
-
+	engineOpts := rtree.JoinOptions{
+		Workers:      opts.Workers,
+		Intersecting: sweepSafe(cands),
+		NaiveReads:   opts.NaiveReads,
+	}
+	prune := func(a, b geom.Rect) bool { return prop.Has(mbr.ConfigOf(a, b)) }
+	accept := func(a, b geom.Rect) bool { return cands.Has(mbr.ConfigOf(a, b)) }
 	selfJoin := left == right
-	var out JoinResult
-	ts, err := rtree.Join(t1, t2,
-		func(a, b geom.Rect) bool { return prop.Has(mbr.ConfigOf(a, b)) },
-		func(a, b geom.Rect) bool { return cands.Has(mbr.ConfigOf(a, b)) },
+	dropSelf := selfJoin && !opts.KeepSelfPairs
+
+	if opts.LeftObjects == nil || opts.RightObjects == nil {
+		// Filter-only: deliver candidates straight from the engine's
+		// (serialised) emit callback.
+		candidates := 0
+		ts, err := rtree.JoinCtx(ctx, t1, t2, prune, accept,
+			func(aRect geom.Rect, aOID uint64, bRect geom.Rect, bOID uint64) bool {
+				if dropSelf && aOID == bOID {
+					return true
+				}
+				candidates++
+				return yield(JoinPair{LeftOID: aOID, RightOID: bOID, LeftRect: aRect, RightRect: bRect})
+			}, engineOpts)
+		return Stats{NodeAccesses: ts.NodeAccesses, Candidates: candidates}, err
+	}
+	return joinRefined(ctx, t1, t2, rels, opts, engineOpts, prune, accept, dropSelf, yield)
+}
+
+// joinRefined is the streaming pipeline with exact refinement: the
+// traversal produces candidate pairs into a bounded channel, a pool of
+// refinement workers applies step 4 (direct accepts from the MBR
+// configuration, exact geometry otherwise), and accepted pairs are
+// delivered through a serialising mutex.
+func joinRefined(ctx context.Context, t1, t2 *rtree.Tree, rels topo.Set,
+	opts JoinOptions, engineOpts rtree.JoinOptions,
+	prune, accept func(a, b geom.Rect) bool, dropSelf bool,
+	yield func(JoinPair) bool) (Stats, error) {
+
+	jctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		candidates, directAccepts  atomic.Int64
+		refinementTests, falseHits atomic.Int64
+		wg                         sync.WaitGroup
+		yieldMu                    sync.Mutex
+		yieldStopped               bool
+		errOnce                    sync.Once
+		refineErr                  error
+	)
+	fail := func(err error) {
+		errOnce.Do(func() {
+			refineErr = err
+			cancel()
+		})
+	}
+	deliver := func(p JoinPair) {
+		yieldMu.Lock()
+		defer yieldMu.Unlock()
+		if yieldStopped {
+			return
+		}
+		if !yield(p) {
+			yieldStopped = true
+			cancel()
+		}
+	}
+	refineOne := func(p JoinPair) {
+		cfg := mbr.ConfigOf(p.LeftRect, p.RightRect)
+		poss := mbr.PossibleRelations(cfg)
+		if opts.NonContiguous {
+			poss = mbr.PossibleRelationsNonContiguous(cfg)
+		}
+		// Figure 9 generalised to disjunctions: if every relation the
+		// configuration admits is wanted, accept without geometry.
+		if poss.SubsetOf(rels) {
+			directAccepts.Add(1)
+			deliver(p)
+			return
+		}
+		lo, ok := opts.LeftObjects.Object(p.LeftOID)
+		if !ok {
+			fail(fmt.Errorf("query: join refinement needs left object %d", p.LeftOID))
+			return
+		}
+		ro, ok := opts.RightObjects.Object(p.RightOID)
+		if !ok {
+			fail(fmt.Errorf("query: join refinement needs right object %d", p.RightOID))
+			return
+		}
+		refinementTests.Add(1)
+		if rels.Has(geom.RelateRegions(lo, ro)) {
+			deliver(p)
+		} else {
+			falseHits.Add(1)
+		}
+	}
+
+	workers := opts.refineWorkers()
+	candCh := make(chan JoinPair, 4*workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for p := range candCh {
+				refineOne(p)
+			}
+		}()
+	}
+	ts, jerr := rtree.JoinCtx(jctx, t1, t2, prune, accept,
 		func(aRect geom.Rect, aOID uint64, bRect geom.Rect, bOID uint64) bool {
-			if selfJoin && !opts.KeepSelfPairs && aOID == bOID {
+			if dropSelf && aOID == bOID {
 				return true
 			}
-			out.Pairs = append(out.Pairs, JoinPair{
-				LeftOID: aOID, RightOID: bOID, LeftRect: aRect, RightRect: bRect,
-			})
-			return true
-		})
-	if err != nil {
-		return JoinResult{}, err
-	}
-	out.Stats.NodeAccesses = ts.NodeAccesses
-	out.Stats.Candidates = len(out.Pairs)
+			candidates.Add(1)
+			select {
+			case candCh <- JoinPair{LeftOID: aOID, RightOID: bOID, LeftRect: aRect, RightRect: bRect}:
+				return true
+			case <-jctx.Done():
+				return false
+			}
+		}, engineOpts)
+	close(candCh)
+	wg.Wait()
 
-	// Refinement.
-	if opts.LeftObjects != nil && opts.RightObjects != nil {
-		kept := out.Pairs[:0]
-		for _, p := range out.Pairs {
-			cfg := mbr.ConfigOf(p.LeftRect, p.RightRect)
-			poss := mbr.PossibleRelations(cfg)
-			if opts.NonContiguous {
-				poss = mbr.PossibleRelationsNonContiguous(cfg)
-			}
-			if poss.SubsetOf(rels) {
-				out.Stats.DirectAccepts++
-				kept = append(kept, p)
-				continue
-			}
-			lo, ok := opts.LeftObjects.Object(p.LeftOID)
-			if !ok {
-				return JoinResult{}, fmt.Errorf("query: join refinement needs left object %d", p.LeftOID)
-			}
-			ro, ok := opts.RightObjects.Object(p.RightOID)
-			if !ok {
-				return JoinResult{}, fmt.Errorf("query: join refinement needs right object %d", p.RightOID)
-			}
-			out.Stats.RefinementTests++
-			if rels.Has(geom.RelateRegions(lo, ro)) {
-				kept = append(kept, p)
-			} else {
-				out.Stats.FalseHits++
-			}
-		}
-		out.Pairs = kept
+	stats := Stats{
+		NodeAccesses:    ts.NodeAccesses,
+		Candidates:      int(candidates.Load()),
+		DirectAccepts:   int(directAccepts.Load()),
+		RefinementTests: int(refinementTests.Load()),
+		FalseHits:       int(falseHits.Load()),
 	}
-	return out, nil
+	switch {
+	case refineErr != nil:
+		return stats, refineErr
+	case yieldStopped:
+		return stats, nil
+	case jerr != nil:
+		return stats, jerr
+	case ctx.Err() != nil:
+		// The engine's emit can observe the cancellation as a declined
+		// send (a clean stop from its point of view); report it anyway.
+		return stats, ctx.Err()
+	}
+	return stats, nil
+}
+
+// JoinPairs returns the streaming join as an iterator, for
+// range-over-func consumers:
+//
+//	for p, err := range query.JoinPairs(ctx, left, right, rels, opts, 0) {
+//	    if err != nil { ... }
+//	    use(p)
+//	}
+//
+// A non-nil error, if any, is the final pair's second value (with a
+// zero JoinPair). Breaking out of the loop stops the join. limit > 0
+// caps the number of pairs delivered.
+func JoinPairs(ctx context.Context, left, right index.Index, rels topo.Set, opts JoinOptions, limit int) iter.Seq2[JoinPair, error] {
+	return func(yield func(JoinPair, error) bool) {
+		stopped := false
+		emitted := 0
+		_, err := JoinStream(ctx, left, right, rels, opts, func(p JoinPair) bool {
+			if !yield(p, nil) {
+				stopped = true
+				return false
+			}
+			emitted++
+			return limit <= 0 || emitted < limit
+		})
+		if err != nil && !stopped {
+			yield(JoinPair{}, err)
+		}
+	}
+}
+
+// JoinCursor is a pull-based view of a streaming join, the two-tree
+// analogue of Cursor: the join runs in a background goroutine with a
+// small buffer; Next blocks for the next pair. Close releases the
+// goroutine early (safe, and required, when abandoning a cursor before
+// exhaustion; closing an exhausted cursor is a no-op).
+type JoinCursor struct {
+	ch     chan JoinPair
+	cancel context.CancelFunc
+	done   chan struct{}
+
+	cur   JoinPair
+	stats Stats
+	err   error
+}
+
+// OpenJoinCursor starts a streaming join and returns a cursor over its
+// result pairs. The join runs concurrently with consumption and stops
+// when the cursor is closed, the limit is reached, or ctx is
+// cancelled.
+func OpenJoinCursor(ctx context.Context, left, right index.Index, rels topo.Set, opts JoinOptions, limit int) *JoinCursor {
+	ctx, cancel := context.WithCancel(ctx)
+	c := &JoinCursor{
+		ch:     make(chan JoinPair, cursorBuffer),
+		cancel: cancel,
+		done:   make(chan struct{}),
+	}
+	go func() {
+		defer close(c.done)
+		defer close(c.ch)
+		emitted := 0
+		stats, err := JoinStream(ctx, left, right, rels, opts, func(p JoinPair) bool {
+			select {
+			case c.ch <- p:
+			case <-ctx.Done():
+				return false
+			}
+			emitted++
+			return limit <= 0 || emitted < limit
+		})
+		c.stats = stats
+		if err != nil && ctx.Err() == nil {
+			c.err = err
+		}
+	}()
+	return c
+}
+
+// Next advances to the next pair, reporting false at end of stream
+// (exhaustion, error, limit, or Close). After false, Err and Stats are
+// final.
+func (c *JoinCursor) Next() bool {
+	p, ok := <-c.ch
+	if !ok {
+		return false
+	}
+	c.cur = p
+	return true
+}
+
+// Pair returns the pair Next advanced to.
+func (c *JoinCursor) Pair() JoinPair { return c.cur }
+
+// Err returns the join error, if any, once the stream has ended. A
+// cursor stopped by Close or context cancellation reports nil.
+func (c *JoinCursor) Err() error {
+	<-c.done
+	return c.err
+}
+
+// Stats returns the join statistics; it blocks until the producing
+// join has finished (call after Next returns false, or after Close).
+func (c *JoinCursor) Stats() Stats {
+	<-c.done
+	return c.stats
+}
+
+// Close stops the join and releases its goroutine. Safe to call
+// multiple times and concurrently with Next.
+func (c *JoinCursor) Close() {
+	c.cancel()
+	for range c.ch {
+	}
+	<-c.done
 }

@@ -1,29 +1,106 @@
 package rtree
 
 import (
+	"context"
+	"errors"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
 	"mbrtopo/internal/geom"
 	"mbrtopo/internal/pagefile"
 )
 
-// Join performs a synchronized traversal of two R-/R*-trees (the
-// classic tree-matching spatial join of Brinkhoff, Kriegel and Seeger,
-// which the paper's multi-step line of work builds on). prune is
-// called on pairs of covering rectangles (node-node, node-leafMBR);
-// when it returns false the pair's subtrees are skipped. accept is
-// called on leaf entry rectangle pairs; matching pairs are passed to
-// emit (return false to stop). Self-joins (t1 == t2) are supported.
+// This file is the spatial-join engine: a synchronized traversal of
+// two R-/R*-trees (the classic tree-matching join of Brinkhoff,
+// Kriegel and Seeger, which the paper's multi-step line of work builds
+// on), with three optimisations over the textbook nested loop:
+//
+//   - every child page is read at most once per node pair (the nested
+//     loop re-reads the right child for every matching left entry);
+//   - when the caller asserts that qualifying pairs always share a
+//     point (every topological relation set except ones containing
+//     disjoint), entries are matched by a forward plane sweep over
+//     their low-x order, restricted to the intersection of the two
+//     node MBRs, so only x-overlapping combinations are tested;
+//   - the top-level node pairs (and, when that fans out too little,
+//     the second-level pairs) are distributed over a bounded worker
+//     pool. All workers traverse the same two pinned snapshots, and
+//     their per-worker TraversalStats are merged at the end, so the
+//     returned counts are exactly the serial engine's.
+//
+// The join pins one published snapshot of each tree for its whole
+// duration, so it runs in parallel with other readers and never blocks
+// (or is blocked by) writers; self-joins see a single consistent
+// version.
+
+// JoinOptions tune JoinCtx.
+type JoinOptions struct {
+	// Workers bounds the traversal worker pool. 0 (or negative) uses
+	// GOMAXPROCS; 1 runs the whole join on the calling goroutine.
+	Workers int
+	// Intersecting asserts that every pair accept (and prune) can admit
+	// shares at least one point on each axis. It enables the plane-sweep
+	// matcher and node-MBR clipping, which only enumerate axis-
+	// overlapping combinations; setting it when axis-disjoint pairs can
+	// qualify loses results.
+	Intersecting bool
+	// NaiveReads restores the pre-sweep node-node behaviour — nested
+	// matching that re-reads the right child page for every matching
+	// left entry — and forces a serial traversal. It exists solely as
+	// the cost baseline for the experiments and benchmarks.
+	NaiveReads bool
+}
+
+// joinFanout is the task-to-worker ratio under which the coordinator
+// expands a second tree level before fanning out, so a small top level
+// (large page size, small trees) still feeds every worker.
+const joinFanout = 4
+
+// errJoinStop signals that emit asked the join to stop; it never
+// escapes this file.
+var errJoinStop = errors.New("rtree: join stopped by emit")
+
+// Join performs the spatial join serially with background context.
+// prune is called on pairs of covering rectangles (node-node,
+// node-leafMBR); when it returns false the pair's subtrees are
+// skipped. accept is called on leaf entry rectangle pairs; matching
+// pairs are passed to emit (return false to stop). Self-joins
+// (t1 == t2) are supported.
 //
 // The returned TraversalStats counts the pages this join read across
 // both trees — exact per-operation accounting, independent of any
-// concurrent queries on either index. The join pins one published
-// snapshot of each tree, so it runs in parallel with other readers
-// and never blocks (or is blocked by) writers; self-joins see a
-// single consistent version.
+// concurrent queries on either index.
 func Join(t1, t2 *Tree,
 	prune func(a, b geom.Rect) bool,
 	accept func(a, b geom.Rect) bool,
 	emit func(aRect geom.Rect, aOID uint64, bRect geom.Rect, bOID uint64) bool,
 ) (TraversalStats, error) {
+	return JoinCtx(context.Background(), t1, t2, prune, accept, emit, JoinOptions{Workers: 1})
+}
+
+// JoinCtx is the full join engine: Join plus context cancellation
+// (checked before every page read), plane-sweep matching, and the
+// worker pool (see JoinOptions). emit is never called concurrently,
+// regardless of the worker count, so caller-side closures need no
+// locking; the order in which pairs are emitted is unspecified.
+//
+// On cancellation JoinCtx returns ctx.Err() with the stats accumulated
+// so far; a join stopped by emit returns nil like a completed one.
+func JoinCtx(ctx context.Context, t1, t2 *Tree,
+	prune func(a, b geom.Rect) bool,
+	accept func(a, b geom.Rect) bool,
+	emit func(aRect geom.Rect, aOID uint64, bRect geom.Rect, bOID uint64) bool,
+	opts JoinOptions,
+) (TraversalStats, error) {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if opts.NaiveReads {
+		workers = 1
+	}
 	s1 := t1.acquire()
 	defer t1.release(s1)
 	s2 := s1
@@ -31,119 +108,439 @@ func Join(t1, t2 *Tree,
 		s2 = t2.acquire()
 		defer t2.release(s2)
 	}
-	j := &joiner{t1: t1, t2: t2, prune: prune, accept: accept, emit: emit}
-	r1, err := j.read1(s1.root)
+	jctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	e := &joinEngine{
+		t1: t1, t2: t2,
+		prune: prune, accept: accept, emit: emit,
+		opts: opts, ctx: jctx, cancel: cancel,
+	}
+	coord := &joinWorker{e: e}
+	r1, err := coord.read1(s1.root)
 	if err != nil {
-		return j.stats, err
+		return coord.stats, e.finish(err)
 	}
-	r2, err := j.read2(s2.root)
+	r2, err := coord.read2(s2.root)
 	if err != nil {
-		return j.stats, err
+		return coord.stats, e.finish(err)
 	}
-	if len(r1.entries) == 0 || len(r2.entries) == 0 {
-		return j.stats, nil
+	if len(r1.entries) == 0 || len(r2.entries) == 0 || !prune(r1.mbr(), r2.mbr()) {
+		return coord.stats, nil
 	}
-	if !prune(r1.mbr(), r2.mbr()) {
-		return j.stats, nil
+	if workers == 1 {
+		return coord.stats, e.finish(coord.join(r1, r2))
 	}
-	_, err = j.join(r1, r2)
-	return j.stats, err
+	return e.parallel(coord, r1, r2, workers)
 }
 
-type joiner struct {
+// joinEngine is the state shared by all workers of one join.
+type joinEngine struct {
 	t1, t2 *Tree
 	prune  func(a, b geom.Rect) bool
 	accept func(a, b geom.Rect) bool
 	emit   func(geom.Rect, uint64, geom.Rect, uint64) bool
-	stats  TraversalStats
+	opts   JoinOptions
+
+	ctx     context.Context
+	cancel  context.CancelFunc
+	emitMu  sync.Mutex
+	stopped atomic.Bool // emit returned false: stop without error
+}
+
+// stop halts every worker after emit declined more results.
+func (e *joinEngine) stop() {
+	e.stopped.Store(true)
+	e.cancel()
+}
+
+// finish maps a traversal outcome to the join's return error: a stop
+// requested by emit is a clean completion, everything else (including
+// external cancellation surfacing through page-read checks) is
+// reported as is.
+func (e *joinEngine) finish(err error) error {
+	if e.stopped.Load() || errors.Is(err, errJoinStop) {
+		return nil
+	}
+	return err
+}
+
+// parallel fans the join out: the coordinator expands the top level
+// (and, below joinFanout tasks per worker, the level below) into node
+// pairs, reading each child page once per pair exactly like the serial
+// recursion would, then the pairs are joined by the worker pool.
+func (e *joinEngine) parallel(coord *joinWorker, r1, r2 *node, workers int) (TraversalStats, error) {
+	tasks, err := coord.expand(r1, r2)
+	if err != nil {
+		return coord.stats, e.finish(err)
+	}
+	if len(tasks) < workers*joinFanout {
+		wider := make([]joinTask, 0, 2*len(tasks))
+		for _, t := range tasks {
+			if t.n1.isLeaf() && t.n2.isLeaf() {
+				wider = append(wider, t)
+				continue
+			}
+			sub, err := coord.expand(t.n1, t.n2)
+			if err != nil {
+				return coord.stats, e.finish(err)
+			}
+			wider = append(wider, sub...)
+		}
+		tasks = wider
+	}
+
+	var (
+		wg      sync.WaitGroup
+		pool    = make([]*joinWorker, workers)
+		errOnce sync.Once
+		joinErr error
+	)
+	fail := func(err error) {
+		errOnce.Do(func() {
+			joinErr = err
+			e.cancel()
+		})
+	}
+	taskCh := make(chan joinTask)
+	for i := range pool {
+		w := &joinWorker{e: e}
+		pool[i] = w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for t := range taskCh {
+				if err := w.join(t.n1, t.n2); err != nil {
+					fail(err)
+					return
+				}
+			}
+		}()
+	}
+feed:
+	for _, t := range tasks {
+		select {
+		case taskCh <- t:
+		case <-e.ctx.Done():
+			break feed
+		}
+	}
+	close(taskCh)
+	wg.Wait()
+	stats := coord.stats
+	for _, w := range pool {
+		stats = stats.Add(w.stats)
+	}
+	if err := e.finish(joinErr); err != nil {
+		return stats, err
+	}
+	if !e.stopped.Load() {
+		// The feed loop may have been broken by external cancellation
+		// without any worker observing it.
+		if err := e.ctx.Err(); err != nil {
+			return stats, err
+		}
+	}
+	return stats, nil
+}
+
+// joinTask is one node pair awaiting synchronized descent.
+type joinTask struct{ n1, n2 *node }
+
+// joinWorker runs part of a join with its own statistics; the merged
+// worker stats equal the serial engine's, since the task expansion
+// charges reads identically.
+type joinWorker struct {
+	e     *joinEngine
+	stats TraversalStats
 }
 
 // read1/read2 use each tree's own store (they may share a page file or
-// not) and charge the pages read to the join's own stats.
-func (j *joiner) read1(id pagefile.PageID) (*node, error) { return j.read(j.t1.st, id) }
-func (j *joiner) read2(id pagefile.PageID) (*node, error) { return j.read(j.t2.st, id) }
+// not) and charge the pages read to this worker's stats. Cancellation
+// is checked before every read, so an abandoned join stops within one
+// page read.
+func (w *joinWorker) read1(id pagefile.PageID) (*node, error) { return w.read(w.e.t1.st, id) }
+func (w *joinWorker) read2(id pagefile.PageID) (*node, error) { return w.read(w.e.t2.st, id) }
 
-func (j *joiner) read(st *store, id pagefile.PageID) (*node, error) {
+func (w *joinWorker) read(st *store, id pagefile.PageID) (*node, error) {
+	if err := w.e.ctx.Err(); err != nil {
+		return nil, err
+	}
 	n, err := st.readNode(id)
 	if err != nil {
 		return nil, err
 	}
-	j.stats.NodesVisited++
-	j.stats.NodeAccesses += 1 + uint64(len(n.chain))
+	w.stats.NodesVisited++
+	w.stats.NodeAccesses += 1 + uint64(len(n.chain))
 	return n, nil
+}
+
+// emitPair delivers one accepted leaf pair. The engine mutex
+// serialises emit across workers; after a stop no further pair is
+// delivered, so Emitted is exactly the number of emit calls.
+func (w *joinWorker) emitPair(e1, e2 *Entry) error {
+	e := w.e
+	e.emitMu.Lock()
+	if e.stopped.Load() {
+		e.emitMu.Unlock()
+		return errJoinStop
+	}
+	w.stats.Emitted++
+	ok := e.emit(e1.Rect, e1.OID, e2.Rect, e2.OID)
+	e.emitMu.Unlock()
+	if !ok {
+		e.stop()
+		return errJoinStop
+	}
+	return nil
 }
 
 // join recurses over a node pair; the pair itself already passed the
 // prune test.
-func (j *joiner) join(n1, n2 *node) (bool, error) {
+func (w *joinWorker) join(n1, n2 *node) error {
 	switch {
 	case n1.isLeaf() && n2.isLeaf():
-		for _, e1 := range n1.entries {
-			for _, e2 := range n2.entries {
-				if j.accept(e1.Rect, e2.Rect) {
-					j.stats.Emitted++
-					if !j.emit(e1.Rect, e1.OID, e2.Rect, e2.OID) {
-						return false, nil
-					}
-				}
-			}
-		}
-		return true, nil
+		return w.match(n1, n2, w.e.accept, func(i, j int) error {
+			return w.emitPair(&n1.entries[i], &n2.entries[j])
+		})
 	case n1.isLeaf():
-		// Descend the right side only.
-		for _, e2 := range n2.entries {
-			if !j.prune(n1.mbr(), e2.Rect) {
+		// Height mismatch: descend the right side only.
+		m1 := n1.mbr()
+		for j := range n2.entries {
+			e2 := &n2.entries[j]
+			if !w.e.prune(m1, e2.Rect) {
 				continue
 			}
-			c2, err := j.read2(e2.Child)
+			c2, err := w.read2(e2.Child)
 			if err != nil {
-				return false, err
+				return err
 			}
-			cont, err := j.join(n1, c2)
-			if err != nil || !cont {
-				return cont, err
+			if err := w.join(n1, c2); err != nil {
+				return err
 			}
 		}
-		return true, nil
+		return nil
 	case n2.isLeaf():
-		for _, e1 := range n1.entries {
-			if !j.prune(e1.Rect, n2.mbr()) {
+		m2 := n2.mbr()
+		for i := range n1.entries {
+			e1 := &n1.entries[i]
+			if !w.e.prune(e1.Rect, m2) {
 				continue
 			}
-			c1, err := j.read1(e1.Child)
+			c1, err := w.read1(e1.Child)
 			if err != nil {
-				return false, err
+				return err
 			}
-			cont, err := j.join(c1, n2)
-			if err != nil || !cont {
-				return cont, err
+			if err := w.join(c1, n2); err != nil {
+				return err
 			}
 		}
-		return true, nil
+		return nil
+	case w.e.opts.NaiveReads:
+		return w.joinNaive(n1, n2)
 	default:
-		for _, e1 := range n1.entries {
-			var c1 *node
-			for _, e2 := range n2.entries {
-				if !j.prune(e1.Rect, e2.Rect) {
-					continue
+		// Internal-internal: lazily read every child at most once for
+		// this node pair, however many partners its entry matches.
+		left := make([]*node, len(n1.entries))
+		right := make([]*node, len(n2.entries))
+		return w.match(n1, n2, w.e.prune, func(i, j int) error {
+			var err error
+			if left[i] == nil {
+				if left[i], err = w.read1(n1.entries[i].Child); err != nil {
+					return err
 				}
-				if c1 == nil {
-					var err error
-					c1, err = j.read1(e1.Child)
-					if err != nil {
-						return false, err
+			}
+			if right[j] == nil {
+				if right[j], err = w.read2(n2.entries[j].Child); err != nil {
+					return err
+				}
+			}
+			return w.join(left[i], right[j])
+		})
+	}
+}
+
+// joinNaive reproduces the pre-sweep node-node descent exactly: nested
+// matching, with the right child page re-read for every matching left
+// entry. Kept only as the cost baseline that the experiments and
+// BenchmarkJoinParallel compare the sweep engine against.
+func (w *joinWorker) joinNaive(n1, n2 *node) error {
+	for i := range n1.entries {
+		var c1 *node
+		for j := range n2.entries {
+			if !w.e.prune(n1.entries[i].Rect, n2.entries[j].Rect) {
+				continue
+			}
+			if c1 == nil {
+				var err error
+				if c1, err = w.read1(n1.entries[i].Child); err != nil {
+					return err
+				}
+			}
+			c2, err := w.read2(n2.entries[j].Child)
+			if err != nil {
+				return err
+			}
+			if err := w.join(c1, c2); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// expand reads the children of one node pair (each page at most once,
+// exactly as the serial recursion charges them) and returns the child
+// pairs that survive pruning. Leaf-leaf pairs are returned as they
+// are; height-mismatched pairs descend the taller side.
+func (w *joinWorker) expand(n1, n2 *node) ([]joinTask, error) {
+	var tasks []joinTask
+	switch {
+	case n1.isLeaf() && n2.isLeaf():
+		return []joinTask{{n1, n2}}, nil
+	case n1.isLeaf():
+		m1 := n1.mbr()
+		for j := range n2.entries {
+			e2 := &n2.entries[j]
+			if !w.e.prune(m1, e2.Rect) {
+				continue
+			}
+			c2, err := w.read2(e2.Child)
+			if err != nil {
+				return nil, err
+			}
+			tasks = append(tasks, joinTask{n1, c2})
+		}
+	case n2.isLeaf():
+		m2 := n2.mbr()
+		for i := range n1.entries {
+			e1 := &n1.entries[i]
+			if !w.e.prune(e1.Rect, m2) {
+				continue
+			}
+			c1, err := w.read1(e1.Child)
+			if err != nil {
+				return nil, err
+			}
+			tasks = append(tasks, joinTask{c1, n2})
+		}
+	default:
+		left := make([]*node, len(n1.entries))
+		right := make([]*node, len(n2.entries))
+		err := w.match(n1, n2, w.e.prune, func(i, j int) error {
+			var err error
+			if left[i] == nil {
+				if left[i], err = w.read1(n1.entries[i].Child); err != nil {
+					return err
+				}
+			}
+			if right[j] == nil {
+				if right[j], err = w.read2(n2.entries[j].Child); err != nil {
+					return err
+				}
+			}
+			tasks = append(tasks, joinTask{left[i], right[j]})
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return tasks, nil
+}
+
+// match enumerates the entry pairs of two nodes that pass test and
+// hands their indexes to found. Under the Intersecting contract the
+// pairs come from a plane sweep that only visits x-overlapping
+// combinations inside the nodes' common region; otherwise every
+// combination is tested.
+func (w *joinWorker) match(n1, n2 *node, test func(a, b geom.Rect) bool, found func(i, j int) error) error {
+	if w.e.opts.Intersecting && !w.e.opts.NaiveReads {
+		return w.matchSweep(n1, n2, test, found)
+	}
+	for i := range n1.entries {
+		for j := range n2.entries {
+			if !test(n1.entries[i].Rect, n2.entries[j].Rect) {
+				continue
+			}
+			if err := found(i, j); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// matchSweep is the forward plane sweep: both nodes' entries are
+// restricted to the (closed, possibly degenerate) intersection of the
+// node MBRs — a qualifying pair shares a point, and a shared point of
+// two entries lies inside both node rectangles — then sorted by low x
+// and swept. At each step the unprocessed entry with the smallest low
+// edge is paired with every opposite entry whose low edge lies inside
+// its x extent; each x-overlapping pair is therefore tested exactly
+// once (when its earlier-opening member is processed) and pairs that
+// merely touch are kept (meet is a point-sharing relation).
+func (w *joinWorker) matchSweep(n1, n2 *node, test func(a, b geom.Rect) bool, found func(i, j int) error) error {
+	clip := clipRect(n1.mbr(), n2.mbr())
+	if clip.Min.X > clip.Max.X || clip.Min.Y > clip.Max.Y {
+		return nil
+	}
+	s1 := sweepOrder(n1, clip)
+	s2 := sweepOrder(n2, clip)
+	for i, j := 0, 0; i < len(s1) && j < len(s2); {
+		a := &n1.entries[s1[i]]
+		b := &n2.entries[s2[j]]
+		if a.Rect.Min.X <= b.Rect.Min.X {
+			for k := j; k < len(s2); k++ {
+				bk := &n2.entries[s2[k]]
+				if bk.Rect.Min.X > a.Rect.Max.X {
+					break
+				}
+				if test(a.Rect, bk.Rect) {
+					if err := found(s1[i], s2[k]); err != nil {
+						return err
 					}
 				}
-				c2, err := j.read2(e2.Child)
-				if err != nil {
-					return false, err
+			}
+			i++
+		} else {
+			for k := i; k < len(s1); k++ {
+				ak := &n1.entries[s1[k]]
+				if ak.Rect.Min.X > b.Rect.Max.X {
+					break
 				}
-				cont, err := j.join(c1, c2)
-				if err != nil || !cont {
-					return cont, err
+				if test(ak.Rect, b.Rect) {
+					if err := found(s1[k], s2[j]); err != nil {
+						return err
+					}
 				}
 			}
+			j++
 		}
-		return true, nil
 	}
+	return nil
+}
+
+// clipRect is the closed intersection of two rectangles: degenerate
+// (zero extent) when they only share an edge or corner, inverted
+// (Min > Max on an axis) when they are disjoint.
+func clipRect(a, b geom.Rect) geom.Rect {
+	return geom.Rect{
+		Min: geom.Point{X: max(a.Min.X, b.Min.X), Y: max(a.Min.Y, b.Min.Y)},
+		Max: geom.Point{X: min(a.Max.X, b.Max.X), Y: min(a.Max.Y, b.Max.Y)},
+	}
+}
+
+// sweepOrder returns the indexes of the entries touching the clip
+// region, sorted by low x — the node's sweep order.
+func sweepOrder(n *node, clip geom.Rect) []int {
+	ord := make([]int, 0, len(n.entries))
+	for i := range n.entries {
+		if n.entries[i].Rect.Intersects(clip) {
+			ord = append(ord, i)
+		}
+	}
+	sort.Slice(ord, func(a, b int) bool {
+		return n.entries[ord[a]].Rect.Min.X < n.entries[ord[b]].Rect.Min.X
+	})
+	return ord
 }

@@ -1,0 +1,243 @@
+package rtree
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"mbrtopo/internal/geom"
+	"mbrtopo/internal/pagefile"
+)
+
+func buildJoinTree(t *testing.T, seed int64, n int) *Tree {
+	t.Helper()
+	tr, err := NewRStar(pagefile.NewMemFile(testPageSize))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < n; i++ {
+		if err := tr.Insert(randRect(rng, 1000, 30), uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tr
+}
+
+func intersectsPred(a, b geom.Rect) bool { return a.Intersects(b) }
+
+// runJoin collects an intersection join's pair multiset.
+func runJoin(t *testing.T, t1, t2 *Tree, opts JoinOptions) (map[[2]uint64]int, TraversalStats) {
+	t.Helper()
+	pairs := map[[2]uint64]int{}
+	ts, err := JoinCtx(context.Background(), t1, t2, intersectsPred, intersectsPred,
+		func(_ geom.Rect, a uint64, _ geom.Rect, b uint64) bool {
+			pairs[[2]uint64{a, b}]++
+			return true
+		}, opts)
+	if err != nil {
+		t.Fatalf("join (%+v): %v", opts, err)
+	}
+	return pairs, ts
+}
+
+func samePairs(t *testing.T, want, got map[[2]uint64]int, label string) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: %d distinct pairs, want %d", label, len(got), len(want))
+	}
+	for k, n := range want {
+		if got[k] != n {
+			t.Fatalf("%s: pair %v emitted %d times, want %d", label, k, got[k], n)
+		}
+	}
+}
+
+// refDedupReads independently walks both trees the way the fixed
+// engine must: every child page read at most once per node pair. It is
+// the regression oracle for the redundant right-child reads of the old
+// nested-loop joiner.
+func refDedupReads(t *testing.T, t1, t2 *Tree) uint64 {
+	t.Helper()
+	s1 := t1.acquire()
+	defer t1.release(s1)
+	s2 := t2.acquire()
+	defer t2.release(s2)
+	var reads uint64
+	read := func(tr *Tree, id pagefile.PageID) *node {
+		n, err := tr.st.readNode(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reads += 1 + uint64(len(n.chain))
+		return n
+	}
+	var rec func(n1, n2 *node)
+	rec = func(n1, n2 *node) {
+		switch {
+		case n1.isLeaf() && n2.isLeaf():
+		case n1.isLeaf():
+			m1 := n1.mbr()
+			for j := range n2.entries {
+				if m1.Intersects(n2.entries[j].Rect) {
+					rec(n1, read(t2, n2.entries[j].Child))
+				}
+			}
+		case n2.isLeaf():
+			m2 := n2.mbr()
+			for i := range n1.entries {
+				if n1.entries[i].Rect.Intersects(m2) {
+					rec(read(t1, n1.entries[i].Child), n2)
+				}
+			}
+		default:
+			left := make([]*node, len(n1.entries))
+			right := make([]*node, len(n2.entries))
+			for i := range n1.entries {
+				for j := range n2.entries {
+					if !n1.entries[i].Rect.Intersects(n2.entries[j].Rect) {
+						continue
+					}
+					if left[i] == nil {
+						left[i] = read(t1, n1.entries[i].Child)
+					}
+					if right[j] == nil {
+						right[j] = read(t2, n2.entries[j].Child)
+					}
+					rec(left[i], right[j])
+				}
+			}
+		}
+	}
+	r1 := read(t1, s1.root)
+	r2 := read(t2, s2.root)
+	if len(r1.entries) > 0 && len(r2.entries) > 0 && r1.mbr().Intersects(r2.mbr()) {
+		rec(r1, r2)
+	}
+	return reads
+}
+
+// TestJoinChildReadDedup is the page-access regression test for the
+// node-node fix: the engine must read each child at most once per node
+// pair (matching an independent reference walk exactly) and strictly
+// fewer pages than the old engine, which re-read the right child for
+// every matching left entry — all visible in TraversalStats.
+func TestJoinChildReadDedup(t *testing.T) {
+	t1 := buildJoinTree(t, 1, 1500)
+	t2 := buildJoinTree(t, 2, 1500)
+	if t1.Height() < 3 {
+		t.Fatalf("want height >= 3 to exercise node-node descent, got %d", t1.Height())
+	}
+
+	naivePairs, naive := runJoin(t, t1, t2, JoinOptions{NaiveReads: true})
+	dedupPairs, dedup := runJoin(t, t1, t2, JoinOptions{Workers: 1})
+	samePairs(t, naivePairs, dedupPairs, "dedup vs naive")
+
+	if dedup.NodeAccesses >= naive.NodeAccesses {
+		t.Fatalf("dedup engine read %d pages, naive %d; want strictly fewer",
+			dedup.NodeAccesses, naive.NodeAccesses)
+	}
+	if want := refDedupReads(t, t1, t2); dedup.NodeAccesses != want {
+		t.Fatalf("dedup engine read %d pages, reference dedup walk reads %d",
+			dedup.NodeAccesses, want)
+	}
+	if dedup.Emitted != naive.Emitted || dedup.Emitted != len(dedupPairs) {
+		t.Fatalf("emitted %d (naive %d, distinct %d); counts must agree",
+			dedup.Emitted, naive.Emitted, len(dedupPairs))
+	}
+}
+
+// TestJoinSweepEquivalence: for a point-sharing predicate the sweep
+// matcher must test exactly the pairs the nested loop accepts, so the
+// result multiset and the page reads are identical.
+func TestJoinSweepEquivalence(t *testing.T) {
+	t1 := buildJoinTree(t, 3, 1200)
+	t2 := buildJoinTree(t, 4, 1200)
+	nestedPairs, nested := runJoin(t, t1, t2, JoinOptions{Workers: 1})
+	sweepPairs, sweep := runJoin(t, t1, t2, JoinOptions{Workers: 1, Intersecting: true})
+	samePairs(t, nestedPairs, sweepPairs, "sweep vs nested")
+	if sweep != nested {
+		t.Fatalf("sweep stats %+v != nested stats %+v", sweep, nested)
+	}
+}
+
+// TestJoinParallelEquivalence: the worker pool must emit the same pair
+// multiset with the same merged statistics as the serial engine (the
+// task expansion charges reads identically).
+func TestJoinParallelEquivalence(t *testing.T) {
+	t1 := buildJoinTree(t, 5, 1500)
+	t2 := buildJoinTree(t, 6, 1500)
+	serialPairs, serial := runJoin(t, t1, t2, JoinOptions{Workers: 1, Intersecting: true})
+	for _, workers := range []int{2, 4, 8} {
+		pairs, stats := runJoin(t, t1, t2, JoinOptions{Workers: workers, Intersecting: true})
+		samePairs(t, serialPairs, pairs, "parallel vs serial")
+		if stats != serial {
+			t.Fatalf("workers=%d stats %+v != serial stats %+v", workers, stats, serial)
+		}
+	}
+
+	// Self-join through the same pool: a consistent single snapshot.
+	selfSerial, ss := runJoin(t, t1, t1, JoinOptions{Workers: 1, Intersecting: true})
+	selfPar, sp := runJoin(t, t1, t1, JoinOptions{Workers: 4, Intersecting: true})
+	samePairs(t, selfSerial, selfPar, "parallel self-join")
+	if ss != sp {
+		t.Fatalf("self-join stats diverge: serial %+v parallel %+v", ss, sp)
+	}
+	for i := 0; i < t1.Len(); i += 97 {
+		if selfSerial[[2]uint64{uint64(i), uint64(i)}] != 1 {
+			t.Fatalf("self-join missing identity pair (%d,%d)", i, i)
+		}
+	}
+}
+
+// TestJoinEmitStop: emit returning false stops the join cleanly — nil
+// error, and Emitted equal to the number of emit calls, also under the
+// worker pool where the stop gate is shared.
+func TestJoinEmitStop(t *testing.T) {
+	t1 := buildJoinTree(t, 7, 1000)
+	t2 := buildJoinTree(t, 8, 1000)
+	for _, workers := range []int{1, 4} {
+		emits := 0
+		ts, err := JoinCtx(context.Background(), t1, t2, intersectsPred, intersectsPred,
+			func(_ geom.Rect, _ uint64, _ geom.Rect, _ uint64) bool {
+				emits++
+				return emits < 5
+			}, JoinOptions{Workers: workers, Intersecting: true})
+		if err != nil {
+			t.Fatalf("workers=%d: stopped join returned error %v", workers, err)
+		}
+		if emits != 5 || ts.Emitted != 5 {
+			t.Fatalf("workers=%d: emit called %d times, stats say %d, want exactly 5",
+				workers, emits, ts.Emitted)
+		}
+	}
+}
+
+// TestJoinCancel: external cancellation aborts the traversal within a
+// page read, returns ctx.Err(), and leaves exact partial statistics.
+func TestJoinCancel(t *testing.T) {
+	t1 := buildJoinTree(t, 9, 1500)
+	t2 := buildJoinTree(t, 10, 1500)
+	_, full := runJoin(t, t1, t2, JoinOptions{Workers: 1, Intersecting: true})
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		emits := 0
+		ts, err := JoinCtx(ctx, t1, t2, intersectsPred, intersectsPred,
+			func(_ geom.Rect, _ uint64, _ geom.Rect, _ uint64) bool {
+				emits++
+				if emits == 10 {
+					cancel()
+				}
+				return true
+			}, JoinOptions{Workers: workers, Intersecting: true})
+		cancel()
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: cancelled join returned %v, want context.Canceled", workers, err)
+		}
+		if ts.NodeAccesses == 0 || ts.NodeAccesses >= full.NodeAccesses {
+			t.Fatalf("workers=%d: cancelled join read %d pages (full run reads %d); want a strict partial read",
+				workers, ts.NodeAccesses, full.NodeAccesses)
+		}
+	}
+}

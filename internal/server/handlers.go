@@ -129,6 +129,96 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// handleJoin streams a topological spatial join of two served indexes
+// as NDJSON: one JoinLine per result pair (unspecified order), then a
+// trailing stats line. The join runs the parallel plane-sweep engine
+// over pinned snapshots of both trees, so concurrent writers never
+// perturb a running join. Unsupported index pairs (R+-trees partition
+// space) are rejected with 400 before the stream starts; limits,
+// deadlines, and client disconnects stop the traversal within one page
+// read, and whatever was read is still folded into /metrics.
+func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
+	var req JoinRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&req); err != nil {
+		writeJSONError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	li, ok := s.servingInstance(w, req.Left)
+	if !ok {
+		return
+	}
+	ri := li
+	if req.Right != "" {
+		if ri, ok = s.servingInstance(w, req.Right); !ok {
+			return
+		}
+	}
+	rels, err := ParseRelationSet(req.Relations)
+	if err != nil {
+		writeJSONError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if err := query.CanJoin(li.Idx, ri.Idx); err != nil {
+		writeJSONError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	ctx := r.Context()
+	if d := s.queryTimeout(req.TimeoutMS); d > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, d)
+		defer cancel()
+	}
+	s.metrics.joinInFlight.Add(1)
+	defer s.metrics.joinInFlight.Add(-1)
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	start := time.Now()
+	pairs := 0
+	var writeErr error
+	opts := query.JoinOptions{
+		NonContiguous: req.NonContiguous,
+		KeepSelfPairs: req.KeepSelfPairs,
+	}
+	stats, err := query.JoinStream(ctx, li.Idx, ri.Idx, rels, opts, func(p query.JoinPair) bool {
+		lo, ro := p.LeftOID, p.RightOID
+		lr, rr := RectToWire(p.LeftRect), RectToWire(p.RightRect)
+		if writeErr = enc.Encode(JoinLine{LeftOID: &lo, RightOID: &ro, LeftRect: &lr, RightRect: &rr}); writeErr != nil {
+			return false
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		pairs++
+		return req.Limit <= 0 || pairs < req.Limit
+	})
+	// Fold whatever the traversal read — completed, cancelled, or
+	// failed — so /metrics always equals the sum of per-request stats.
+	s.metrics.FoldJoin(pairs, stats, time.Since(start))
+	if writeErr != nil || ctx.Err() != nil {
+		s.metrics.disconnects.Add(1)
+		return
+	}
+	if err != nil {
+		if errors.Is(err, pagefile.ErrCorrupt) {
+			// A corrupt page read mid-join cannot be attributed to one
+			// side, so both indexes degrade to 503s.
+			s.metrics.checksumFailures.Add(1)
+			reason := "checksum failure during join: " + err.Error()
+			li.MarkUnhealthy(reason)
+			ri.MarkUnhealthy(reason)
+		}
+		_ = enc.Encode(JoinLine{Error: err.Error()})
+		return
+	}
+	ws := JoinWireStats{Pairs: pairs, NodeAccesses: stats.NodeAccesses}
+	_ = enc.Encode(JoinLine{Stats: &ws})
+	if flusher != nil {
+		flusher.Flush()
+	}
+}
+
 // handleKNN answers GET /v1/knn?index=name&k=5&x=10&y=20.
 func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()

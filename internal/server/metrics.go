@@ -31,6 +31,15 @@ type Metrics struct {
 	directAccepts   atomic.Uint64
 	falseHits       atomic.Uint64
 
+	// Join counters: result pairs streamed, pages read by synchronized
+	// traversals, joins currently executing, and a wall-time histogram
+	// (joins run orders of magnitude longer than window queries, so
+	// they get their own distribution).
+	joinPairs        atomic.Uint64
+	joinNodeAccesses atomic.Uint64
+	joinInFlight     atomic.Int64
+	joinLatency      histogram
+
 	// Durability counters: pages failing their checksum, WAL records
 	// appended by this process, WAL records replayed during recovery,
 	// and checkpoints taken.
@@ -134,6 +143,27 @@ func (m *Metrics) FoldQuery(s query.Stats) {
 	m.directAccepts.Add(uint64(s.DirectAccepts))
 	m.falseHits.Add(uint64(s.FalseHits))
 }
+
+// FoldJoin accumulates one join request's cost: pairs actually written
+// to the stream, the synchronized traversal's page reads (also folded
+// into the shared node-access total, so topod_node_accesses_total
+// remains the sum over all traversals), and the join's wall time.
+func (m *Metrics) FoldJoin(pairs int, s query.Stats, d time.Duration) {
+	m.joinPairs.Add(uint64(pairs))
+	m.joinNodeAccesses.Add(s.NodeAccesses)
+	m.nodeAccesses.Add(s.NodeAccesses)
+	m.candidates.Add(uint64(s.Candidates))
+	m.refinementTests.Add(uint64(s.RefinementTests))
+	m.directAccepts.Add(uint64(s.DirectAccepts))
+	m.falseHits.Add(uint64(s.FalseHits))
+	m.joinLatency.observe(d)
+}
+
+// JoinPairsTotal returns the folded join result-pair counter.
+func (m *Metrics) JoinPairsTotal() uint64 { return m.joinPairs.Load() }
+
+// JoinNodeAccessesTotal returns the folded join page-read counter.
+func (m *Metrics) JoinNodeAccessesTotal() uint64 { return m.joinNodeAccesses.Load() }
 
 // FoldTraversal accumulates a bare traversal (kNN requests).
 func (m *Metrics) FoldTraversal(ts rtree.TraversalStats) {
@@ -272,6 +302,24 @@ func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
 	counter("topod_refinement_tests_total", "Candidates that needed an exact geometry test.", m.refinementTests.Load())
 	counter("topod_direct_accepts_total", "Candidates accepted from MBR configuration alone (Figure 9).", m.directAccepts.Load())
 	counter("topod_false_hits_total", "Candidates rejected by refinement.", m.falseHits.Load())
+	counter("topod_join_pairs_total", "Result pairs streamed by /v1/join.", m.joinPairs.Load())
+	counter("topod_join_node_accesses_total", "Tree pages read by synchronized join traversals.", m.joinNodeAccesses.Load())
+	gauge("topod_join_in_flight", "Join requests currently executing.", m.joinInFlight.Load())
+	fmt.Fprintf(cw, "# HELP topod_join_duration_seconds Wall time of /v1/join requests.\n")
+	fmt.Fprintf(cw, "# TYPE topod_join_duration_seconds histogram\n")
+	{
+		h := &m.joinLatency
+		var cum uint64
+		for i, le := range latencyBuckets {
+			cum += h.counts[i].Load()
+			fmt.Fprintf(cw, "topod_join_duration_seconds_bucket{le=%q} %d\n",
+				strconv.FormatFloat(le, 'g', -1, 64), cum)
+		}
+		cum += h.counts[len(latencyBuckets)].Load()
+		fmt.Fprintf(cw, "topod_join_duration_seconds_bucket{le=\"+Inf\"} %d\n", cum)
+		fmt.Fprintf(cw, "topod_join_duration_seconds_sum %g\n", time.Duration(h.sumNanos.Load()).Seconds())
+		fmt.Fprintf(cw, "topod_join_duration_seconds_count %d\n", h.count.Load())
+	}
 	counter("topod_checksum_failures_total", "Pages that failed their CRC32-C check (scrub or serving).", m.checksumFailures.Load())
 	counter("topod_wal_records_total", "Mutations appended to the write-ahead logs by this process.", m.walRecords.Load())
 	counter("topod_wal_replays_total", "WAL records replayed during crash recovery.", m.walReplays.Load())

@@ -9,6 +9,9 @@
 //
 //	POST /v1/query    relation/relation-set window query, streamed as
 //	                  NDJSON (one match per line, trailing stats line)
+//	POST /v1/join     topological spatial join of two indexes (or one
+//	                  with itself), streamed as NDJSON pair lines with
+//	                  a trailing stats line
 //	GET  /v1/knn      k nearest rectangles to a point
 //	POST /v1/insert   store a rectangle under an object id
 //	POST /v1/delete   remove a rectangle/id entry
@@ -377,6 +380,7 @@ func (s *Server) Handler() http.Handler {
 		return s.metrics.instrument(endpoint, s.adm.wrap(h))
 	}
 	mux.Handle("POST /v1/query", v1("query", s.handleQuery))
+	mux.Handle("POST /v1/join", v1("join", s.handleJoin))
 	mux.Handle("GET /v1/knn", v1("knn", s.handleKNN))
 	mux.Handle("POST /v1/insert", v1("insert", s.handleInsert))
 	mux.Handle("POST /v1/delete", v1("delete", s.handleDelete))

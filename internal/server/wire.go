@@ -49,6 +49,45 @@ type QueryLine struct {
 	Error string      `json:"error,omitempty"`
 }
 
+// JoinRequest is the body of POST /v1/join.
+type JoinRequest struct {
+	// Left names the left index; empty selects the default.
+	Left string `json:"left,omitempty"`
+	// Right names the right index; empty joins Left with itself
+	// (a self-join).
+	Right string `json:"right,omitempty"`
+	// Relations is the disjunctive relation set, with the same aliases
+	// as /v1/query.
+	Relations []string `json:"relations"`
+	// NonContiguous selects the Section 7 candidate tables.
+	NonContiguous bool `json:"non_contiguous,omitempty"`
+	// KeepSelfPairs keeps (o, o) pairs in self-joins.
+	KeepSelfPairs bool `json:"keep_self_pairs,omitempty"`
+	// Limit, when positive, caps the number of streamed pairs; the
+	// traversal stops as soon as the limit is reached.
+	Limit int `json:"limit,omitempty"`
+	// TimeoutMS, when positive, bounds the request's processing time.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// JoinWireStats is the trailing cost summary of a /v1/join stream.
+type JoinWireStats struct {
+	Pairs        int    `json:"pairs"`
+	NodeAccesses uint64 `json:"node_accesses"`
+}
+
+// JoinLine is one NDJSON line of a /v1/join response. Pair lines carry
+// both OIDs and MBRs; the final line carries Stats (or Error when the
+// join failed mid-stream).
+type JoinLine struct {
+	LeftOID   *uint64        `json:"left_oid,omitempty"`
+	RightOID  *uint64        `json:"right_oid,omitempty"`
+	LeftRect  *[4]float64    `json:"left_rect,omitempty"`
+	RightRect *[4]float64    `json:"right_rect,omitempty"`
+	Stats     *JoinWireStats `json:"stats,omitempty"`
+	Error     string         `json:"error,omitempty"`
+}
+
 // UpdateRequest is the body of POST /v1/insert and /v1/delete.
 type UpdateRequest struct {
 	Index string    `json:"index,omitempty"`

@@ -5,19 +5,27 @@
 # durable topod mid-traffic and asserts the restart recovers every
 # acknowledged mutation. A third leg STR bulk-loads a durable topod,
 # streams more rectangles through POST /v1/bulk, kill -9s it, and
-# asserts the restart replays the whole batch.
+# asserts the restart replays the whole batch. A fourth leg bulk-loads
+# two indexes, streams a meet+overlap /v1/join, checks the pair count
+# against topoquery ground truth, and asserts 429 under saturation.
 set -euo pipefail
 
-TOPOD="${1:?usage: smoke.sh path/to/topod}"
+TOPOD="${1:?usage: smoke.sh path/to/topod path/to/topoquery path/to/datagen}"
+TOPOQUERY="${2:?usage: smoke.sh path/to/topod path/to/topoquery path/to/datagen}"
+DATAGEN="${3:?usage: smoke.sh path/to/topod path/to/topoquery path/to/datagen}"
 LOG="$(mktemp)"
 DATADIR="$(mktemp -d)"
 cleanup() {
   kill -9 "$PID" 2>/dev/null || true
   kill -9 "$PID2" 2>/dev/null || true
   kill -9 "$PID3" 2>/dev/null || true
-  rm -rf "$LOG" "$LOG2" "$LOG3" "$LOG4" "$LOG5" "$BULK" "$DATADIR" "$DATADIR2" 2>/dev/null || true
+  kill -9 "$PID4" 2>/dev/null || true
+  kill -9 "$CURLPID" 2>/dev/null || true
+  rm -rf "$LOG" "$LOG2" "$LOG3" "$LOG4" "$LOG5" "$LOG6" "$BULK" \
+    "$LEFT" "$RIGHT" "$HDRS" "$DATADIR" "$DATADIR2" 2>/dev/null || true
 }
-PID="" PID2="" PID3="" LOG2="" LOG3="" LOG4="" LOG5="" BULK="" DATADIR2=""
+PID="" PID2="" PID3="" PID4="" CURLPID="" LOG2="" LOG3="" LOG4="" LOG5="" LOG6=""
+BULK="" LEFT="" RIGHT="" HDRS="" DATADIR2=""
 
 # wait_listen LOGFILE: echo the address once the daemon logs it.
 wait_listen() {
@@ -217,3 +225,73 @@ if ! wait "$PID3"; then
 fi
 
 echo "smoke OK: STR bulk load + /v1/bulk batch survived kill -9"
+
+# ---- join leg: two indexes, /v1/join vs topoquery ground truth ----
+
+LEFT="$(mktemp)" RIGHT="$(mktemp)"
+"$DATAGEN" -n 4000 -queries 0 -qout '' -seed 71 -out "$LEFT" >/dev/null
+"$DATAGEN" -n 4000 -queries 0 -qout '' -seed 72 -out "$RIGHT" >/dev/null
+
+# Serial-engine ground truth for the same two files.
+GT="$("$TOPOQUERY" -data "$LEFT" -join "$RIGHT" -rel meet,overlap -maxprint 0)"
+TRUTH="$(echo "$GT" | sed -n 's/^join meet,overlap: \([0-9]*\) pairs.*/\1/p')"
+if [ -z "$TRUTH" ] || [ "$TRUTH" -eq 0 ]; then
+  echo "smoke: topoquery ground-truth join produced no pairs: $GT" >&2
+  exit 1
+fi
+
+# -maxinflight 1 so a single stalled join saturates admission below.
+LOG6="$(mktemp)"
+"$TOPOD" -data "$LEFT" -data2 "$RIGHT" -bulk -tree rstar -maxinflight 1 \
+  -addr 127.0.0.1:0 >"$LOG6" 2>&1 &
+PID4=$!
+
+ADDR4="$(wait_listen "$LOG6")" || {
+  echo "smoke: join topod never started listening" >&2
+  cat "$LOG6" >&2
+  exit 1
+}
+BASE4="http://$ADDR4"
+wait_ready "$BASE4" || { echo "smoke: join topod never became ready" >&2; exit 1; }
+
+JRESP="$(curl -sf -d '{"left":"main","right":"second","relations":["meet","overlap"]}' \
+  "$BASE4/v1/join")"
+WIREPAIRS="$(echo "$JRESP" | grep -c '"left_oid"')" || true
+[ "$WIREPAIRS" = "$TRUTH" ] \
+  || { echo "smoke: /v1/join streamed $WIREPAIRS pairs, topoquery found $TRUTH" >&2; exit 1; }
+echo "$JRESP" | tail -1 | grep -q "\"pairs\":$TRUTH" \
+  || { echo "smoke: join stats line disagrees with ground truth ($TRUTH): $(echo "$JRESP" | tail -1)" >&2; exit 1; }
+
+# Saturation: a throttled client holds the single admission slot open
+# (the handler blocks writing the multi-MB not_disjoint stream), so
+# the next join must be turned away with 429 + Retry-After.
+curl -sN --limit-rate 1K -m 60 \
+  -d '{"left":"main","right":"second","relations":["not_disjoint"]}' \
+  "$BASE4/v1/join" >/dev/null 2>&1 &
+CURLPID=$!
+
+HDRS="$(mktemp)"
+SATURATED=""
+for _ in $(seq 1 50); do
+  CODE="$(curl -s -D "$HDRS" -o /dev/null -w '%{http_code}' \
+    -d '{"left":"main","right":"second","relations":["overlap"],"limit":1}' \
+    "$BASE4/v1/join")"
+  if [ "$CODE" = "429" ]; then SATURATED=yes; break; fi
+  sleep 0.1
+done
+[ -n "$SATURATED" ] \
+  || { echo "smoke: saturated /v1/join never answered 429" >&2; cat "$LOG6" >&2; exit 1; }
+grep -qi '^Retry-After:' "$HDRS" \
+  || { echo "smoke: 429 missing Retry-After header" >&2; cat "$HDRS" >&2; exit 1; }
+
+kill -9 "$CURLPID" 2>/dev/null || true
+wait "$CURLPID" 2>/dev/null || true
+
+kill -TERM "$PID4"
+if ! wait "$PID4"; then
+  echo "smoke: join topod exited non-zero on SIGTERM" >&2
+  cat "$LOG6" >&2
+  exit 1
+fi
+
+echo "smoke OK: /v1/join matched topoquery ground truth + 429 under saturation"
