@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify race test bench bench-json fmt smoke fuzz
+.PHONY: verify race test bench bench-json bench-read fmt smoke fuzz
 
 # Tier-1 gate: everything must build, vet clean, and pass.
 verify:
@@ -19,6 +19,7 @@ FUZZTIME ?= 20s
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzWALReplay -fuzztime=$(FUZZTIME) ./internal/wal
 	$(GO) test -run='^$$' -fuzz=FuzzWireDecode -fuzztime=$(FUZZTIME) ./internal/server
+	$(GO) test -run='^$$' -fuzz=FuzzFlatDecode -fuzztime=$(FUZZTIME) ./internal/rtree
 
 test:
 	$(GO) test ./...
@@ -34,6 +35,15 @@ BENCHTIME ?= 3x
 bench-json:
 	$(GO) test -run='^$$' -bench=BenchmarkJoinParallel -benchtime=$(BENCHTIME) . | $(GO) run ./cmd/benchjson > BENCH_join.json
 	@cat BENCH_join.json
+
+# Machine-readable perf snapshot of the flat read path: identical
+# window queries through the paged and flat backends (accesses/op must
+# match exactly) plus boot-to-first-answer timing of a durable
+# directory with and without flat instant boot, recorded in
+# BENCH_read.json. CI runs it with BENCHTIME=1x as a smoke check.
+bench-read:
+	$(GO) test -run='^$$' -bench='BenchmarkQueryPaged|BenchmarkQueryFlat|BenchmarkColdBoot' -benchtime=$(BENCHTIME) . | $(GO) run ./cmd/benchjson > BENCH_read.json
+	@cat BENCH_read.json
 
 # Service smoke test: boot topod, query it, scrape /metrics, assert a
 # clean SIGTERM drain, and check /v1/join pair counts against the

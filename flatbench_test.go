@@ -1,0 +1,123 @@
+package mbrtopo_test
+
+// Read-path benchmarks for the flat snapshot format: the same window
+// queries against the paged working copy and the decoded flat
+// snapshot (hot path), plus boot-to-first-answer timing of a durable
+// directory with and without flat instant boot (cold path). `make
+// bench-read` records the series in BENCH_read.json.
+
+import (
+	"bytes"
+	"testing"
+
+	"mbrtopo/internal/geom"
+	"mbrtopo/internal/index"
+	"mbrtopo/internal/query"
+	"mbrtopo/internal/rtree"
+	"mbrtopo/internal/server"
+	"mbrtopo/internal/topo"
+	"mbrtopo/internal/workload"
+)
+
+// flatBenchSetup builds one paged tree and its flat snapshot over the
+// same dataset.
+func flatBenchSetup(b *testing.B, kind index.Kind) (*benchSetup, *query.Processor) {
+	b.Helper()
+	s := newBenchSetup(b, kind, workload.Medium)
+	var buf bytes.Buffer
+	if err := index.WriteFlat(s.idx, &buf, 1); err != nil {
+		b.Fatal(err)
+	}
+	flat, err := rtree.OpenFlatBytes(buf.Bytes())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s, &query.Processor{Idx: flat}
+}
+
+func runQueryBackendBench(b *testing.B, proc *query.Processor, queries []geom.Rect) {
+	b.Helper()
+	var accesses uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := proc.QueryMBR(topo.Overlap, queries[i%len(queries)])
+		if err != nil {
+			b.Fatal(err)
+		}
+		accesses += res.Stats.NodeAccesses
+	}
+	b.ReportMetric(float64(accesses)/float64(b.N), "accesses/op")
+}
+
+// BenchmarkQueryPaged is the hot-path baseline: window queries through
+// the paged page-file backend.
+func BenchmarkQueryPaged(b *testing.B) {
+	for _, kind := range index.AllKinds() {
+		s, _ := flatBenchSetup(b, kind)
+		b.Run(kind.String(), func(b *testing.B) {
+			runQueryBackendBench(b, s.proc, s.d.Queries)
+		})
+	}
+}
+
+// BenchmarkQueryFlat runs the identical queries through the flat
+// snapshot backend (same traversal core via NodeSource, zero per-read
+// decoding). accesses/op must match BenchmarkQueryPaged exactly.
+func BenchmarkQueryFlat(b *testing.B) {
+	for _, kind := range index.AllKinds() {
+		s, flatProc := flatBenchSetup(b, kind)
+		b.Run(kind.String(), func(b *testing.B) {
+			runQueryBackendBench(b, flatProc, s.d.Queries)
+		})
+	}
+}
+
+// BenchmarkColdBoot measures boot-to-first-answer on a checkpointed
+// durable directory: "paged" recovers the working copy (snapshot copy
+// + full scrub + resume) before answering; "flat" answers from the
+// flat snapshot without touching the page area.
+func BenchmarkColdBoot(b *testing.B) {
+	d := workload.NewDataset(workload.Medium, 20000, 8, 1995)
+
+	// Each mode gets its own checkpointed directory: a Flat=false boot
+	// rotates the generation without republishing the flat file, which
+	// would leave it stale for a following flat boot.
+	boot := func(b *testing.B, flat bool) {
+		spec := server.IndexSpec{
+			Name: "main", Kind: index.KindRStar, Dir: b.TempDir(),
+			Bulk: true, Flat: flat,
+		}
+		seed := server.New(server.Config{})
+		if _, err := seed.AddIndex(spec, d.Items); err != nil {
+			b.Fatal(err)
+		}
+		if err := seed.Close(); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s := server.New(server.Config{})
+			inst, err := s.AddIndex(spec, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if flat && inst.Backend() != "flat" {
+				b.Fatalf("backend = %q, want flat", inst.Backend())
+			}
+			res, err := inst.ReadProc().QueryMBR(topo.Overlap, d.Queries[0])
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(res.Matches) == 0 {
+				b.Fatal("cold boot answered an empty result")
+			}
+			b.StopTimer()
+			if err := s.Close(); err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+		}
+	}
+	b.Run("paged", func(b *testing.B) { boot(b, false) })
+	b.Run("flat", func(b *testing.B) { boot(b, true) })
+}

@@ -8,6 +8,7 @@ package index
 import (
 	"context"
 	"fmt"
+	"io"
 
 	"mbrtopo/internal/geom"
 	"mbrtopo/internal/pagefile"
@@ -74,6 +75,7 @@ type Index interface {
 var (
 	_ Index = (*rtree.Tree)(nil)
 	_ Index = (*rtree.RPlusTree)(nil)
+	_ Index = (*rtree.FlatTree)(nil)
 )
 
 // PaperPageSize is the page size giving the paper's node capacity of
@@ -231,6 +233,26 @@ func Resume(kind Kind, file pagefile.File, m rtree.Meta) (Index, error) {
 		return rtree.OpenRPlus(file, rtree.Options{}, m)
 	}
 	return nil, fmt.Errorf("index: unknown kind %v", kind)
+}
+
+// WriteFlat serializes the index's currently published version in the
+// flat snapshot format (see rtree.FlatTree), tagged with the given
+// checkpoint generation, so OpenFlat can serve it read-only without
+// reconstructing the paged working copy.
+func WriteFlat(idx Index, w io.Writer, gen uint64) error {
+	switch t := idx.(type) {
+	case *rtree.Tree:
+		return t.WriteFlat(w, gen)
+	case *rtree.RPlusTree:
+		return t.WriteFlat(w, gen)
+	}
+	return fmt.Errorf("index: cannot write a flat snapshot of %T", idx)
+}
+
+// OpenFlat opens a flat snapshot file as a read-only Index. All
+// mutating methods of the returned index fail with rtree.ErrReadOnly.
+func OpenFlat(path string) (*rtree.FlatTree, error) {
+	return rtree.OpenFlat(path)
 }
 
 // SerialPages returns the disk accesses of a serial scan of a data

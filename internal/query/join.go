@@ -67,17 +67,32 @@ func (o JoinOptions) refineWorkers() int {
 }
 
 // joinTrees rejects access methods the synchronized traversal cannot
-// join: both sides must be covering-rectangle trees. R+-trees
-// partition space (one object may appear in several leaves), so join
-// them by running per-object queries instead.
-func joinTrees(left, right index.Index) (*rtree.Tree, *rtree.Tree, error) {
-	t1, ok1 := left.(*rtree.Tree)
-	t2, ok2 := right.(*rtree.Tree)
-	if !ok1 || !ok2 {
-		return nil, nil, fmt.Errorf("query: join requires covering-rectangle trees (got %s, %s)",
-			left.Name(), right.Name())
+// join: both sides must be covering-rectangle trees — a mutable
+// R-/R*-tree or a flat snapshot taken from one. R+-trees (and their
+// snapshots) partition space (one object may appear in several
+// leaves), so join them by running per-object queries instead.
+func joinTrees(left, right index.Index) (rtree.Joinable, rtree.Joinable, error) {
+	t1, err := joinSide(left)
+	if err != nil {
+		return nil, nil, err
+	}
+	t2, err := joinSide(right)
+	if err != nil {
+		return nil, nil, err
 	}
 	return t1, t2, nil
+}
+
+func joinSide(idx index.Index) (rtree.Joinable, error) {
+	switch t := idx.(type) {
+	case *rtree.Tree:
+		return t, nil
+	case *rtree.FlatTree:
+		if t.CoveringNodeRects() {
+			return t, nil
+		}
+	}
+	return nil, fmt.Errorf("query: join requires covering-rectangle trees (got %s)", idx.Name())
 }
 
 // CanJoin reports (as an error) whether the two indexes can be joined
@@ -176,7 +191,7 @@ func JoinStream(ctx context.Context, left, right index.Index, rels topo.Set, opt
 // refinement workers applies step 4 (direct accepts from the MBR
 // configuration, exact geometry otherwise), and accepted pairs are
 // delivered through a serialising mutex.
-func joinRefined(ctx context.Context, t1, t2 *rtree.Tree, rels topo.Set,
+func joinRefined(ctx context.Context, t1, t2 rtree.Joinable, rels topo.Set,
 	opts JoinOptions, engineOpts rtree.JoinOptions,
 	prune, accept func(a, b geom.Rect) bool, dropSelf bool,
 	yield func(JoinPair) bool) (Stats, error) {

@@ -9,7 +9,6 @@ import (
 	"sync/atomic"
 
 	"mbrtopo/internal/geom"
-	"mbrtopo/internal/pagefile"
 )
 
 // This file is the spatial-join engine: a synchronized traversal of
@@ -58,6 +57,24 @@ type JoinOptions struct {
 // (large page size, small trees) still feeds every worker.
 const joinFanout = 4
 
+// Joinable is a read view the join engine can traverse: an R-/R*-tree
+// working copy (*Tree) or an immutable flat snapshot (*FlatTree). The
+// unexported method keeps implementations inside this package, where
+// node ownership and stats accounting live.
+type Joinable interface {
+	// joinView pins one consistent version of the tree and returns its
+	// node source, root reference, and a release function that must be
+	// called when the join is done with the view.
+	joinView() (NodeSource, uint64, func())
+}
+
+// joinView pins the currently published snapshot, exactly like a
+// search does, so the join runs in parallel with writers.
+func (t *Tree) joinView() (NodeSource, uint64, func()) {
+	s := t.acquire()
+	return t.st, uint64(s.root), func() { t.release(s) }
+}
+
 // errJoinStop signals that emit asked the join to stop; it never
 // escapes this file.
 var errJoinStop = errors.New("rtree: join stopped by emit")
@@ -72,7 +89,7 @@ var errJoinStop = errors.New("rtree: join stopped by emit")
 // The returned TraversalStats counts the pages this join read across
 // both trees — exact per-operation accounting, independent of any
 // concurrent queries on either index.
-func Join(t1, t2 *Tree,
+func Join(t1, t2 Joinable,
 	prune func(a, b geom.Rect) bool,
 	accept func(a, b geom.Rect) bool,
 	emit func(aRect geom.Rect, aOID uint64, bRect geom.Rect, bOID uint64) bool,
@@ -88,7 +105,7 @@ func Join(t1, t2 *Tree,
 //
 // On cancellation JoinCtx returns ctx.Err() with the stats accumulated
 // so far; a join stopped by emit returns nil like a completed one.
-func JoinCtx(ctx context.Context, t1, t2 *Tree,
+func JoinCtx(ctx context.Context, t1, t2 Joinable,
 	prune func(a, b geom.Rect) bool,
 	accept func(a, b geom.Rect) bool,
 	emit func(aRect geom.Rect, aOID uint64, bRect geom.Rect, bOID uint64) bool,
@@ -101,26 +118,27 @@ func JoinCtx(ctx context.Context, t1, t2 *Tree,
 	if opts.NaiveReads {
 		workers = 1
 	}
-	s1 := t1.acquire()
-	defer t1.release(s1)
-	s2 := s1
+	src1, root1, rel1 := t1.joinView()
+	defer rel1()
+	src2, root2 := src1, root1
 	if t2 != t1 {
-		s2 = t2.acquire()
-		defer t2.release(s2)
+		var rel2 func()
+		src2, root2, rel2 = t2.joinView()
+		defer rel2()
 	}
 	jctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	e := &joinEngine{
-		t1: t1, t2: t2,
+		src1: src1, src2: src2,
 		prune: prune, accept: accept, emit: emit,
 		opts: opts, ctx: jctx, cancel: cancel,
 	}
 	coord := &joinWorker{e: e}
-	r1, err := coord.read1(s1.root)
+	r1, err := coord.read1(root1)
 	if err != nil {
 		return coord.stats, e.finish(err)
 	}
-	r2, err := coord.read2(s2.root)
+	r2, err := coord.read2(root2)
 	if err != nil {
 		return coord.stats, e.finish(err)
 	}
@@ -135,11 +153,11 @@ func JoinCtx(ctx context.Context, t1, t2 *Tree,
 
 // joinEngine is the state shared by all workers of one join.
 type joinEngine struct {
-	t1, t2 *Tree
-	prune  func(a, b geom.Rect) bool
-	accept func(a, b geom.Rect) bool
-	emit   func(geom.Rect, uint64, geom.Rect, uint64) bool
-	opts   JoinOptions
+	src1, src2 NodeSource
+	prune      func(a, b geom.Rect) bool
+	accept     func(a, b geom.Rect) bool
+	emit       func(geom.Rect, uint64, geom.Rect, uint64) bool
+	opts       JoinOptions
 
 	ctx     context.Context
 	cancel  context.CancelFunc
@@ -254,23 +272,23 @@ type joinWorker struct {
 	stats TraversalStats
 }
 
-// read1/read2 use each tree's own store (they may share a page file or
-// not) and charge the pages read to this worker's stats. Cancellation
-// is checked before every read, so an abandoned join stops within one
-// page read.
-func (w *joinWorker) read1(id pagefile.PageID) (*node, error) { return w.read(w.e.t1.st, id) }
-func (w *joinWorker) read2(id pagefile.PageID) (*node, error) { return w.read(w.e.t2.st, id) }
+// read1/read2 use each tree's own node source (they may share a page
+// file or not) and charge the reads to this worker's stats.
+// Cancellation is checked before every read, so an abandoned join
+// stops within one page read.
+func (w *joinWorker) read1(ref uint64) (*node, error) { return w.read(w.e.src1, ref) }
+func (w *joinWorker) read2(ref uint64) (*node, error) { return w.read(w.e.src2, ref) }
 
-func (w *joinWorker) read(st *store, id pagefile.PageID) (*node, error) {
+func (w *joinWorker) read(src NodeSource, ref uint64) (*node, error) {
 	if err := w.e.ctx.Err(); err != nil {
 		return nil, err
 	}
-	n, err := st.readNode(id)
+	n, err := src.readNodeRef(ref)
 	if err != nil {
 		return nil, err
 	}
 	w.stats.NodesVisited++
-	w.stats.NodeAccesses += 1 + uint64(len(n.chain))
+	w.stats.NodeAccesses += n.accessCost()
 	return n, nil
 }
 
@@ -310,7 +328,7 @@ func (w *joinWorker) join(n1, n2 *node) error {
 			if !w.e.prune(m1, e2.Rect) {
 				continue
 			}
-			c2, err := w.read2(e2.Child)
+			c2, err := w.read2(n2.childRef(j))
 			if err != nil {
 				return err
 			}
@@ -326,7 +344,7 @@ func (w *joinWorker) join(n1, n2 *node) error {
 			if !w.e.prune(e1.Rect, m2) {
 				continue
 			}
-			c1, err := w.read1(e1.Child)
+			c1, err := w.read1(n1.childRef(i))
 			if err != nil {
 				return err
 			}
@@ -345,12 +363,12 @@ func (w *joinWorker) join(n1, n2 *node) error {
 		return w.match(n1, n2, w.e.prune, func(i, j int) error {
 			var err error
 			if left[i] == nil {
-				if left[i], err = w.read1(n1.entries[i].Child); err != nil {
+				if left[i], err = w.read1(n1.childRef(i)); err != nil {
 					return err
 				}
 			}
 			if right[j] == nil {
-				if right[j], err = w.read2(n2.entries[j].Child); err != nil {
+				if right[j], err = w.read2(n2.childRef(j)); err != nil {
 					return err
 				}
 			}
@@ -372,11 +390,11 @@ func (w *joinWorker) joinNaive(n1, n2 *node) error {
 			}
 			if c1 == nil {
 				var err error
-				if c1, err = w.read1(n1.entries[i].Child); err != nil {
+				if c1, err = w.read1(n1.childRef(i)); err != nil {
 					return err
 				}
 			}
-			c2, err := w.read2(n2.entries[j].Child)
+			c2, err := w.read2(n2.childRef(j))
 			if err != nil {
 				return err
 			}
@@ -404,7 +422,7 @@ func (w *joinWorker) expand(n1, n2 *node) ([]joinTask, error) {
 			if !w.e.prune(m1, e2.Rect) {
 				continue
 			}
-			c2, err := w.read2(e2.Child)
+			c2, err := w.read2(n2.childRef(j))
 			if err != nil {
 				return nil, err
 			}
@@ -417,7 +435,7 @@ func (w *joinWorker) expand(n1, n2 *node) ([]joinTask, error) {
 			if !w.e.prune(e1.Rect, m2) {
 				continue
 			}
-			c1, err := w.read1(e1.Child)
+			c1, err := w.read1(n1.childRef(i))
 			if err != nil {
 				return nil, err
 			}
@@ -429,12 +447,12 @@ func (w *joinWorker) expand(n1, n2 *node) ([]joinTask, error) {
 		err := w.match(n1, n2, w.e.prune, func(i, j int) error {
 			var err error
 			if left[i] == nil {
-				if left[i], err = w.read1(n1.entries[i].Child); err != nil {
+				if left[i], err = w.read1(n1.childRef(i)); err != nil {
 					return err
 				}
 			}
 			if right[j] == nil {
-				if right[j], err = w.read2(n2.entries[j].Child); err != nil {
+				if right[j], err = w.read2(n2.childRef(j)); err != nil {
 					return err
 				}
 			}

@@ -6,7 +6,6 @@ import (
 	"fmt"
 
 	"mbrtopo/internal/geom"
-	"mbrtopo/internal/pagefile"
 )
 
 // This file implements k-nearest-neighbour search by best-first
@@ -36,7 +35,7 @@ func (t *Tree) Nearest(p geom.Point, k int) ([]Neighbour, error) {
 func (t *Tree) NearestCtx(ctx context.Context, p geom.Point, k int) ([]Neighbour, TraversalStats, error) {
 	s := t.acquire()
 	defer t.release(s)
-	return nearestSearch(ctx, t.st, s.root, p, k, false)
+	return nearestSearch(ctx, t.st, uint64(s.root), p, k, false)
 }
 
 // Nearest returns the k distinct objects closest to p. Duplicate
@@ -54,14 +53,14 @@ func (t *RPlusTree) Nearest(p geom.Point, k int) ([]Neighbour, error) {
 func (t *RPlusTree) NearestCtx(ctx context.Context, p geom.Point, k int) ([]Neighbour, TraversalStats, error) {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	return nearestSearch(ctx, t.st, t.root, p, k, true)
+	return nearestSearch(ctx, t.st, uint64(t.root), p, k, true)
 }
 
 // pqItem is a heap element: either a node to expand or a leaf entry.
 type pqItem struct {
 	dist  float64
-	node  pagefile.PageID // non-nil page: expand
-	entry Neighbour       // valid when node == NilPage
+	node  uint64    // non-zero node ref: expand
+	entry Neighbour // valid when node == 0
 }
 
 type pq []pqItem
@@ -78,7 +77,7 @@ func (q *pq) Pop() interface{} {
 	return it
 }
 
-func nearestSearch(ctx context.Context, st *store, root pagefile.PageID, p geom.Point, k int, dedup bool) ([]Neighbour, TraversalStats, error) {
+func nearestSearch(ctx context.Context, src NodeSource, root uint64, p geom.Point, k int, dedup bool) ([]Neighbour, TraversalStats, error) {
 	var stats TraversalStats
 	if k <= 0 {
 		return nil, stats, fmt.Errorf("rtree: Nearest needs k ≥ 1, got %d", k)
@@ -89,7 +88,7 @@ func nearestSearch(ctx context.Context, st *store, root pagefile.PageID, p geom.
 	var out []Neighbour
 	for q.Len() > 0 && len(out) < k {
 		it := heap.Pop(&q).(pqItem)
-		if it.node == pagefile.NilPage {
+		if it.node == 0 {
 			if dedup {
 				if seen[it.entry.OID] {
 					continue
@@ -103,18 +102,19 @@ func nearestSearch(ctx context.Context, st *store, root pagefile.PageID, p geom.
 		if err := ctx.Err(); err != nil {
 			return out, stats, err
 		}
-		n, err := st.readNode(it.node)
+		n, err := src.readNodeRef(it.node)
 		if err != nil {
 			return nil, stats, err
 		}
 		stats.NodesVisited++
-		stats.NodeAccesses += 1 + uint64(len(n.chain))
-		for _, e := range n.entries {
+		stats.NodeAccesses += n.accessCost()
+		for i := range n.entries {
+			e := &n.entries[i]
 			d := e.Rect.DistToPoint(p)
 			if n.isLeaf() {
 				heap.Push(&q, pqItem{dist: d, entry: Neighbour{Rect: e.Rect, OID: e.OID, Dist: d}})
 			} else {
-				heap.Push(&q, pqItem{dist: d, node: e.Child})
+				heap.Push(&q, pqItem{dist: d, node: n.childRef(i)})
 			}
 		}
 	}

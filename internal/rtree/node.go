@@ -51,9 +51,51 @@ type node struct {
 	chain   []pagefile.PageID // overflow pages (usually empty)
 	level   int               // 0 = leaf
 	entries []Entry
+
+	// Flat-backend fields (flat.go). childOff holds the child refs of
+	// internal entries when the node was decoded from a flat snapshot;
+	// cost is the node's recorded page-access cost there. Both are zero
+	// for paged nodes, where Entry.Child and the chain carry the same
+	// information.
+	childOff []uint64
+	cost     uint32
 }
 
 func (n *node) isLeaf() bool { return n.level == 0 }
+
+// childRef returns the backend-independent reference of the i-th child:
+// the page id for paged nodes, the node slot ref for flat nodes. Pass
+// it back to the NodeSource the node came from.
+func (n *node) childRef(i int) uint64 {
+	if n.childOff != nil {
+		return n.childOff[i]
+	}
+	return uint64(n.entries[i].Child)
+}
+
+// accessCost is the number of page reads the paged representation of
+// this node costs: 1 plus the overflow chain length. Flat nodes carry
+// the cost recorded at snapshot time, so TraversalStats stay
+// bit-identical across backends.
+func (n *node) accessCost() uint64 {
+	if n.cost != 0 {
+		return uint64(n.cost)
+	}
+	return 1 + uint64(len(n.chain))
+}
+
+// NodeSource supplies decoded nodes to the shared read path — the
+// traversal core (traverse.go), kNN (nearest.go) and the join engine
+// (join.go) all fetch nodes exclusively through it, so they run
+// unchanged against either backend: the mutable paged working copy
+// (*store) or an immutable flat snapshot (*FlatTree). The method is
+// unexported on purpose: only this package can implement a source,
+// which keeps node ownership and stats accounting in one place.
+type NodeSource interface {
+	// readNodeRef resolves one backend-specific node reference (a page
+	// id, or a flat node ref); 0 is never a valid reference.
+	readNodeRef(ref uint64) (*node, error)
+}
 
 // mbr returns the tight bounding rectangle of the node's entries.
 func (n *node) mbr() geom.Rect {
@@ -118,6 +160,11 @@ func (s *store) allocNode(level int) (*node, error) {
 		return nil, err
 	}
 	return &node{id: id, level: level}, nil
+}
+
+// readNodeRef implements NodeSource on the paged backend.
+func (s *store) readNodeRef(ref uint64) (*node, error) {
+	return s.readNode(pagefile.PageID(ref))
 }
 
 func (s *store) readNode(id pagefile.PageID) (*node, error) {

@@ -110,7 +110,7 @@ func (t *RPlusTree) Bounds() (geom.Rect, bool) {
 	var out geom.Rect
 	found := false
 	all := func(geom.Rect) bool { return true }
-	_, err := traverse(context.Background(), t.st, t.root, all, all,
+	_, err := traverse(context.Background(), t.st, uint64(t.root), all, all,
 		func(r geom.Rect, _ uint64) bool {
 			if !found {
 				out, found = r, true
@@ -492,7 +492,7 @@ func (t *RPlusTree) Search(nodePred, leafPred func(geom.Rect) bool, emit func(ge
 func (t *RPlusTree) SearchCtx(ctx context.Context, nodePred, leafPred func(geom.Rect) bool, emit func(geom.Rect, uint64) bool) (TraversalStats, error) {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	return traverse(ctx, t.st, t.root, nodePred, leafPred, emit, 0)
+	return traverse(ctx, t.st, uint64(t.root), nodePred, leafPred, emit, 0)
 }
 
 // SearchIntersects is the traditional window query. The node predicate

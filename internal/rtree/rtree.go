@@ -539,7 +539,7 @@ func (t *Tree) Search(nodePred, leafPred func(geom.Rect) bool, emit func(geom.Re
 func (t *Tree) SearchCtx(ctx context.Context, nodePred, leafPred func(geom.Rect) bool, emit func(geom.Rect, uint64) bool) (TraversalStats, error) {
 	s := t.acquire()
 	defer t.release(s)
-	return traverse(ctx, t.st, s.root, nodePred, leafPred, emit, 0)
+	return traverse(ctx, t.st, uint64(s.root), nodePred, leafPred, emit, 0)
 }
 
 // SearchIntersects is the traditional window query: it emits every

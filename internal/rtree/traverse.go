@@ -4,7 +4,6 @@ import (
 	"context"
 
 	"mbrtopo/internal/geom"
-	"mbrtopo/internal/pagefile"
 )
 
 // This file is the shared traversal core of the read path. Both tree
@@ -59,25 +58,29 @@ func (s TraversalStats) Add(t TraversalStats) TraversalStats {
 // positive limit stops the search after that many emissions. The
 // context is checked before each node expansion; on cancellation the
 // traversal returns ctx.Err() with the stats accumulated so far.
-func traverse(ctx context.Context, st *store, root pagefile.PageID,
+//
+// Nodes are fetched through a NodeSource, so the same traversal serves
+// the paged working copy and flat snapshots; node-access accounting
+// uses each node's recorded cost and is bit-identical across backends.
+func traverse(ctx context.Context, src NodeSource, root uint64,
 	nodePred, leafPred func(geom.Rect) bool,
 	emit func(geom.Rect, uint64) bool, limit int) (TraversalStats, error) {
 
 	var stats TraversalStats
-	stack := make([]pagefile.PageID, 0, 32)
+	stack := make([]uint64, 0, 32)
 	stack = append(stack, root)
 	for len(stack) > 0 {
 		if err := ctx.Err(); err != nil {
 			return stats, err
 		}
-		id := stack[len(stack)-1]
+		ref := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		n, err := st.readNode(id)
+		n, err := src.readNodeRef(ref)
 		if err != nil {
 			return stats, err
 		}
 		stats.NodesVisited++
-		stats.NodeAccesses += 1 + uint64(len(n.chain))
+		stats.NodeAccesses += n.accessCost()
 		if n.isLeaf() {
 			for i := range n.entries {
 				e := &n.entries[i]
@@ -98,7 +101,7 @@ func traverse(ctx context.Context, st *store, root pagefile.PageID,
 		// expanded first (the recursion's visit order).
 		for i := len(n.entries) - 1; i >= 0; i-- {
 			if nodePred(n.entries[i].Rect) {
-				stack = append(stack, n.entries[i].Child)
+				stack = append(stack, n.childRef(i))
 			}
 		}
 	}

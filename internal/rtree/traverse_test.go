@@ -144,7 +144,7 @@ func TestTraverseLimit(t *testing.T) {
 		all := func(geom.Rect) bool { return true }
 		for _, limit := range []int{1, 7, 50} {
 			got := 0
-			ts, err := traverse(context.Background(), st, root, all, all,
+			ts, err := traverse(context.Background(), st, uint64(root), all, all,
 				func(geom.Rect, uint64) bool { got++; return true }, limit)
 			if err != nil {
 				t.Fatalf("%s: %v", name, err)

@@ -12,6 +12,7 @@ import (
 	"mbrtopo/internal/geom"
 	"mbrtopo/internal/index"
 	"mbrtopo/internal/pagefile"
+	"mbrtopo/internal/query"
 	"mbrtopo/internal/rtree"
 	"mbrtopo/internal/wal"
 )
@@ -23,6 +24,10 @@ import (
 //	N.wal.<gen>   mutation log since that checkpoint
 //	N.pages       working copy the live tree mutates; recreated from
 //	              N.snap on every boot, never read during recovery
+//	N.flat        read-only flat snapshot of the same checkpoint (only
+//	              with IndexSpec.Flat); serves the boot read path
+//	              instantly when its generation matches N.snap's and
+//	              the WAL is quiet
 //
 // The snapshot's user metadata stores the tree meta (root/depth/size)
 // plus the WAL generation it covers, so a crash between the snapshot
@@ -43,8 +48,9 @@ type durable struct {
 	walOpts wal.Options
 	gen     uint64
 
-	every   int // checkpoint after this many appended records (0 = manual)
-	since   int // records since the last checkpoint
+	every   int  // checkpoint after this many appended records (0 = manual)
+	since   int  // records since the last checkpoint
+	flat    bool // publish a flat snapshot at every checkpoint
 	metrics *Metrics
 
 	// gacc accumulates group-commit counters of retired WAL
@@ -73,6 +79,7 @@ func (d *durable) groupStats() wal.GroupStats {
 
 func (d *durable) snapPath() string { return filepath.Join(d.dir, d.name+".snap") }
 func (d *durable) workPath() string { return filepath.Join(d.dir, d.name+".pages") }
+func (d *durable) flatPath() string { return filepath.Join(d.dir, d.name+".flat") }
 func (d *durable) walPath(gen uint64) string {
 	return filepath.Join(d.dir, fmt.Sprintf("%s.wal.%d", d.name, gen))
 }
@@ -139,6 +146,46 @@ func (d *durable) publishSnapshot() error {
 	return syncDir(d.dir)
 }
 
+// publishFlat atomically replaces the flat read-only snapshot with the
+// current tree state, tagged with the generation of the paged snapshot
+// it mirrors: write to a temp file, fsync, rename, fsync the dir.
+func (d *durable) publishFlat(idx index.Index, gen uint64) error {
+	tmp := d.flatPath() + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if err := index.WriteFlat(idx, f, gen); err != nil {
+		f.Close()
+		_ = os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, d.flatPath()); err != nil {
+		return err
+	}
+	return syncDir(d.dir)
+}
+
+// walQuiet reports whether a WAL generation holds no records — the
+// file is missing or empty (frames start at byte 0, so any content
+// means at least a partial record). Only then does the flat snapshot,
+// which mirrors the checkpoint rather than the log, equal the durable
+// state.
+func walQuiet(path string) bool {
+	st, err := os.Stat(path)
+	if err != nil {
+		return errors.Is(err, os.ErrNotExist)
+	}
+	return st.Size() == 0
+}
+
 // removeStaleWALs deletes every WAL generation of this index except
 // keep (leftovers of checkpoints cut short by a crash).
 func (d *durable) removeStaleWALs(keep uint64) {
@@ -160,11 +207,16 @@ func (d *durable) removeStaleWALs(keep uint64) {
 //
 //  1. working header gets meta + gen+1, working file fsyncs
 //  2. snapshot is atomically replaced (tmp, fsync, rename, dir fsync)
-//  3. the WAL rotates to generation gen+1; the old log is deleted
+//  3. with IndexSpec.Flat, the flat snapshot is replaced the same way,
+//     tagged gen+1
+//  4. the WAL rotates to generation gen+1; the old log is deleted
 //
 // A crash before 2 leaves the old (snapshot, WAL gen) pair intact; a
 // crash after 2 boots from the new snapshot with an empty gen+1 log
-// (created on demand) and deletes the stale old log.
+// (created on demand) and deletes the stale old log. A crash between 2
+// and 3 leaves a flat file one generation behind the paged snapshot —
+// the boot path detects the mismatch and falls back to paged recovery,
+// whose next checkpoint republishes both.
 func (d *durable) checkpoint(idx index.Index) error {
 	next := d.gen + 1
 	if err := persistMeta(idx, d.disk, next); err != nil {
@@ -175,6 +227,11 @@ func (d *durable) checkpoint(idx index.Index) error {
 	}
 	if err := d.publishSnapshot(); err != nil {
 		return fmt.Errorf("checkpoint: publishing snapshot: %w", err)
+	}
+	if d.flat {
+		if err := d.publishFlat(idx, next); err != nil {
+			return fmt.Errorf("checkpoint: publishing flat snapshot: %w", err)
+		}
 	}
 	newLog, replayed, err := wal.Open(d.walPath(next), d.walOpts)
 	if err != nil {
@@ -219,6 +276,10 @@ func (d *durable) checkpoint(idx index.Index) error {
 // next is already applying its tree change and reserving.
 func (d *durable) apply(inst *Instance, op wal.Op, rect geom.Rect, oid uint64) error {
 	d.mu.Lock()
+	if err := d.demoteLocked(inst); err != nil {
+		d.mu.Unlock()
+		return err
+	}
 	var err error
 	switch op {
 	case wal.OpInsert:
@@ -247,6 +308,10 @@ func (d *durable) applyBulk(inst *Instance, recs []rtree.Record) error {
 		return nil
 	}
 	d.mu.Lock()
+	if err := d.demoteLocked(inst); err != nil {
+		d.mu.Unlock()
+		return err
+	}
 	if err := inst.Idx.InsertBatch(recs); err != nil {
 		d.mu.Unlock()
 		return err
@@ -275,6 +340,40 @@ func (d *durable) afterReserveLocked(inst *Instance, n int) error {
 		return d.checkpoint(inst.Idx)
 	}
 	return nil
+}
+
+// demoteLocked switches a flat-booted instance's read path over to the
+// paged working tree before the first mutation is applied: the flat
+// snapshot is immutable and would silently go stale. The caller holds
+// d.mu, which the background reconstruction held for its whole run, so
+// the working tree (when reconstruction succeeded) is complete and
+// identical to the flat snapshot here. No-op for instances already
+// reading from the working tree.
+func (d *durable) demoteLocked(inst *Instance) error {
+	v := inst.view.Load()
+	if v == nil || v.idx == inst.Idx {
+		return nil
+	}
+	if inst.Idx == nil {
+		return fmt.Errorf("server: index %q has no working tree (reconstruction failed: %s)",
+			inst.Name, inst.FailReason())
+	}
+	inst.Proc = &query.Processor{Idx: inst.Idx}
+	inst.view.Store(&readView{idx: inst.Idx, proc: inst.Proc, pool: inst.Pool})
+	return nil
+}
+
+// WaitReconstructed blocks until a flat-booted instance has finished
+// rebuilding its paged working copy in the background (no-op for every
+// other boot path). Tests and benchmarks use it to observe the steady
+// state; serving code never needs it.
+func (inst *Instance) WaitReconstructed() {
+	if inst.dur == nil {
+		return
+	}
+	inst.dur.mu.Lock()
+	//lint:ignore SA2001 the critical section is the wait itself
+	inst.dur.mu.Unlock()
 }
 
 // settle waits for the WAL flush and folds in a checkpoint failure.
@@ -344,12 +443,16 @@ func (s *Server) openDurable(spec IndexSpec, items []index.Item) (*Instance, err
 		kind:    spec.Kind,
 		walOpts: wal.Options{Policy: spec.Fsync, Interval: spec.FsyncInterval},
 		every:   spec.CheckpointEvery,
+		flat:    spec.Flat,
 		metrics: s.metrics,
 	}
 	inst := &Instance{Name: spec.Name, Kind: spec.Kind, Frames: spec.Frames, dur: d}
 
 	if _, err := os.Stat(d.snapPath()); err == nil {
-		s.recoverDurable(spec, d, inst)
+		if d.flat && s.tryFlatBoot(spec, d, inst) {
+			return inst, nil
+		}
+		s.recoverDurable(spec, d, inst, false)
 		return inst, nil
 	} else if !errors.Is(err, os.ErrNotExist) {
 		return nil, fmt.Errorf("server: index %q: %w", spec.Name, err)
@@ -386,6 +489,12 @@ func (s *Server) openDurable(spec IndexSpec, items []index.Item) (*Instance, err
 		disk.Close()
 		return nil, fmt.Errorf("server: index %q: publishing initial snapshot: %w", spec.Name, err)
 	}
+	if d.flat {
+		if err := d.publishFlat(idx, d.gen); err != nil {
+			disk.Close()
+			return nil, fmt.Errorf("server: index %q: publishing initial flat snapshot: %w", spec.Name, err)
+		}
+	}
 	log, _, err := wal.Open(d.walPath(d.gen), d.walOpts)
 	if err != nil {
 		disk.Close()
@@ -396,9 +505,53 @@ func (s *Server) openDurable(spec IndexSpec, items []index.Item) (*Instance, err
 	return inst, nil
 }
 
+// tryFlatBoot serves the index from the flat snapshot immediately,
+// without reading the page area at all, when the flat file provably
+// equals the durable state: it decodes and passes its checksums, its
+// generation matches the paged snapshot header's, its tree kind
+// matches the spec, and the WAL of that generation is quiet (no
+// mutations since the checkpoint that published both files). The paged
+// working copy is then reconstructed in the background while queries
+// are already being answered; the rebuild holds the durable lock for
+// its whole run, so mutations, manual checkpoints, and Close queue
+// behind it and find the working tree ready. Returns false — leaving
+// no state behind — when the flat file is missing, stale, or corrupt,
+// and the caller falls back to ordinary paged recovery.
+func (s *Server) tryFlatBoot(spec IndexSpec, d *durable, inst *Instance) bool {
+	flat, err := index.OpenFlat(d.flatPath())
+	if err != nil {
+		if errors.Is(err, pagefile.ErrCorrupt) {
+			s.metrics.checksumFailures.Add(1)
+		}
+		return false
+	}
+	um, err := pagefile.ReadUserMeta(d.snapPath())
+	if err != nil {
+		return false
+	}
+	gen := metaGen(um)
+	if flat.Generation() != gen || flat.Name() != spec.Kind.String() {
+		return false
+	}
+	if !walQuiet(d.walPath(gen)) {
+		return false
+	}
+
+	inst.backend = "flat"
+	inst.view.Store(&readView{idx: flat, proc: &query.Processor{Idx: flat}})
+	d.mu.Lock()
+	go func() {
+		defer d.mu.Unlock()
+		s.recoverDurable(spec, d, inst, true)
+	}()
+	return true
+}
+
 // recoverDurable rebuilds the working state from snapshot + WAL. Any
 // failure marks the instance unhealthy instead of returning an error.
-func (s *Server) recoverDurable(spec IndexSpec, d *durable, inst *Instance) {
+// locked reports that the caller (the flat boot's background rebuild)
+// already holds d.mu.
+func (s *Server) recoverDurable(spec IndexSpec, d *durable, inst *Instance, locked bool) {
 	fail := func(reason string) {
 		inst.MarkUnhealthy(reason)
 		if d.log != nil {
@@ -475,10 +628,18 @@ func (s *Server) recoverDurable(spec IndexSpec, d *durable, inst *Instance) {
 	s.metrics.walReplays.Add(uint64(len(recs)))
 	inst.Recovered = true
 	inst.Replayed = len(recs)
+	if inst.backend == "" {
+		inst.backend = "recovered"
+	}
 	if len(recs) > 0 {
-		d.mu.Lock()
-		err := d.checkpoint(idx)
-		d.mu.Unlock()
+		var err error
+		if locked {
+			err = d.checkpoint(idx)
+		} else {
+			d.mu.Lock()
+			err = d.checkpoint(idx)
+			d.mu.Unlock()
+		}
 		if err != nil {
 			fail("post-recovery checkpoint: " + err.Error())
 			return

@@ -1,0 +1,242 @@
+package server
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mbrtopo/internal/geom"
+	"mbrtopo/internal/index"
+	"mbrtopo/internal/wal"
+	"mbrtopo/internal/workload"
+)
+
+// flatSpec is the durable + flat-snapshot spec the boot tests share.
+func flatSpec(dir string) IndexSpec {
+	return IndexSpec{
+		Name: "main", Kind: index.KindRStar, PageSize: 512,
+		Dir: dir, Fsync: wal.SyncNever, Flat: true,
+	}
+}
+
+// TestFlatBootServesInstantly pins the instant-boot path: after a
+// clean shutdown a Flat index comes back with backend "flat", answers
+// queries correctly from the flat snapshot before the paged working
+// copy exists, and the background reconstruction converges to the same
+// answers.
+func TestFlatBootServesInstantly(t *testing.T) {
+	dir := t.TempDir()
+	d := workload.NewDataset(workload.Medium, 300, 0, 17)
+	spec := flatSpec(dir)
+
+	srv := New(Config{})
+	inst, err := srv.AddIndex(spec, d.Items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.Backend() != "paged" {
+		t.Fatalf("fresh build backend = %q, want paged", inst.Backend())
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "main.flat")); err != nil {
+		t.Fatalf("checkpoint did not publish the flat snapshot: %v", err)
+	}
+
+	srv2 := New(Config{})
+	inst2, err := srv2.AddIndex(spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+	if inst2.Backend() != "flat" {
+		t.Fatalf("reboot backend = %q, want flat (%s)", inst2.Backend(), inst2.FailReason())
+	}
+	if !inst2.Healthy() {
+		t.Fatalf("flat boot unhealthy: %s", inst2.FailReason())
+	}
+	if got := inst2.ReadIndex().Len(); got != len(d.Items) {
+		t.Fatalf("flat boot serves %d rectangles, want %d", got, len(d.Items))
+	}
+	want := groundTruth(t, d.Items, nil)
+	assertSameAnswers(t, "flat read path", inst2.ReadIndex(), want)
+
+	// After the background rebuild, the paged working tree must hold
+	// exactly the same answers.
+	inst2.WaitReconstructed()
+	if inst2.Idx == nil {
+		t.Fatalf("working copy not reconstructed: %s", inst2.FailReason())
+	}
+	assertSameAnswers(t, "reconstructed working copy", inst2.Idx, want)
+}
+
+// TestFlatBootDemotesOnMutation pins the staleness guard: the first
+// mutation on a flat-booted index switches the read path to the paged
+// working tree before it is acknowledged, so reads never see a stale
+// snapshot — and the next checkpoint publishes a flat file that
+// includes the mutation, making the following boot flat again.
+func TestFlatBootDemotesOnMutation(t *testing.T) {
+	dir := t.TempDir()
+	d := workload.NewDataset(workload.Medium, 200, 0, 23)
+	spec := flatSpec(dir)
+
+	srv := New(Config{})
+	if _, err := srv.AddIndex(spec, d.Items); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	srv2 := New(Config{})
+	inst, err := srv2.AddIndex(spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.Backend() != "flat" {
+		t.Fatalf("backend = %q, want flat", inst.Backend())
+	}
+	added := wal.Record{Op: wal.OpInsert, OID: 9001, Rect: geom.R(10, 10, 12, 12)}
+	if err := inst.Insert(added.Rect, added.OID); err != nil {
+		t.Fatalf("insert on flat-booted index: %v", err)
+	}
+	// The acked mutation must be visible on the read path immediately.
+	if inst.ReadIndex() != inst.Idx {
+		t.Fatal("read path still on the flat snapshot after a mutation")
+	}
+	assertSameAnswers(t, "after demotion", inst.ReadIndex(), groundTruth(t, d.Items, []wal.Record{added}))
+	if err := srv2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The close checkpointed: the republished flat snapshot includes
+	// the mutation and the next boot is flat again.
+	srv3 := New(Config{})
+	inst3, err := srv3.AddIndex(spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv3.Close()
+	if inst3.Backend() != "flat" {
+		t.Fatalf("post-mutation reboot backend = %q, want flat (%s)", inst3.Backend(), inst3.FailReason())
+	}
+	assertSameAnswers(t, "flat reboot with mutation", inst3.ReadIndex(), groundTruth(t, d.Items, []wal.Record{added}))
+}
+
+// TestFlatBootCorruptFallsBack pins the health contract: a flat file
+// that fails its checksum is counted, skipped, and the boot falls back
+// to paged recovery — correct answers or 503, never garbage.
+func TestFlatBootCorruptFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	d := workload.NewDataset(workload.Medium, 200, 0, 29)
+	spec := flatSpec(dir)
+
+	srv := New(Config{})
+	if _, err := srv.AddIndex(spec, d.Items); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip one byte in the node section.
+	path := filepath.Join(dir, "main.flat")
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob[len(blob)/2] ^= 0x40
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	srv2 := New(Config{})
+	inst, err := srv2.AddIndex(spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+	if inst.Backend() != "recovered" {
+		t.Fatalf("backend = %q, want recovered after flat corruption", inst.Backend())
+	}
+	if !inst.Healthy() {
+		t.Fatalf("paged fallback unhealthy: %s", inst.FailReason())
+	}
+	if got := srv2.Metrics().ChecksumFailuresTotal(); got == 0 {
+		t.Error("flat corruption not counted in topod_checksum_failures_total")
+	}
+	assertSameAnswers(t, "paged fallback", inst.ReadIndex(), groundTruth(t, d.Items, nil))
+}
+
+// TestFlatBootStaleWALFallsBack pins the generation guard: when the
+// process died with unsynced WAL records (no clean checkpoint), the
+// flat snapshot is behind the durable state and must not serve; the
+// boot replays the WAL on the paged path instead.
+func TestFlatBootStaleWALFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	d := workload.NewDataset(workload.Medium, 200, 0, 31)
+	spec := flatSpec(dir)
+	spec.Fsync = wal.SyncAlways
+
+	srv := New(Config{})
+	inst, err := srv.AddIndex(spec, d.Items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	added := wal.Record{Op: wal.OpInsert, OID: 9001, Rect: geom.R(10, 10, 12, 12)}
+	if err := inst.Insert(added.Rect, added.OID); err != nil {
+		t.Fatal(err)
+	}
+	// Abandon srv without Close: the WAL holds the insert, the flat
+	// snapshot does not (it was published by the initial checkpoint).
+
+	srv2 := New(Config{})
+	inst2, err := srv2.AddIndex(spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+	if inst2.Backend() != "flat" && inst2.Backend() != "recovered" {
+		t.Fatalf("backend = %q", inst2.Backend())
+	}
+	if inst2.Backend() == "flat" {
+		t.Fatal("flat snapshot served despite a non-empty WAL")
+	}
+	if inst2.Replayed != 1 {
+		t.Errorf("replayed %d WAL records, want 1", inst2.Replayed)
+	}
+	assertSameAnswers(t, "stale-WAL fallback", inst2.ReadIndex(), groundTruth(t, d.Items, []wal.Record{added}))
+}
+
+// TestFlatBootKindMismatchFallsBack pins the kind guard: a flat file
+// written by a different access method must not serve (its stats and
+// node semantics would be wrong for the configured tree).
+func TestFlatBootKindMismatchFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	d := workload.NewDataset(workload.Medium, 150, 0, 37)
+	spec := flatSpec(dir)
+
+	srv := New(Config{})
+	if _, err := srv.AddIndex(spec, d.Items); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Same directory, different kind: both paged and flat state belong
+	// to an R*-tree; resuming as an R-tree is the operator error this
+	// guard is about. The paged path resumes structurally (the formats
+	// match), but the flat boot must refuse the mismatched name.
+	spec.Kind = index.KindRTree
+	srv2 := New(Config{})
+	inst, err := srv2.AddIndex(spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+	if inst.Backend() == "flat" {
+		t.Fatal("flat snapshot of an R*-tree served as an R-tree")
+	}
+}

@@ -98,7 +98,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	flusher, _ := w.(http.Flusher)
 	enc := json.NewEncoder(w)
 	var writeErr error
-	stats, err := inst.Proc.Stream(ctx, rels, ref, req.Limit, func(m query.Match) bool {
+	stats, err := inst.ReadProc().Stream(ctx, rels, ref, req.Limit, func(m query.Match) bool {
 		oid, rect := m.OID, RectToWire(m.Rect)
 		if writeErr = enc.Encode(QueryLine{OID: &oid, Rect: &rect}); writeErr != nil {
 			return false
@@ -158,7 +158,8 @@ func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
 		writeJSONError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	if err := query.CanJoin(li.Idx, ri.Idx); err != nil {
+	lidx, ridx := li.ReadIndex(), ri.ReadIndex()
+	if err := query.CanJoin(lidx, ridx); err != nil {
 		writeJSONError(w, http.StatusBadRequest, err.Error())
 		return
 	}
@@ -181,7 +182,7 @@ func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
 		NonContiguous: req.NonContiguous,
 		KeepSelfPairs: req.KeepSelfPairs,
 	}
-	stats, err := query.JoinStream(ctx, li.Idx, ri.Idx, rels, opts, func(p query.JoinPair) bool {
+	stats, err := query.JoinStream(ctx, lidx, ridx, rels, opts, func(p query.JoinPair) bool {
 		lo, ro := p.LeftOID, p.RightOID
 		lr, rr := RectToWire(p.LeftRect), RectToWire(p.RightRect)
 		if writeErr = enc.Encode(JoinLine{LeftOID: &lo, RightOID: &ro, LeftRect: &lr, RightRect: &rr}); writeErr != nil {
@@ -241,7 +242,7 @@ func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) {
 		writeJSONError(w, http.StatusBadRequest, "x and y must be numbers")
 		return
 	}
-	nn, ts, err := inst.Idx.NearestCtx(r.Context(), geom.Point{X: x, Y: y}, k)
+	nn, ts, err := inst.ReadIndex().NearestCtx(r.Context(), geom.Point{X: x, Y: y}, k)
 	s.metrics.FoldTraversal(ts)
 	if err != nil {
 		if s.noteCorrupt(inst, err) {
@@ -297,7 +298,7 @@ func (s *Server) handleMutation(w http.ResponseWriter, r *http.Request, op func(
 		writeJSONError(w, code, err.Error())
 		return
 	}
-	writeJSON(w, http.StatusOK, UpdateResponse{OK: true, Objects: inst.Idx.Len()})
+	writeJSON(w, http.StatusOK, UpdateResponse{OK: true, Objects: inst.ReadIndex().Len()})
 }
 
 // handleBulk loads a batch of rectangles streamed as NDJSON (one
@@ -343,7 +344,7 @@ func (s *Server) handleBulk(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, BulkResponse{
 		OK:       true,
 		Inserted: len(recs),
-		Objects:  inst.Idx.Len(),
+		Objects:  inst.ReadIndex().Len(),
 		TookMS:   time.Since(start).Milliseconds(),
 	})
 }
@@ -358,22 +359,23 @@ func (s *Server) handleIndexes(w http.ResponseWriter, r *http.Request) {
 			Kind:    inst.Kind.String(),
 			Healthy: inst.Healthy(),
 			Durable: inst.Durable(),
+			Backend: inst.Backend(),
 		}
 		if !info.Healthy {
 			info.FailReason = inst.FailReason()
 		}
 		// A failed recovery registers the instance without a tree.
-		if inst.Idx != nil {
-			info.Objects = inst.Idx.Len()
-			info.Height = inst.Idx.Height()
-			if b, ok := inst.Idx.Bounds(); ok {
+		if idx := inst.ReadIndex(); idx != nil {
+			info.Objects = idx.Len()
+			info.Height = idx.Height()
+			if b, ok := idx.Bounds(); ok {
 				wb := RectToWire(b)
 				info.Bounds = &wb
 			}
 		}
-		if inst.Pool != nil {
+		if pool := inst.ReadPool(); pool != nil {
 			info.BufferFrames = inst.Frames
-			info.BufferHits, info.BufferMisses = inst.Pool.HitMiss()
+			info.BufferHits, info.BufferMisses = pool.HitMiss()
 		}
 		infos = append(infos, info)
 	}

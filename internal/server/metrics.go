@@ -56,6 +56,9 @@ type Metrics struct {
 	poolStats func() []PoolStat
 	// healthStats surfaces per-index health the same way.
 	healthStats func() []HealthStat
+	// backendStats surfaces which backend each index booted on (flat
+	// snapshot, fresh paged build, or paged recovery) the same way.
+	backendStats func() []BackendStat
 	// walStats surfaces per-index WAL group-commit counters the same
 	// way.
 	walStats func() []WALStat
@@ -71,6 +74,12 @@ type PoolStat struct {
 type HealthStat struct {
 	Index   string
 	Healthy bool
+}
+
+// BackendStat is one index's boot-backend label for /metrics.
+type BackendStat struct {
+	Index   string
+	Backend string
 }
 
 // WALStat is one durable index's group-commit counters for /metrics.
@@ -334,6 +343,14 @@ func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
 				v = 1
 			}
 			fmt.Fprintf(cw, "topod_index_healthy{index=%q} %d\n", hs.Index, v)
+		}
+	}
+
+	if m.backendStats != nil {
+		fmt.Fprintf(cw, "# HELP topod_index_backend Boot backend of the index: flat (instant boot from the flat snapshot), paged (fresh build), or recovered (paged snapshot + WAL replay).\n")
+		fmt.Fprintf(cw, "# TYPE topod_index_backend gauge\n")
+		for _, bs := range m.backendStats() {
+			fmt.Fprintf(cw, "topod_index_backend{index=%q,backend=%q} 1\n", bs.Index, bs.Backend)
 		}
 	}
 

@@ -85,6 +85,13 @@ type IndexSpec struct {
 	// recovered on AddIndex (in which case items is ignored) and
 	// checkpointed as the log grows.
 	Dir string
+	// Flat, on a durable index, additionally publishes a flat read-only
+	// snapshot (N.flat) at every checkpoint. On boot, when the flat file
+	// matches the paged snapshot's generation and the WAL is quiet, the
+	// index serves queries from the flat snapshot immediately while the
+	// paged working copy is rebuilt in the background; the first
+	// mutation waits for the rebuild and switches the read path over.
+	Flat bool
 	// Fsync is the WAL fsync policy for durable indexes.
 	Fsync wal.SyncPolicy
 	// FsyncInterval is the flush staleness bound under
@@ -102,11 +109,26 @@ type IndexSpec struct {
 // mutations between snapshot rewrites) when the spec leaves it zero.
 const DefaultCheckpointEvery = 1024
 
+// readView is the active read path of an instance: the index (and its
+// buffer pool, when any) queries are answered from. Boot-from-flat
+// publishes the flat snapshot here while the paged working copy is
+// still being reconstructed in the background; the first mutation
+// swaps the view back to the working tree before it is applied. The
+// whole struct is replaced atomically so handlers never see a
+// half-switched read path.
+type readView struct {
+	idx  index.Index
+	proc *query.Processor
+	pool *pagefile.BufferPool
+}
+
 // Instance is one served index with its query processor.
 type Instance struct {
 	Name string
 	Kind index.Kind
-	// Idx is nil when recovery failed and the instance is unhealthy.
+	// Idx is the paged working tree, nil when recovery failed and the
+	// instance is unhealthy — or not yet reconstructed after a flat
+	// boot. Handlers read through ReadIndex/ReadProc instead.
 	Idx  index.Index
 	Proc *query.Processor
 	// Pool is the buffer pool under the tree, nil when unbuffered.
@@ -119,10 +141,54 @@ type Instance struct {
 	Recovered bool
 	Replayed  int
 
+	// view is the active read path (see readView). backend labels how
+	// the instance came up — "paged" (fresh build), "recovered" (paged
+	// snapshot + WAL replay), or "flat" (instant boot from the flat
+	// snapshot) — and is fixed before AddIndex returns.
+	view    atomic.Pointer[readView]
+	backend string
+
 	dur        *durable
 	unhealthy  atomic.Bool
 	mu         sync.Mutex // guards failReason
 	failReason string
+}
+
+// Backend reports which boot path produced the instance's first read
+// view: "paged", "recovered", or "flat".
+func (inst *Instance) Backend() string {
+	if inst.backend == "" {
+		return "paged"
+	}
+	return inst.backend
+}
+
+// ReadIndex returns the index the read path currently serves from —
+// the flat snapshot right after an instant boot, the paged working
+// tree otherwise. Nil when the instance is unhealthy without a tree.
+func (inst *Instance) ReadIndex() index.Index {
+	if v := inst.view.Load(); v != nil {
+		return v.idx
+	}
+	return nil
+}
+
+// ReadProc returns the query processor over ReadIndex (nil when the
+// instance has no tree).
+func (inst *Instance) ReadProc() *query.Processor {
+	if v := inst.view.Load(); v != nil {
+		return v.proc
+	}
+	return nil
+}
+
+// ReadPool returns the buffer pool under the active read path, nil
+// when the read path is unbuffered (flat snapshots always are).
+func (inst *Instance) ReadPool() *pagefile.BufferPool {
+	if v := inst.view.Load(); v != nil {
+		return v.pool
+	}
+	return nil
 }
 
 // Healthy reports whether the index may serve traffic. An index whose
@@ -210,6 +276,7 @@ func New(cfg Config) *Server {
 	m.poolStats = s.poolStats
 	m.healthStats = s.healthStats
 	m.walStats = s.walStats
+	m.backendStats = s.backendStats
 	return s
 }
 
@@ -242,6 +309,16 @@ func (s *Server) walStats() []WALStat {
 	return out
 }
 
+// backendStats snapshots the per-index boot backend for the /metrics
+// exposition.
+func (s *Server) backendStats() []BackendStat {
+	var out []BackendStat
+	for _, inst := range s.listInstances() {
+		out = append(out, BackendStat{Index: inst.Name, Backend: inst.Backend()})
+	}
+	return out
+}
+
 // healthStats snapshots per-index health for the /metrics exposition.
 func (s *Server) healthStats() []HealthStat {
 	var out []HealthStat
@@ -256,10 +333,11 @@ func (s *Server) healthStats() []HealthStat {
 func (s *Server) poolStats() []PoolStat {
 	var out []PoolStat
 	for _, inst := range s.listInstances() {
-		if inst.Pool == nil {
+		pool := inst.ReadPool()
+		if pool == nil {
 			continue
 		}
-		hits, misses := inst.Pool.HitMiss()
+		hits, misses := pool.HitMiss()
 		out = append(out, PoolStat{Index: inst.Name, Hits: hits, Misses: misses})
 	}
 	return out
@@ -318,8 +396,15 @@ func (s *Server) AddIndex(spec IndexSpec, items []index.Item) (*Instance, error)
 			Frames: spec.Frames,
 		}
 	}
-	if inst.Idx != nil {
+	// A flat boot already published its view (and its background rebuild
+	// owns inst.Idx until it finishes); every other path serves straight
+	// from the working tree.
+	if inst.view.Load() == nil && inst.Idx != nil {
 		inst.Proc = &query.Processor{Idx: inst.Idx}
+		inst.view.Store(&readView{idx: inst.Idx, proc: inst.Proc, pool: inst.Pool})
+	}
+	if inst.backend == "" {
+		inst.backend = "paged"
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()

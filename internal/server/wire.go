@@ -140,6 +140,7 @@ type IndexInfo struct {
 	Height       int         `json:"height"`
 	Healthy      bool        `json:"healthy"`
 	Durable      bool        `json:"durable,omitempty"`
+	Backend      string      `json:"backend,omitempty"`
 	FailReason   string      `json:"fail_reason,omitempty"`
 	Bounds       *[4]float64 `json:"bounds,omitempty"`
 	BufferFrames int         `json:"buffer_frames,omitempty"`

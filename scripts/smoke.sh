@@ -7,7 +7,11 @@
 # streams more rectangles through POST /v1/bulk, kill -9s it, and
 # asserts the restart replays the whole batch. A fourth leg bulk-loads
 # two indexes, streams a meet+overlap /v1/join, checks the pair count
-# against topoquery ground truth, and asserts 429 under saturation.
+# against topoquery ground truth, and asserts 429 under saturation. A
+# fifth leg checkpoints a durable topod, kill -9s it, and asserts the
+# restart instant-boots from the flat snapshot (backend=flat) with the
+# same answers — then corrupts the flat file and asserts the next boot
+# falls back cleanly to paged recovery.
 set -euo pipefail
 
 TOPOD="${1:?usage: smoke.sh path/to/topod path/to/topoquery path/to/datagen}"
@@ -20,12 +24,13 @@ cleanup() {
   kill -9 "$PID2" 2>/dev/null || true
   kill -9 "$PID3" 2>/dev/null || true
   kill -9 "$PID4" 2>/dev/null || true
+  kill -9 "$PID5" 2>/dev/null || true
   kill -9 "$CURLPID" 2>/dev/null || true
-  rm -rf "$LOG" "$LOG2" "$LOG3" "$LOG4" "$LOG5" "$LOG6" "$BULK" \
-    "$LEFT" "$RIGHT" "$HDRS" "$DATADIR" "$DATADIR2" 2>/dev/null || true
+  rm -rf "$LOG" "$LOG2" "$LOG3" "$LOG4" "$LOG5" "$LOG6" "$LOG7" "$LOG8" "$LOG9" "$BULK" \
+    "$LEFT" "$RIGHT" "$HDRS" "$DATADIR" "$DATADIR2" "$DATADIR3" 2>/dev/null || true
 }
-PID="" PID2="" PID3="" PID4="" CURLPID="" LOG2="" LOG3="" LOG4="" LOG5="" LOG6=""
-BULK="" LEFT="" RIGHT="" HDRS="" DATADIR2=""
+PID="" PID2="" PID3="" PID4="" PID5="" CURLPID="" LOG2="" LOG3="" LOG4="" LOG5="" LOG6=""
+LOG7="" LOG8="" LOG9="" BULK="" LEFT="" RIGHT="" HDRS="" DATADIR2="" DATADIR3=""
 
 # wait_listen LOGFILE: echo the address once the daemon logs it.
 wait_listen() {
@@ -131,7 +136,7 @@ wait_ready "$BASE2" || {
   cat "$LOG3" >&2
   exit 1
 }
-grep -q '^topod: recovered ' "$LOG3" \
+grep -q '^topod: backend=recovered ' "$LOG3" \
   || { echo "smoke: restart did not report recovery" >&2; cat "$LOG3" >&2; exit 1; }
 
 MARKER="$(curl -sf -d '{"relations":["not_disjoint"],"ref":[11110,11110,11113,11113]}' "$BASE2/v1/query")"
@@ -210,7 +215,7 @@ wait_ready "$BASE3" || {
   cat "$LOG5" >&2
   exit 1
 }
-grep -q '^topod: recovered ' "$LOG5" \
+grep -q '^topod: backend=recovered ' "$LOG5" \
   || { echo "smoke: bulk restart did not report recovery" >&2; cat "$LOG5" >&2; exit 1; }
 
 QRESP2="$(curl -sf -d '{"relations":["not_disjoint"],"ref":[20149,20149,20152,20152]}' "$BASE3/v1/query")"
@@ -295,3 +300,86 @@ if ! wait "$PID4"; then
 fi
 
 echo "smoke OK: /v1/join matched topoquery ground truth + 429 under saturation"
+
+# ---- flat-boot leg: checkpoint, kill -9, instant boot from the flat
+# snapshot; then corrupt it and assert a clean paged fallback ----
+
+LOG7="$(mktemp)"
+DATADIR3="$(mktemp -d)"
+"$TOPOD" -gen 1500 -bulk -tree rstar -data-dir "$DATADIR3" -fsync always \
+  -addr 127.0.0.1:0 >"$LOG7" 2>&1 &
+PID5=$!
+
+ADDR5="$(wait_listen "$LOG7")" || {
+  echo "smoke: flat-leg topod never started listening" >&2
+  cat "$LOG7" >&2
+  exit 1
+}
+BASE5="http://$ADDR5"
+wait_ready "$BASE5" || { echo "smoke: flat-leg topod never became ready" >&2; exit 1; }
+
+# Baseline answer set, then a clean SIGTERM: the shutdown checkpoint
+# publishes the paged snapshot and the flat snapshot under one
+# generation with a quiet WAL.
+FLATQ='{"relations":["not_disjoint"],"ref":[100,100,400,400]}'
+BASELINE="$(curl -sf -d "$FLATQ" "$BASE5/v1/query" | grep -c '"oid"')"
+[ "$BASELINE" -gt 0 ] || { echo "smoke: flat-leg baseline query empty" >&2; exit 1; }
+kill -TERM "$PID5"
+wait "$PID5" || { echo "smoke: flat-leg topod failed clean shutdown" >&2; cat "$LOG7" >&2; exit 1; }
+[ -s "$DATADIR3/main.flat" ] \
+  || { echo "smoke: checkpoint did not publish main.flat" >&2; exit 1; }
+
+# kill -9 an idle restart (no mutations: the WAL stays quiet), then
+# boot again: the first query must be answered from the flat snapshot.
+LOG8="$(mktemp)"
+"$TOPOD" -gen 1500 -bulk -tree rstar -data-dir "$DATADIR3" -fsync always \
+  -addr 127.0.0.1:0 >"$LOG8" 2>&1 &
+PID5=$!
+ADDR5="$(wait_listen "$LOG8")" || {
+  echo "smoke: flat-leg topod never restarted" >&2
+  cat "$LOG8" >&2
+  exit 1
+}
+BASE5="http://$ADDR5"
+wait_ready "$BASE5" || { echo "smoke: flat-boot topod never became ready" >&2; exit 1; }
+grep -q '^topod: backend=flat ' "$LOG8" \
+  || { echo "smoke: restart did not boot from the flat snapshot" >&2; cat "$LOG8" >&2; exit 1; }
+FLATCOUNT="$(curl -sf -d "$FLATQ" "$BASE5/v1/query" | grep -c '"oid"')"
+[ "$FLATCOUNT" = "$BASELINE" ] \
+  || { echo "smoke: flat boot answered $FLATCOUNT matches, want $BASELINE" >&2; exit 1; }
+curl -sf "$BASE5/metrics" | grep -q '^topod_index_backend{index="main",backend="flat"} 1' \
+  || { echo "smoke: /metrics missing the flat backend gauge" >&2; exit 1; }
+kill -9 "$PID5"
+wait "$PID5" 2>/dev/null || true
+
+# Corrupt the flat snapshot's node section: the next boot must detect
+# the checksum failure and fall back to paged recovery with the same
+# answers — 503-or-correct, never garbage.
+FLATSIZE="$(wc -c <"$DATADIR3/main.flat")"
+printf '\xff\x01' | dd of="$DATADIR3/main.flat" bs=1 seek=$((FLATSIZE / 2)) conv=notrunc 2>/dev/null
+
+LOG9="$(mktemp)"
+"$TOPOD" -gen 1500 -bulk -tree rstar -data-dir "$DATADIR3" -fsync always \
+  -addr 127.0.0.1:0 >"$LOG9" 2>&1 &
+PID5=$!
+ADDR5="$(wait_listen "$LOG9")" || {
+  echo "smoke: corrupt-flat topod never started listening" >&2
+  cat "$LOG9" >&2
+  exit 1
+}
+BASE5="http://$ADDR5"
+wait_ready "$BASE5" || { echo "smoke: corrupt-flat topod never became ready" >&2; cat "$LOG9" >&2; exit 1; }
+grep -q '^topod: backend=recovered ' "$LOG9" \
+  || { echo "smoke: corrupt flat file did not fall back to paged recovery" >&2; cat "$LOG9" >&2; exit 1; }
+FALLCOUNT="$(curl -sf -d "$FLATQ" "$BASE5/v1/query" | grep -c '"oid"')"
+[ "$FALLCOUNT" = "$BASELINE" ] \
+  || { echo "smoke: paged fallback answered $FALLCOUNT matches, want $BASELINE" >&2; exit 1; }
+
+kill -TERM "$PID5"
+if ! wait "$PID5"; then
+  echo "smoke: flat-leg topod exited non-zero on SIGTERM" >&2
+  cat "$LOG9" >&2
+  exit 1
+fi
+
+echo "smoke OK: flat instant boot after kill -9 + clean fallback on corruption"
