@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify race test bench bench-json bench-read fmt smoke fuzz
+.PHONY: verify race test bench bench-json bench-read bench-watch fmt smoke fuzz
 
 # Tier-1 gate: everything must build, vet clean, and pass.
 verify:
@@ -44,6 +44,14 @@ bench-json:
 bench-read:
 	$(GO) test -run='^$$' -bench='BenchmarkQueryPaged|BenchmarkQueryFlat|BenchmarkColdBoot' -benchtime=$(BENCHTIME) . | $(GO) run ./cmd/benchjson > BENCH_read.json
 	@cat BENCH_read.json
+
+# Machine-readable perf snapshot of the watch subsystem:
+# commit-to-notification latency percentiles (in-memory and durable
+# write paths) and fan-out cost with the subscription R-tree pruning,
+# recorded in BENCH_watch.json. CI runs it with BENCHTIME=1x.
+bench-watch:
+	$(GO) test -run='^$$' -bench='BenchmarkWatchNotify|BenchmarkWatchFanout' -benchtime=$(BENCHTIME) . | $(GO) run ./cmd/benchjson > BENCH_watch.json
+	@cat BENCH_watch.json
 
 # Service smoke test: boot topod, query it, scrape /metrics, assert a
 # clean SIGTERM drain, and check /v1/join pair counts against the

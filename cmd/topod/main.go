@@ -42,6 +42,14 @@
 // backend is serving (backend=flat, backend=recovered, or the plain
 // build line for a fresh index).
 //
+// Continuous queries: POST /v1/watch (same body shape as /v1/query)
+// streams enter/exit/change events as the index mutates, admitted from
+// a dedicated -maxwatch slot pool so subscribers never starve queries.
+// SIGTERM ends every stream with a terminal drain line before the HTTP
+// drain begins:
+//
+//	topoquery -watch http://localhost:8080 -rel not_disjoint -ref 10,10,40,30
+//
 // Load-generator mode benchmarks the service end to end:
 //
 //	topod -bench -gen 10000 -clients 16 -requests 400
@@ -104,6 +112,8 @@ func main() {
 		target   = flag.String("target", "", "bench: base URL of a running topod (default: in-process server)")
 		relName  = flag.String("rel", "not_disjoint", "bench: relation set for generated queries")
 		limit    = flag.Int("limit", 0, "bench: per-query match limit (0 = unlimited)")
+
+		maxWatch = flag.Int("maxwatch", 256, "bound on concurrently open /v1/watch streams (separate from -maxinflight)")
 	)
 	flag.Parse()
 
@@ -168,6 +178,7 @@ func main() {
 	srv := server.New(server.Config{
 		MaxInFlight:    *maxInFlight,
 		DefaultTimeout: *timeout,
+		MaxWatch:       *maxWatch,
 	})
 	buildStart := time.Now()
 	inst, err := srv.AddIndex(spec, items)
@@ -243,6 +254,10 @@ func main() {
 	case <-ctx.Done():
 		stop()
 		fmt.Println("topod: draining…")
+		// Watch streams never go idle on their own: flush pending
+		// notifications and end each with a terminal drain line first,
+		// or Shutdown would hang on them until the budget expired.
+		srv.DrainWatchers()
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
 		defer cancel()
 		if err := httpSrv.Shutdown(shutdownCtx); err != nil {

@@ -11,21 +11,30 @@
 //	topoquery -data data.csv -queries queries.csv -rel overlap   # batch mode
 //	topoquery -data left.csv -join right.csv -rel meet,overlap   # spatial join
 //	topoquery -data data.csv -rel overlap -ref 10,10,40,30 -frames 64   # LRU buffer pool
+//	topoquery -watch http://localhost:8080 -rel not_disjoint -ref 10,10,40,30   # live events
 package main
 
 import (
+	"bufio"
+	"bytes"
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"mbrtopo/internal/direction"
 	"mbrtopo/internal/geom"
 	"mbrtopo/internal/index"
 	"mbrtopo/internal/pagefile"
 	"mbrtopo/internal/query"
+	"mbrtopo/internal/server"
 	"mbrtopo/internal/topo"
 	"mbrtopo/internal/workload"
 )
@@ -45,8 +54,19 @@ func main() {
 		knnSpec   = flag.String("knn", "", "k,x,y — report the k stored rectangles nearest to (x,y)")
 		dirName   = flag.String("dir", "", "direction relation (north, southwest, samelevel, strict_east, …) instead of -rel")
 		maxPrint  = flag.Int("maxprint", 20, "print at most this many matching oids")
+		watchURL  = flag.String("watch", "", "topod base URL: subscribe to /v1/watch for -rel/-ref and stream events until ctrl-C or server drain (no -data needed)")
+		indexName = flag.String("index", "", "server index name for -watch (empty = the server default)")
+		buffer    = flag.Int("buffer", 0, "server-side event buffer for -watch (0 = server default)")
 	)
 	flag.Parse()
+
+	// Watch mode is a pure network client: no data file, no local tree.
+	if *watchURL != "" {
+		if err := runWatch(*watchURL, *indexName, *relName, *refSpec, *buffer); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	if *dataPath == "" {
 		fatal(fmt.Errorf("-data is required"))
@@ -227,6 +247,104 @@ func main() {
 			float64(totalAcc)/float64(len(refs)),
 			index.SerialPages(idx.Len(), (*pageSize-8)/40))
 	}
+}
+
+// runWatch subscribes to a running topod's /v1/watch and prints the
+// event stream: one line per enter/exit/change, until the user
+// interrupts (ctrl-C exits cleanly) or the server ends the stream with
+// a terminal drain line.
+func runWatch(base, indexName, relName, refSpec string, buffer int) error {
+	if refSpec == "" {
+		return fmt.Errorf("-watch needs -ref")
+	}
+	ref, err := parseRect(refSpec)
+	if err != nil {
+		return err
+	}
+	var rels []string
+	for _, name := range strings.Split(relName, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			rels = append(rels, name)
+		}
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	wire := server.RectToWire(ref)
+	body, err := json.Marshal(server.WatchRequest{
+		Index:     indexName,
+		Relations: rels,
+		Ref:       wire[:],
+		Buffer:    buffer,
+	})
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		strings.TrimRight(base, "/")+"/v1/watch", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		if ctx.Err() != nil {
+			return nil
+		}
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("watch: %s: %s", resp.Status, strings.TrimSpace(string(msg)))
+	}
+
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		var line server.WatchLine
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			return fmt.Errorf("watch: bad stream line %q: %w", sc.Text(), err)
+		}
+		switch {
+		case line.Watch != nil:
+			fmt.Printf("watching index %q (subscription %d, generation %d); ctrl-C to stop\n",
+				line.Watch.Index, line.Watch.ID, line.Watch.Generation)
+		case line.End != "":
+			fmt.Printf("watch ended by server: %s\n", line.End)
+			return nil
+		case line.Error != "":
+			return fmt.Errorf("watch: server error: %s", line.Error)
+		case line.Event != "":
+			rel := line.New
+			if line.Event == "exit" {
+				rel = line.Old
+			} else if line.Old != "" {
+				rel = line.Old + " -> " + line.New
+			}
+			var r [4]float64
+			if line.Rect != nil {
+				r = *line.Rect
+			}
+			fmt.Printf("gen %-6d %-6s oid %-8d %-24s %v\n",
+				deref(line.Gen), line.Event, deref(line.OID), rel, r)
+		}
+	}
+	if ctx.Err() != nil {
+		fmt.Println("watch interrupted")
+		return nil
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("watch: stream cut: %w", err)
+	}
+	return fmt.Errorf("watch: stream closed without a terminal line")
+}
+
+func deref(p *uint64) uint64 {
+	if p == nil {
+		return 0
+	}
+	return *p
 }
 
 func readItems(path string) ([]index.Item, error) {

@@ -1,0 +1,147 @@
+// External test package: the Table 5 agreement checks need mbr, which
+// imports interval — an internal test file would cycle.
+package interval_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"mbrtopo/internal/interval"
+	"mbrtopo/internal/mbr"
+	"mbrtopo/internal/topo"
+)
+
+// TestGrowConverseDuality: growing the reference of (p r q) is growing
+// the primary in the converse frame, so the two derived edge sets must
+// be converse-duals of each other — for every relation, both ways.
+func TestGrowConverseDuality(t *testing.T) {
+	for _, r := range interval.All() {
+		want := interval.GrowPrimaryNeighbours(r.Converse()).Converse()
+		if got := interval.GrowReferenceNeighbours(r); got != want {
+			t.Errorf("grow-reference(%v) = %v, want converse-dual %v", r, got, want)
+		}
+		want = interval.GrowReferenceNeighbours(r.Converse()).Converse()
+		if got := interval.GrowPrimaryNeighbours(r); got != want {
+			t.Errorf("grow-primary(%v) = %v, want converse-dual %v", r, got, want)
+		}
+	}
+}
+
+// TestGrowEdgeEndpoints pins the directed boundary edges the paper's
+// Figure 14 walk implies: the only move out of before/after is onto
+// the meeting boundary, and growth never leaves a relation in place.
+func TestGrowEdgeEndpoints(t *testing.T) {
+	if got := interval.GrowPrimaryNeighbours(interval.Before); got != interval.NewSet(interval.Meets) {
+		t.Errorf("grow-primary(before) = %v, want {meets}", got)
+	}
+	if got := interval.GrowPrimaryNeighbours(interval.After); got != interval.NewSet(interval.MetBy) {
+		t.Errorf("grow-primary(after) = %v, want {metBy}", got)
+	}
+	for _, r := range interval.All() {
+		if interval.GrowPrimaryNeighbours(r).Has(r) || interval.GrowReferenceNeighbours(r).Has(r) {
+			t.Errorf("relation %v is its own growth neighbour", r)
+		}
+	}
+}
+
+// TestGrowGraphConnected: the undirected closure of both growth graphs
+// must connect all 13 relations — otherwise some relation change could
+// never be explained by a sequence of neighbourhood moves, and the
+// watch notifier's reachability pruning would be unsound.
+func TestGrowGraphConnected(t *testing.T) {
+	adj := make(map[interval.Relation]interval.Set)
+	for _, r := range interval.All() {
+		out := interval.GrowPrimaryNeighbours(r).Union(interval.GrowReferenceNeighbours(r))
+		adj[r] = adj[r].Union(out)
+		for _, n := range out.Relations() {
+			adj[n] = adj[n].Add(r)
+		}
+	}
+	seen := interval.NewSet(interval.Before)
+	queue := []interval.Relation{interval.Before}
+	for len(queue) > 0 {
+		r := queue[0]
+		queue = queue[1:]
+		for _, n := range adj[r].Relations() {
+			if !seen.Has(n) {
+				seen = seen.Add(n)
+				queue = append(queue, n)
+			}
+		}
+	}
+	if seen.Len() != interval.NumRelations {
+		t.Fatalf("undirected growth graph reaches %d of %d relations: %v",
+			seen.Len(), interval.NumRelations, seen)
+	}
+}
+
+// TestShrinkIsReverseGrowth: shrinking an interval traverses the
+// growth edges backwards. For random configurations, a tiny shrink of
+// one endpoint must land on a relation whose growth edge leads back —
+// the symmetry that justifies treating the directed growth graphs as
+// undirected when bounding what a moving object can do.
+func TestShrinkIsReverseGrowth(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	q := interval.Interval{Lo: 10, Hi: 20}
+	const eps = 1e-9
+	for i := 0; i < 100000; i++ {
+		lo := rng.Float64()*34 - 2
+		hi := lo + 0.5 + rng.Float64()*30
+		p := interval.Interval{Lo: lo, Hi: hi}
+		r := interval.Relate(p, q)
+		for _, p2 := range []interval.Interval{{Lo: lo + eps, Hi: hi}, {Lo: lo, Hi: hi - eps}} {
+			s := interval.Relate(p2, q)
+			if s == r {
+				continue
+			}
+			if !interval.GrowPrimaryNeighbours(s).Has(r) {
+				t.Fatalf("shrinking primary %v → %v moved %v → %v, but grow-primary(%v) = %v misses %v",
+					p, p2, r, s, s, interval.GrowPrimaryNeighbours(s), r)
+			}
+		}
+		for _, q2 := range []interval.Interval{{Lo: q.Lo + eps, Hi: q.Hi}, {Lo: q.Lo, Hi: q.Hi - eps}} {
+			s := interval.Relate(p, q2)
+			if s == r {
+				continue
+			}
+			if !interval.GrowReferenceNeighbours(s).Has(r) {
+				t.Fatalf("shrinking reference %v → %v moved %v → %v, but grow-reference(%v) = %v misses %v",
+					q, q2, r, s, s, interval.GrowReferenceNeighbours(s), r)
+			}
+		}
+	}
+}
+
+// TestNeighbourhood2AgreesWithTable5 recomputes the Table 5 expansion
+// used by internal/experiments/table5.go — per-axis Neighbourhood2
+// products over the crisp Table 1 configurations — directly from the
+// interval primitives and checks mbr.CandidatesNonCrisp matches,
+// along with the paper's headline counts for equal.
+func TestNeighbourhood2AgreesWithTable5(t *testing.T) {
+	for _, rel := range topo.All() {
+		crisp := mbr.Candidates(rel)
+		var want mbr.ConfigSet
+		for _, c := range crisp.Configs() {
+			want = want.Union(mbr.ProductSet(interval.Neighbourhood2(c.X), interval.Neighbourhood2(c.Y)))
+		}
+		got := mbr.CandidatesNonCrisp(rel)
+		if !got.Equal(want) {
+			t.Errorf("%v: CandidatesNonCrisp has %d configs, interval-level recomputation has %d",
+				rel, got.Len(), want.Len())
+		}
+		if !crisp.SubsetOf(got) {
+			t.Errorf("%v: tolerant set does not contain the crisp set", rel)
+		}
+	}
+	// Table 5's equal row: 1 crisp configuration grows to 81 — the
+	// square of |Neighbourhood2(equal)| = 9.
+	if n := interval.Neighbourhood2(interval.Equal).Len(); n != 9 {
+		t.Errorf("Neighbourhood2(equal) has %d relations, want 9", n)
+	}
+	if n := mbr.CandidatesNonCrisp(topo.Equal).Len(); n != 81 {
+		t.Errorf("CandidatesNonCrisp(equal) has %d configs, want 81", n)
+	}
+	if n := mbr.Candidates(topo.Equal).Len(); n != 1 {
+		t.Errorf("Candidates(equal) has %d configs, want 1", n)
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"mbrtopo/internal/query"
 	"mbrtopo/internal/rtree"
 	"mbrtopo/internal/wal"
+	"mbrtopo/internal/watch"
 )
 
 // The durable state of an index named N in a data directory:
@@ -293,6 +294,7 @@ func (d *durable) apply(inst *Instance, op wal.Op, rect geom.Rect, oid uint64) e
 		d.mu.Unlock()
 		return err
 	}
+	inst.notifyWatch(op, rect, oid)
 	ticket := d.log.Reserve(wal.Record{Op: op, OID: oid, Rect: rect})
 	cpErr := d.afterReserveLocked(inst, 1)
 	d.mu.Unlock()
@@ -315,6 +317,13 @@ func (d *durable) applyBulk(inst *Instance, recs []rtree.Record) error {
 	if err := inst.Idx.InsertBatch(recs); err != nil {
 		d.mu.Unlock()
 		return err
+	}
+	if inst.watchActive() {
+		muts := make([]watch.Mutation, len(recs))
+		for i, r := range recs {
+			muts[i] = watch.Mutation{Op: watch.OpInsert, OID: r.OID, Rect: r.Rect}
+		}
+		inst.watch.Publish(muts...)
 	}
 	wrecs := make([]wal.Record, len(recs))
 	for i, r := range recs {

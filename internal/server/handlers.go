@@ -33,6 +33,18 @@ func writeJSONError(w http.ResponseWriter, code int, msg string) {
 	writeJSON(w, code, ErrorResponse{Error: msg})
 }
 
+// ndjsonHeaders sets the headers every NDJSON stream shares —
+// Content-Type plus Cache-Control: no-cache so intermediaries pass
+// lines through instead of buffering them — and returns the writer's
+// flusher (nil when the writer cannot flush). Streaming handlers flush
+// after every line for the same reason.
+func ndjsonHeaders(w http.ResponseWriter) http.Flusher {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-cache")
+	flusher, _ := w.(http.Flusher)
+	return flusher
+}
+
 // servingInstance resolves a request's index and gates on health: an
 // index whose recovery failed or that detected corruption answers 503
 // on its routes instead of serving garbage (or crashing the process).
@@ -94,8 +106,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		defer cancel()
 	}
 
-	w.Header().Set("Content-Type", "application/x-ndjson")
-	flusher, _ := w.(http.Flusher)
+	flusher := ndjsonHeaders(w)
 	enc := json.NewEncoder(w)
 	var writeErr error
 	stats, err := inst.ReadProc().Stream(ctx, rels, ref, req.Limit, func(m query.Match) bool {
@@ -120,6 +131,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		s.noteCorrupt(inst, err)
 		_ = enc.Encode(QueryLine{Error: err.Error()})
+		if flusher != nil {
+			flusher.Flush()
+		}
 		return
 	}
 	ws := StatsToWire(stats)
@@ -172,8 +186,7 @@ func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
 	s.metrics.joinInFlight.Add(1)
 	defer s.metrics.joinInFlight.Add(-1)
 
-	w.Header().Set("Content-Type", "application/x-ndjson")
-	flusher, _ := w.(http.Flusher)
+	flusher := ndjsonHeaders(w)
 	enc := json.NewEncoder(w)
 	start := time.Now()
 	pairs := 0
@@ -211,6 +224,9 @@ func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
 			ri.MarkUnhealthy(reason)
 		}
 		_ = enc.Encode(JoinLine{Error: err.Error()})
+		if flusher != nil {
+			flusher.Flush()
+		}
 		return
 	}
 	ws := JoinWireStats{Pairs: pairs, NodeAccesses: stats.NodeAccesses}
@@ -256,6 +272,9 @@ func (s *Server) handleKNN(w http.ResponseWriter, r *http.Request) {
 	for i, nb := range nn {
 		resp.Neighbours[i] = KNNNeighbour{OID: nb.OID, Rect: RectToWire(nb.Rect), Dist: nb.Dist}
 	}
+	// Answers depend on live index state; intermediaries must not
+	// serve them stale.
+	w.Header().Set("Cache-Control", "no-cache")
 	writeJSON(w, http.StatusOK, resp)
 }
 

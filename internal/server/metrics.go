@@ -48,6 +48,13 @@ type Metrics struct {
 	walReplays       atomic.Uint64
 	checkpoints      atomic.Uint64
 
+	// Watch counters: streams currently open, streams shed because the
+	// dedicated slot pool was full, and the commit-to-notification
+	// latency distribution of the subscription notifiers.
+	watchStreams  atomic.Int64
+	watchRejected atomic.Uint64
+	watchLatency  histogram
+
 	mu        sync.Mutex
 	endpoints map[string]*endpointMetrics
 
@@ -62,6 +69,9 @@ type Metrics struct {
 	// walStats surfaces per-index WAL group-commit counters the same
 	// way.
 	walStats func() []WALStat
+	// watchStats surfaces per-index subscription-table counters the
+	// same way.
+	watchStats func() []WatchStat
 }
 
 // PoolStat is one index's buffer-pool counters for /metrics.
@@ -89,6 +99,18 @@ type WALStat struct {
 	Records    uint64
 	MaxBatch   uint64
 	CommitTime time.Duration
+}
+
+// WatchStat is one index's subscription-table counters for /metrics.
+type WatchStat struct {
+	Index         string
+	Subscriptions int
+	Evaluated     uint64
+	Skipped       uint64
+	Pruned        uint64
+	Events        uint64
+	Dropped       uint64
+	Batches       uint64
 }
 
 // endpointMetrics is one endpoint's request counters and latency
@@ -329,6 +351,23 @@ func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
 		fmt.Fprintf(cw, "topod_join_duration_seconds_sum %g\n", time.Duration(h.sumNanos.Load()).Seconds())
 		fmt.Fprintf(cw, "topod_join_duration_seconds_count %d\n", h.count.Load())
 	}
+	gauge("topod_watch_streams", "Watch streams currently open.", m.watchStreams.Load())
+	counter("topod_watch_rejected_total", "Watch requests shed because the watch slot pool was full (429).", m.watchRejected.Load())
+	fmt.Fprintf(cw, "# HELP topod_watch_notify_duration_seconds Commit-to-notification latency of watch evaluation batches.\n")
+	fmt.Fprintf(cw, "# TYPE topod_watch_notify_duration_seconds histogram\n")
+	{
+		h := &m.watchLatency
+		var cum uint64
+		for i, le := range latencyBuckets {
+			cum += h.counts[i].Load()
+			fmt.Fprintf(cw, "topod_watch_notify_duration_seconds_bucket{le=%q} %d\n",
+				strconv.FormatFloat(le, 'g', -1, 64), cum)
+		}
+		cum += h.counts[len(latencyBuckets)].Load()
+		fmt.Fprintf(cw, "topod_watch_notify_duration_seconds_bucket{le=\"+Inf\"} %d\n", cum)
+		fmt.Fprintf(cw, "topod_watch_notify_duration_seconds_sum %g\n", time.Duration(h.sumNanos.Load()).Seconds())
+		fmt.Fprintf(cw, "topod_watch_notify_duration_seconds_count %d\n", h.count.Load())
+	}
 	counter("topod_checksum_failures_total", "Pages that failed their CRC32-C check (scrub or serving).", m.checksumFailures.Load())
 	counter("topod_wal_records_total", "Mutations appended to the write-ahead logs by this process.", m.walRecords.Load())
 	counter("topod_wal_replays_total", "WAL records replayed during crash recovery.", m.walReplays.Load())
@@ -376,6 +415,47 @@ func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
 			fmt.Fprintf(cw, "# TYPE topod_wal_commit_seconds_total counter\n")
 			for _, ws := range stats {
 				fmt.Fprintf(cw, "topod_wal_commit_seconds_total{index=%q} %g\n", ws.Index, ws.CommitTime.Seconds())
+			}
+		}
+	}
+
+	if m.watchStats != nil {
+		stats := m.watchStats()
+		if len(stats) > 0 {
+			fmt.Fprintf(cw, "# HELP topod_watch_subscriptions Live watch subscriptions, by index.\n")
+			fmt.Fprintf(cw, "# TYPE topod_watch_subscriptions gauge\n")
+			for _, ws := range stats {
+				fmt.Fprintf(cw, "topod_watch_subscriptions{index=%q} %d\n", ws.Index, ws.Subscriptions)
+			}
+			fmt.Fprintf(cw, "# HELP topod_watch_evaluated_total Subscription evaluations actually performed by the notifier.\n")
+			fmt.Fprintf(cw, "# TYPE topod_watch_evaluated_total counter\n")
+			for _, ws := range stats {
+				fmt.Fprintf(cw, "topod_watch_evaluated_total{index=%q} %d\n", ws.Index, ws.Evaluated)
+			}
+			fmt.Fprintf(cw, "# HELP topod_watch_skipped_total Subscription evaluations skipped by the conceptual-neighbourhood filter.\n")
+			fmt.Fprintf(cw, "# TYPE topod_watch_skipped_total counter\n")
+			for _, ws := range stats {
+				fmt.Fprintf(cw, "topod_watch_skipped_total{index=%q} %d\n", ws.Index, ws.Skipped)
+			}
+			fmt.Fprintf(cw, "# HELP topod_watch_pruned_total Subscriptions never considered because the subscription R-tree pruned them.\n")
+			fmt.Fprintf(cw, "# TYPE topod_watch_pruned_total counter\n")
+			for _, ws := range stats {
+				fmt.Fprintf(cw, "topod_watch_pruned_total{index=%q} %d\n", ws.Index, ws.Pruned)
+			}
+			fmt.Fprintf(cw, "# HELP topod_watch_events_total Events delivered to watch subscribers.\n")
+			fmt.Fprintf(cw, "# TYPE topod_watch_events_total counter\n")
+			for _, ws := range stats {
+				fmt.Fprintf(cw, "topod_watch_events_total{index=%q} %d\n", ws.Index, ws.Events)
+			}
+			fmt.Fprintf(cw, "# HELP topod_watch_dropped_total Events lost terminating lagging subscribers.\n")
+			fmt.Fprintf(cw, "# TYPE topod_watch_dropped_total counter\n")
+			for _, ws := range stats {
+				fmt.Fprintf(cw, "topod_watch_dropped_total{index=%q} %d\n", ws.Index, ws.Dropped)
+			}
+			fmt.Fprintf(cw, "# HELP topod_watch_batches_total Commit batches evaluated by the watch notifier.\n")
+			fmt.Fprintf(cw, "# TYPE topod_watch_batches_total counter\n")
+			for _, ws := range stats {
+				fmt.Fprintf(cw, "topod_watch_batches_total{index=%q} %d\n", ws.Index, ws.Batches)
 			}
 		}
 	}

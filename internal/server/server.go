@@ -19,6 +19,9 @@
 //	                  atomically (STR-packed when the tree is empty) and
 //	                  logged as one WAL group commit
 //	GET  /v1/indexes  the loaded indexes (kind, size, height, bounds)
+//	POST /v1/watch    continuous query: a long-lived NDJSON stream of
+//	                  enter/exit/change events for a region + relation
+//	                  set, driven by the conceptual neighbourhood graph
 //	GET  /metrics     Prometheus text exposition
 //	GET  /healthz     process liveness (always 200 while serving)
 //	GET  /readyz      readiness: 200 only when every index recovered
@@ -29,6 +32,8 @@
 // are rejected immediately with 429 and a Retry-After header, so a
 // saturated server sheds load instead of queueing unboundedly.
 // /metrics bypasses admission so observability survives saturation.
+// /v1/watch draws from its own Config.MaxWatch slot pool instead of
+// the shared semaphore: long-lived streams never starve queries.
 package server
 
 import (
@@ -45,6 +50,7 @@ import (
 	"mbrtopo/internal/query"
 	"mbrtopo/internal/rtree"
 	"mbrtopo/internal/wal"
+	"mbrtopo/internal/watch"
 )
 
 // Config tunes the service. The zero value is usable: defaults are
@@ -61,6 +67,10 @@ type Config struct {
 	DefaultTimeout time.Duration
 	// MaxTimeout caps client-requested deadlines (default 60s).
 	MaxTimeout time.Duration
+	// MaxWatch bounds concurrently open /v1/watch streams (default
+	// 256). Watch streams are long-lived, so they are admitted from
+	// this dedicated pool rather than the MaxInFlight semaphore.
+	MaxWatch int
 }
 
 // IndexSpec describes one named index to serve.
@@ -152,6 +162,12 @@ type Instance struct {
 	unhealthy  atomic.Bool
 	mu         sync.Mutex // guards failReason
 	failReason string
+
+	// watch is the instance's continuous-query subscription table.
+	// wmu serialises non-durable mutations with watch activation and
+	// publication (durable instances reuse dur.mu for this).
+	watch *watch.Table
+	wmu   sync.Mutex
 }
 
 // Backend reports which boot path produced the instance's first read
@@ -221,7 +237,13 @@ func (inst *Instance) Insert(r geom.Rect, oid uint64) error {
 	if inst.dur != nil {
 		return inst.dur.apply(inst, wal.OpInsert, r, oid)
 	}
-	return inst.Idx.Insert(r, oid)
+	inst.wmu.Lock()
+	defer inst.wmu.Unlock()
+	if err := inst.Idx.Insert(r, oid); err != nil {
+		return err
+	}
+	inst.notifyWatch(wal.OpInsert, r, oid)
+	return nil
 }
 
 // Delete removes one rectangle/id entry, logging it to the WAL when
@@ -230,7 +252,13 @@ func (inst *Instance) Delete(r geom.Rect, oid uint64) error {
 	if inst.dur != nil {
 		return inst.dur.apply(inst, wal.OpDelete, r, oid)
 	}
-	return inst.Idx.Delete(r, oid)
+	inst.wmu.Lock()
+	defer inst.wmu.Unlock()
+	if err := inst.Idx.Delete(r, oid); err != nil {
+		return err
+	}
+	inst.notifyWatch(wal.OpDelete, r, oid)
+	return nil
 }
 
 // InsertBatch stores a batch of rectangles as one index mutation —
@@ -241,7 +269,19 @@ func (inst *Instance) InsertBatch(recs []rtree.Record) error {
 	if inst.dur != nil {
 		return inst.dur.applyBulk(inst, recs)
 	}
-	return inst.Idx.InsertBatch(recs)
+	inst.wmu.Lock()
+	defer inst.wmu.Unlock()
+	if err := inst.Idx.InsertBatch(recs); err != nil {
+		return err
+	}
+	if inst.watchActive() {
+		muts := make([]watch.Mutation, len(recs))
+		for i, rec := range recs {
+			muts[i] = watch.Mutation{Op: watch.OpInsert, OID: rec.OID, Rect: rec.Rect}
+		}
+		inst.watch.Publish(muts...)
+	}
+	return nil
 }
 
 // Server routes the wire API onto a set of named indexes.
@@ -253,6 +293,9 @@ type Server struct {
 	mu          sync.RWMutex
 	instances   map[string]*Instance
 	defaultName string
+
+	// watchSlots is the dedicated admission pool for /v1/watch streams.
+	watchSlots chan struct{}
 }
 
 // New creates a server with no indexes loaded.
@@ -266,17 +309,22 @@ func New(cfg Config) *Server {
 	if cfg.MaxTimeout <= 0 {
 		cfg.MaxTimeout = 60 * time.Second
 	}
+	if cfg.MaxWatch <= 0 {
+		cfg.MaxWatch = 256
+	}
 	m := NewMetrics()
 	s := &Server{
-		cfg:       cfg,
-		metrics:   m,
-		adm:       newAdmission(cfg.MaxInFlight, cfg.RetryAfter, m),
-		instances: make(map[string]*Instance),
+		cfg:        cfg,
+		metrics:    m,
+		adm:        newAdmission(cfg.MaxInFlight, cfg.RetryAfter, m),
+		instances:  make(map[string]*Instance),
+		watchSlots: make(chan struct{}, cfg.MaxWatch),
 	}
 	m.poolStats = s.poolStats
 	m.healthStats = s.healthStats
 	m.walStats = s.walStats
 	m.backendStats = s.backendStats
+	m.watchStats = s.watchStats
 	return s
 }
 
@@ -406,6 +454,7 @@ func (s *Server) AddIndex(spec IndexSpec, items []index.Item) (*Instance, error)
 	if inst.backend == "" {
 		inst.backend = "paged"
 	}
+	inst.watch = s.newWatchTable(inst)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, dup := s.instances[spec.Name]; dup {
@@ -424,6 +473,9 @@ func (s *Server) AddIndex(spec IndexSpec, items []index.Item) (*Instance, error)
 func (s *Server) Close() error {
 	var firstErr error
 	for _, inst := range s.listInstances() {
+		if inst.watch != nil {
+			inst.watch.Close("closed")
+		}
 		if err := inst.Close(); err != nil && firstErr == nil {
 			firstErr = fmt.Errorf("server: closing index %q: %w", inst.Name, err)
 		}
@@ -471,6 +523,10 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("POST /v1/delete", v1("delete", s.handleDelete))
 	mux.Handle("POST /v1/bulk", v1("bulk", s.handleBulk))
 	mux.Handle("GET /v1/indexes", v1("indexes", s.handleIndexes))
+	// Watch streams are long-lived, so they are admitted from their own
+	// bounded slot pool (inside handleWatch) instead of the shared
+	// semaphore — a full house of subscribers cannot starve queries.
+	mux.Handle("POST /v1/watch", s.metrics.instrument("watch", http.HandlerFunc(s.handleWatch)))
 	// Observability and health bypass admission control so probes and
 	// scrapes survive saturation.
 	mux.Handle("GET /metrics", s.metrics.instrument("metrics", http.HandlerFunc(s.handleMetrics)))

@@ -119,6 +119,52 @@ type BulkResponse struct {
 	TookMS   int64 `json:"took_ms"`
 }
 
+// WatchRequest is the body of POST /v1/watch — the same region +
+// relation-set shape as /v1/query, registered as a continuous query.
+type WatchRequest struct {
+	// Index names the target index; empty selects the default.
+	Index string `json:"index,omitempty"`
+	// Relations is the disjunctive relation set, with the same aliases
+	// as /v1/query.
+	Relations []string `json:"relations"`
+	// Ref is the reference MBR the subscription watches.
+	Ref []float64 `json:"ref"`
+	// Buffer, when positive, sizes the per-subscription event buffer; a
+	// subscriber that falls this many events behind is terminated with
+	// a lag End line rather than stalling the notifier.
+	Buffer int `json:"buffer,omitempty"`
+	// TimeoutMS, when positive, closes the stream after this long. The
+	// server's default/maximum request deadlines do not apply to watch
+	// streams.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// WatchInfo is the opening line of a /v1/watch stream: the
+// subscription's identity and the commit generation it starts at
+// (events report strictly greater generations).
+type WatchInfo struct {
+	ID         uint64 `json:"id"`
+	Index      string `json:"index"`
+	Generation uint64 `json:"generation"`
+}
+
+// WatchLine is one NDJSON line of a /v1/watch stream. The first line
+// carries Watch; event lines carry Event ("enter", "exit", "change")
+// with OID/Rect/Gen and the old/new MBR-level relation where defined;
+// the terminal line carries End (e.g. "drain") when the server closes
+// the subscription.
+type WatchLine struct {
+	Watch *WatchInfo  `json:"watch,omitempty"`
+	Event string      `json:"event,omitempty"`
+	OID   *uint64     `json:"oid,omitempty"`
+	Rect  *[4]float64 `json:"rect,omitempty"`
+	Old   string      `json:"old,omitempty"`
+	New   string      `json:"new,omitempty"`
+	Gen   *uint64     `json:"generation,omitempty"`
+	End   string      `json:"end,omitempty"`
+	Error string      `json:"error,omitempty"`
+}
+
 // KNNNeighbour is one nearest-neighbour answer.
 type KNNNeighbour struct {
 	OID  uint64     `json:"oid"`

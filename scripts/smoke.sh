@@ -11,7 +11,10 @@
 # fifth leg checkpoints a durable topod, kill -9s it, and asserts the
 # restart instant-boots from the flat snapshot (backend=flat) with the
 # same answers — then corrupts the flat file and asserts the next boot
-# falls back cleanly to paged recovery.
+# falls back cleanly to paged recovery. A sixth leg subscribes
+# topoquery -watch to a durable topod, mutates through /v1/insert and
+# /v1/bulk, asserts the enter/exit event sequence arrives, and checks
+# SIGTERM ends the stream with a terminal drain line.
 set -euo pipefail
 
 TOPOD="${1:?usage: smoke.sh path/to/topod path/to/topoquery path/to/datagen}"
@@ -25,12 +28,16 @@ cleanup() {
   kill -9 "$PID3" 2>/dev/null || true
   kill -9 "$PID4" 2>/dev/null || true
   kill -9 "$PID5" 2>/dev/null || true
+  kill -9 "$PID6" 2>/dev/null || true
   kill -9 "$CURLPID" 2>/dev/null || true
-  rm -rf "$LOG" "$LOG2" "$LOG3" "$LOG4" "$LOG5" "$LOG6" "$LOG7" "$LOG8" "$LOG9" "$BULK" \
-    "$LEFT" "$RIGHT" "$HDRS" "$DATADIR" "$DATADIR2" "$DATADIR3" 2>/dev/null || true
+  kill -9 "$WATCHPID" 2>/dev/null || true
+  rm -rf "$LOG" "$LOG2" "$LOG3" "$LOG4" "$LOG5" "$LOG6" "$LOG7" "$LOG8" "$LOG9" \
+    "$LOG10" "$WLOG" "$BULK" "$WBULK" "$LEFT" "$RIGHT" "$HDRS" \
+    "$DATADIR" "$DATADIR2" "$DATADIR3" "$DATADIR4" 2>/dev/null || true
 }
-PID="" PID2="" PID3="" PID4="" PID5="" CURLPID="" LOG2="" LOG3="" LOG4="" LOG5="" LOG6=""
-LOG7="" LOG8="" LOG9="" BULK="" LEFT="" RIGHT="" HDRS="" DATADIR2="" DATADIR3=""
+PID="" PID2="" PID3="" PID4="" PID5="" PID6="" CURLPID="" WATCHPID="" LOG2="" LOG3=""
+LOG4="" LOG5="" LOG6="" LOG7="" LOG8="" LOG9="" LOG10="" WLOG="" BULK="" WBULK=""
+LEFT="" RIGHT="" HDRS="" DATADIR2="" DATADIR3="" DATADIR4=""
 
 # wait_listen LOGFILE: echo the address once the daemon logs it.
 wait_listen() {
@@ -38,6 +45,16 @@ wait_listen() {
   for _ in $(seq 1 100); do
     addr="$(sed -n 's/^topod: listening on //p' "$1" | head -1)"
     [ -n "$addr" ] && { echo "$addr"; return 0; }
+    sleep 0.1
+  done
+  return 1
+}
+
+# wait_line FILE PATTERN: poll until a line matching the pattern
+# appears in the file (events arrive asynchronously after the commit).
+wait_line() {
+  for _ in $(seq 1 100); do
+    grep -q "$2" "$1" 2>/dev/null && return 0
     sleep 0.1
   done
   return 1
@@ -347,7 +364,8 @@ grep -q '^topod: backend=flat ' "$LOG8" \
 FLATCOUNT="$(curl -sf -d "$FLATQ" "$BASE5/v1/query" | grep -c '"oid"')"
 [ "$FLATCOUNT" = "$BASELINE" ] \
   || { echo "smoke: flat boot answered $FLATCOUNT matches, want $BASELINE" >&2; exit 1; }
-curl -sf "$BASE5/metrics" | grep -q '^topod_index_backend{index="main",backend="flat"} 1' \
+MET5="$(curl -sf "$BASE5/metrics")"
+echo "$MET5" | grep -q '^topod_index_backend{index="main",backend="flat"} 1' \
   || { echo "smoke: /metrics missing the flat backend gauge" >&2; exit 1; }
 kill -9 "$PID5"
 wait "$PID5" 2>/dev/null || true
@@ -383,3 +401,89 @@ if ! wait "$PID5"; then
 fi
 
 echo "smoke OK: flat instant boot after kill -9 + clean fallback on corruption"
+
+# ---- watch leg: topoquery -watch streams live events from a durable
+# topod; single inserts, a bulk batch, and a delete must each arrive,
+# and SIGTERM must end the stream with a terminal drain line ----
+
+LOG10="$(mktemp)"
+WLOG="$(mktemp)"
+DATADIR4="$(mktemp -d)"
+"$TOPOD" -gen 200 -tree rtree -data-dir "$DATADIR4" -fsync always \
+  -addr 127.0.0.1:0 >"$LOG10" 2>&1 &
+PID6=$!
+
+ADDR6="$(wait_listen "$LOG10")" || {
+  echo "smoke: watch-leg topod never started listening" >&2
+  cat "$LOG10" >&2
+  exit 1
+}
+BASE6="http://$ADDR6"
+wait_ready "$BASE6" || { echo "smoke: watch-leg topod never became ready" >&2; exit 1; }
+
+# Subscribe far away from the generated data so the leg's events are
+# exactly the mutations below.
+"$TOPOQUERY" -watch "$BASE6" -rel not_disjoint -ref 30000,30000,30100,30100 \
+  >"$WLOG" 2>&1 &
+WATCHPID=$!
+wait_line "$WLOG" 'watching index' || {
+  echo "smoke: topoquery -watch never confirmed the subscription" >&2
+  cat "$WLOG" >&2
+  exit 1
+}
+
+# Single insert inside the watched region → enter event.
+ACK6="$(curl -sf -d '{"oid":910001,"rect":[30010,30010,30020,30020]}' "$BASE6/v1/insert")"
+echo "$ACK6" | grep -q '"ok":true' \
+  || { echo "smoke: watch-leg insert failed: $ACK6" >&2; exit 1; }
+wait_line "$WLOG" 'enter .*oid 910001 ' || {
+  echo "smoke: enter event for single insert never arrived" >&2
+  cat "$WLOG" >&2
+  exit 1
+}
+
+# Bulk batch (one group-committed WAL append) → one enter per line.
+WBULK="$(mktemp)"
+printf '%s\n' \
+  '{"oid":910002,"rect":[30030,30030,30040,30040]}' \
+  '{"oid":910003,"rect":[30050,30050,30060,30060]}' >"$WBULK"
+BACK6="$(curl -sf --data-binary @"$WBULK" "$BASE6/v1/bulk?index=main")"
+echo "$BACK6" | grep -q '"inserted":2' \
+  || { echo "smoke: watch-leg bulk failed: $BACK6" >&2; exit 1; }
+wait_line "$WLOG" 'enter .*oid 910002 ' && wait_line "$WLOG" 'enter .*oid 910003 ' || {
+  echo "smoke: enter events for the bulk batch never arrived" >&2
+  cat "$WLOG" >&2
+  exit 1
+}
+
+# Delete → exit event.
+DACK6="$(curl -sf -d '{"oid":910001,"rect":[30010,30010,30020,30020]}' "$BASE6/v1/delete")"
+echo "$DACK6" | grep -q '"ok":true' \
+  || { echo "smoke: watch-leg delete failed: $DACK6" >&2; exit 1; }
+wait_line "$WLOG" 'exit .*oid 910001 ' || {
+  echo "smoke: exit event for the delete never arrived" >&2
+  cat "$WLOG" >&2
+  exit 1
+}
+
+MET6="$(curl -sf "$BASE6/metrics")"
+echo "$MET6" | grep -q '^topod_watch_streams 1' \
+  || { echo "smoke: /metrics missing the live watch-stream gauge" >&2; exit 1; }
+
+# SIGTERM: the drain must end the stream with a terminal line and let
+# topoquery exit 0 — not leave it hanging on a dead socket.
+kill -TERM "$PID6"
+if ! wait "$PID6"; then
+  echo "smoke: watch-leg topod exited non-zero on SIGTERM" >&2
+  cat "$LOG10" >&2
+  exit 1
+fi
+if ! wait "$WATCHPID"; then
+  echo "smoke: topoquery -watch exited non-zero after server drain" >&2
+  cat "$WLOG" >&2
+  exit 1
+fi
+grep -q '^watch ended by server: drain$' "$WLOG" \
+  || { echo "smoke: terminal drain line missing from watch output" >&2; cat "$WLOG" >&2; exit 1; }
+
+echo "smoke OK: /v1/watch streamed insert/bulk/delete events + terminal drain line"

@@ -1,0 +1,134 @@
+package mbrtopo_test
+
+// Commit-to-notification latency of the /v1/watch subsystem: how long
+// after a mutation commits does a subscriber's event arrive. Covers
+// the in-memory write path and the durable (WAL-logged) one. `make
+// bench-watch` records the percentile series in BENCH_watch.json.
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+	"time"
+
+	"mbrtopo/internal/geom"
+	"mbrtopo/internal/index"
+	"mbrtopo/internal/server"
+	"mbrtopo/internal/topo"
+	"mbrtopo/internal/wal"
+)
+
+func runWatchNotifyBench(b *testing.B, durable bool) {
+	spec := server.IndexSpec{Name: "main", Kind: index.KindRTree}
+	if durable {
+		spec.Dir = b.TempDir()
+		spec.Fsync = wal.SyncNever
+	}
+	srv := server.New(server.Config{})
+	inst, err := srv.AddIndex(spec, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+
+	sub, err := inst.WatchSubscribe(geom.R(100, 100, 300, 300), topo.NotDisjoint, 1<<16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer inst.WatchUnsubscribe(sub)
+
+	lat := make([]time.Duration, 0, b.N)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x := 110 + float64(i%160)
+		r := geom.R(x, 150, x+20, 180)
+		oid := uint64(i + 1)
+		start := time.Now()
+		if err := inst.Insert(r, oid); err != nil {
+			b.Fatal(err)
+		}
+		if ev, ok := <-sub.Events(); !ok || ev.OID != oid {
+			b.Fatalf("expected enter for oid %d, got %+v (open %v)", oid, ev, ok)
+		}
+		lat = append(lat, time.Since(start))
+		if err := inst.Delete(r, oid); err != nil {
+			b.Fatal(err)
+		}
+		if ev, ok := <-sub.Events(); !ok || ev.OID != oid {
+			b.Fatalf("expected exit for oid %d, got %+v (open %v)", oid, ev, ok)
+		}
+	}
+	b.StopTimer()
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	pct := func(p float64) float64 {
+		i := int(p * float64(len(lat)-1))
+		return float64(lat[i].Nanoseconds())
+	}
+	b.ReportMetric(pct(0.50), "p50_ns")
+	b.ReportMetric(pct(0.95), "p95_ns")
+	b.ReportMetric(pct(0.99), "p99_ns")
+}
+
+// BenchmarkWatchNotify measures insert-commit → enter-event latency
+// for one subscriber, on the in-memory and durable write paths.
+func BenchmarkWatchNotify(b *testing.B) {
+	for _, tc := range []struct {
+		name    string
+		durable bool
+	}{{"mem", false}, {"durable", true}} {
+		b.Run(tc.name, func(b *testing.B) {
+			runWatchNotifyBench(b, tc.durable)
+		})
+	}
+}
+
+// BenchmarkWatchFanout measures one commit fanning out to many
+// subscriptions, most of which the subscription R-tree prunes or the
+// neighbourhood filter skips.
+func BenchmarkWatchFanout(b *testing.B) {
+	for _, nSubs := range []int{16, 128} {
+		b.Run(fmt.Sprintf("subs=%d", nSubs), func(b *testing.B) {
+			srv := server.New(server.Config{})
+			inst, err := srv.AddIndex(server.IndexSpec{Name: "main", Kind: index.KindRTree}, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer srv.Close()
+			// One subscriber watches the hot region; the rest watch
+			// disjoint cells far away (pruned by the subscription tree).
+			hot, err := inst.WatchSubscribe(geom.R(100, 100, 300, 300), topo.NotDisjoint, 1<<16)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer inst.WatchUnsubscribe(hot)
+			for s := 1; s < nSubs; s++ {
+				x := 1000 + float64(s)*50
+				cold, err := inst.WatchSubscribe(geom.R(x, 1000, x+40, 1040), topo.NotDisjoint, 16)
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer inst.WatchUnsubscribe(cold)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				x := 110 + float64(i%160)
+				r := geom.R(x, 150, x+20, 180)
+				oid := uint64(i + 1)
+				if err := inst.Insert(r, oid); err != nil {
+					b.Fatal(err)
+				}
+				<-hot.Events()
+				if err := inst.Delete(r, oid); err != nil {
+					b.Fatal(err)
+				}
+				<-hot.Events()
+			}
+			b.StopTimer()
+			c := inst.WatchCounters()
+			if b.N > 1 && c.Pruned == 0 && nSubs > 1 {
+				b.Fatalf("expected subscription-tree pruning, counters %+v", c)
+			}
+			b.ReportMetric(float64(c.Pruned)/float64(b.N), "pruned/op")
+		})
+	}
+}
