@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify race test bench bench-json bench-read bench-watch fmt smoke fuzz
+.PHONY: verify race test bench bench-json bench-read bench-watch bench-repl fmt smoke fuzz
 
 # Tier-1 gate: everything must build, vet clean, and pass.
 verify:
@@ -52,6 +52,15 @@ bench-read:
 bench-watch:
 	$(GO) test -run='^$$' -bench='BenchmarkWatchNotify|BenchmarkWatchFanout' -benchtime=$(BENCHTIME) . | $(GO) run ./cmd/benchjson > BENCH_watch.json
 	@cat BENCH_watch.json
+
+# Machine-readable perf snapshot of WAL-shipping replication:
+# primary-commit → replica-visible latency percentiles over a live
+# stream, and cold-follower catch-up throughput (snapshot bootstrap +
+# WAL tail replay), recorded in BENCH_repl.json. CI runs it with
+# BENCHTIME=1x as a smoke check.
+bench-repl:
+	$(GO) test -run='^$$' -bench='BenchmarkReplVisibility|BenchmarkReplCatchup' -benchtime=$(BENCHTIME) . | $(GO) run ./cmd/benchjson > BENCH_repl.json
+	@cat BENCH_repl.json
 
 # Service smoke test: boot topod, query it, scrape /metrics, assert a
 # clean SIGTERM drain, and check /v1/join pair counts against the

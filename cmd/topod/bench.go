@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"mbrtopo/internal/index"
+	"mbrtopo/internal/retry"
 	"mbrtopo/internal/server"
 	"mbrtopo/internal/workload"
 )
@@ -52,31 +53,10 @@ type clientResult struct {
 	err          error
 }
 
-// Backoff bounds for retries after a 429: exponential from
-// backoffBase, capped at backoffCap, with equal jitter, never below
-// the server's Retry-After.
-const (
-	backoffBase = 5 * time.Millisecond
-	backoffCap  = time.Second
-)
-
-// backoffDelay returns the sleep before retry number attempt (0-based):
-// capped exponential with equal jitter (half fixed, half random, so
-// synchronized clients spread out), floored at the Retry-After the
-// server advertised.
-func backoffDelay(attempt int, retryAfter time.Duration, rng *rand.Rand) time.Duration {
-	d := backoffCap
-	if attempt < 30 { // avoid shift overflow
-		if e := backoffBase << uint(attempt); e < backoffCap {
-			d = e
-		}
-	}
-	d = d/2 + time.Duration(rng.Int63n(int64(d/2)+1))
-	if d < retryAfter {
-		d = retryAfter
-	}
-	return d
-}
+// backoffPolicy is the 429 retry schedule: capped jittered exponential
+// backoff, floored at the server's Retry-After (internal/retry, which
+// this bench's backoff grew into).
+var backoffPolicy = retry.Policy{Base: retry.DefaultBase, Cap: retry.DefaultCap}
 
 // runBench drives concurrent clients against a topod instance and
 // reports throughput, latency percentiles, and the paper's cost
@@ -216,7 +196,7 @@ func driveClient(client *http.Client, base string, relations []string, limit int
 			}
 			if status == http.StatusTooManyRequests {
 				res.retries429++
-				d := backoffDelay(attempt, retryAfter, rng)
+				d := backoffPolicy.Delay(attempt, retryAfter, rng)
 				res.backoff += d
 				time.Sleep(d)
 				continue

@@ -4,6 +4,8 @@ import (
 	"math/rand"
 	"testing"
 	"time"
+
+	"mbrtopo/internal/retry"
 )
 
 func TestBackoffDelayGrowsAndCaps(t *testing.T) {
@@ -11,14 +13,14 @@ func TestBackoffDelayGrowsAndCaps(t *testing.T) {
 	for attempt := 0; attempt < 40; attempt++ {
 		// Expected envelope before the Retry-After floor: equal jitter
 		// around the capped exponential.
-		exp := backoffCap
+		exp := retry.DefaultCap
 		if attempt < 30 {
-			if e := backoffBase << uint(attempt); e < backoffCap {
+			if e := retry.DefaultBase << uint(attempt); e < retry.DefaultCap {
 				exp = e
 			}
 		}
 		for trial := 0; trial < 50; trial++ {
-			d := backoffDelay(attempt, 0, rng)
+			d := backoffPolicy.Delay(attempt, 0, rng)
 			if d < exp/2 || d > exp {
 				t.Fatalf("attempt %d: delay %v outside [%v, %v]", attempt, d, exp/2, exp)
 			}
@@ -30,13 +32,13 @@ func TestBackoffDelayHonoursRetryAfter(t *testing.T) {
 	rng := rand.New(rand.NewSource(2))
 	retryAfter := 2 * time.Second // above the cap: the floor must win
 	for attempt := 0; attempt < 10; attempt++ {
-		if d := backoffDelay(attempt, retryAfter, rng); d < retryAfter {
+		if d := backoffPolicy.Delay(attempt, retryAfter, rng); d < retryAfter {
 			t.Fatalf("attempt %d: delay %v below Retry-After %v", attempt, d, retryAfter)
 		}
 	}
 	// A small Retry-After must not shrink an already-larger backoff.
 	for trial := 0; trial < 50; trial++ {
-		if d := backoffDelay(10, time.Millisecond, rng); d < backoffCap/2 {
+		if d := backoffPolicy.Delay(10, time.Millisecond, rng); d < retry.DefaultCap/2 {
 			t.Fatalf("late attempt collapsed to %v under a tiny Retry-After", d)
 		}
 	}

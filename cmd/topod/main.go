@@ -42,6 +42,16 @@
 // backend is serving (backend=flat, backend=recovered, or the plain
 // build line for a fresh index).
 //
+// Read replicas: -follow streams the primary's flat snapshot plus a
+// live WAL tail over /v1/replicate into a local data directory. The
+// replica serves all read endpoints, 403s mutations (naming the
+// primary), and gates /readyz on replication lag (-max-lag,
+// -max-lag-records). POST /v1/promote or SIGUSR1 flips it to a
+// writable primary after the old one dies:
+//
+//	topod -addr :8081 -follow http://localhost:8080 -data-dir /var/lib/topod-replica
+//	curl -s -X POST localhost:8081/v1/promote
+//
 // Continuous queries: POST /v1/watch (same body shape as /v1/query)
 // streams enter/exit/change events as the index mutates, admitted from
 // a dedicated -maxwatch slot pool so subscribers never starve queries.
@@ -106,6 +116,10 @@ func main() {
 		ckptEvery  = flag.Int("checkpoint-every", server.DefaultCheckpointEvery, "snapshot checkpoint after this many logged mutations")
 		flat       = flag.Bool("flat", true, "with -data-dir: publish a flat read-only snapshot at every checkpoint and instant-boot from it when possible")
 
+		follow        = flag.String("follow", "", "run as a read replica of this primary base URL (requires -data-dir); POST /v1/promote or SIGUSR1 promotes")
+		maxLag        = flag.Duration("max-lag", 5*time.Second, "follower readiness gate: 503 on /readyz after this long without contact from the primary")
+		maxLagRecords = flag.Uint64("max-lag-records", 10000, "follower readiness gate: 503 on /readyz while more than this many records behind")
+
 		bench    = flag.Bool("bench", false, "run the load generator instead of serving")
 		clients  = flag.Int("clients", 8, "bench: concurrent client connections")
 		requests = flag.Int("requests", 200, "bench: total requests across all clients")
@@ -157,6 +171,9 @@ func main() {
 		Frames:   *frames,
 		Bulk:     *bulk,
 	}
+	if *follow != "" && *dataDir == "" {
+		fatal(fmt.Errorf("-follow requires -data-dir (the replica keeps its own snapshot + WAL)"))
+	}
 	if *dataDir != "" {
 		policy, err := wal.ParseSyncPolicy(*fsync)
 		if err != nil {
@@ -167,6 +184,7 @@ func main() {
 		spec.FsyncInterval = *fsyncEvery
 		spec.CheckpointEvery = *ckptEvery
 		spec.Flat = *flat
+		spec.Follower = *follow != ""
 	}
 
 	// With existing durable state the items are ignored: the index
@@ -187,6 +205,16 @@ func main() {
 	}
 	buildTime := time.Since(buildStart)
 	switch {
+	case *follow != "":
+		if err := srv.Follow(server.FollowConfig{
+			Primary:       *follow,
+			MaxLagRecords: *maxLagRecords,
+			MaxLagWall:    *maxLag,
+		}); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("topod: backend=follower index %q replicating from %s (max lag %s / %d records; POST /v1/promote or SIGUSR1 to promote)\n",
+			inst.Name, *follow, *maxLag, *maxLagRecords)
 	case !inst.Healthy():
 		fmt.Printf("topod: index %q UNHEALTHY (%s); serving 503 on its routes\n",
 			inst.Name, inst.FailReason())
@@ -240,6 +268,23 @@ func main() {
 		fatal(err)
 	}
 	fmt.Printf("topod: listening on %s\n", ln.Addr())
+
+	// SIGUSR1 promotes a follower to primary without an HTTP round
+	// trip — the orchestrator's failover path when the old primary is
+	// already dead.
+	if *follow != "" {
+		usr1 := make(chan os.Signal, 1)
+		signal.Notify(usr1, syscall.SIGUSR1)
+		go func() {
+			for range usr1 {
+				if err := srv.Promote(); err != nil {
+					fmt.Fprintln(os.Stderr, "topod: promote:", err)
+					continue
+				}
+				fmt.Println("topod: promoted to primary; accepting writes")
+			}
+		}()
+	}
 
 	httpSrv := &http.Server{Handler: srv.Handler()}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

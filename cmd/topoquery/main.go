@@ -19,21 +19,25 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"os"
 	"os/signal"
 	"strconv"
 	"strings"
 	"syscall"
+	"time"
 
 	"mbrtopo/internal/direction"
 	"mbrtopo/internal/geom"
 	"mbrtopo/internal/index"
 	"mbrtopo/internal/pagefile"
 	"mbrtopo/internal/query"
+	"mbrtopo/internal/retry"
 	"mbrtopo/internal/server"
 	"mbrtopo/internal/topo"
 	"mbrtopo/internal/workload"
@@ -249,10 +253,17 @@ func main() {
 	}
 }
 
+// errWatchFatal marks watch errors that reconnecting cannot fix (a
+// rejected request, e.g. an unknown index or bad relation set).
+var errWatchFatal = errors.New("not retryable")
+
 // runWatch subscribes to a running topod's /v1/watch and prints the
 // event stream: one line per enter/exit/change, until the user
 // interrupts (ctrl-C exits cleanly) or the server ends the stream with
-// a terminal drain line.
+// a terminal drain line. A cut stream — server restart, network blip,
+// failover to a promoted replica — is re-subscribed with the shared
+// capped jittered backoff; events that happened during the gap are
+// lost (each subscription starts at the index's current generation).
 func runWatch(base, indexName, relName, refSpec string, buffer int) error {
 	if refSpec == "" {
 		return fmt.Errorf("-watch needs -ref")
@@ -280,23 +291,61 @@ func runWatch(base, indexName, relName, refSpec string, buffer int) error {
 	if err != nil {
 		return err
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
-		strings.TrimRight(base, "/")+"/v1/watch", bytes.NewReader(body))
+	target := strings.TrimRight(base, "/") + "/v1/watch"
+	var policy retry.Policy
+	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+	for attempt := 0; ; attempt++ {
+		progressed, err := watchOnce(ctx, target, body)
+		if ctx.Err() != nil {
+			fmt.Println("watch interrupted")
+			return nil
+		}
+		if err == nil {
+			return nil
+		}
+		if errors.Is(err, errWatchFatal) {
+			return err
+		}
+		if progressed {
+			// The subscription worked before it broke: restart the
+			// backoff schedule.
+			attempt = 0
+		}
+		d := policy.Delay(attempt, 0, rng)
+		fmt.Fprintf(os.Stderr, "topoquery: %v; re-subscribing in %s\n", err, d.Round(time.Millisecond))
+		if retry.Sleep(ctx, d) != nil {
+			fmt.Println("watch interrupted")
+			return nil
+		}
+	}
+}
+
+// watchOnce runs one /v1/watch subscription to its end. A nil error is
+// a clean server-side end (terminal drain line); errWatchFatal wraps
+// rejections a retry cannot fix; any other error is transient.
+// progressed reports that the subscription was established, which
+// resets the caller's backoff.
+func watchOnce(ctx context.Context, target string, body []byte) (progressed bool, err error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, target, bytes.NewReader(body))
 	if err != nil {
-		return err
+		return false, fmt.Errorf("watch: %w: %w", err, errWatchFatal)
 	}
 	req.Header.Set("Content-Type", "application/json")
 	resp, err := http.DefaultClient.Do(req)
 	if err != nil {
-		if ctx.Err() != nil {
-			return nil
-		}
-		return err
+		return false, fmt.Errorf("watch: %w", err)
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
-		return fmt.Errorf("watch: %s: %s", resp.Status, strings.TrimSpace(string(msg)))
+		err := fmt.Errorf("watch: %s: %s", resp.Status, strings.TrimSpace(string(msg)))
+		if resp.StatusCode >= 400 && resp.StatusCode < 500 && resp.StatusCode != http.StatusTooManyRequests {
+			// The server understood the request and said no; asking
+			// again will not change its mind. Saturation (429/503) will
+			// pass, so those stay retryable.
+			err = fmt.Errorf("%w: %w", err, errWatchFatal)
+		}
+		return false, err
 	}
 
 	sc := bufio.NewScanner(resp.Body)
@@ -304,17 +353,18 @@ func runWatch(base, indexName, relName, refSpec string, buffer int) error {
 	for sc.Scan() {
 		var line server.WatchLine
 		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
-			return fmt.Errorf("watch: bad stream line %q: %w", sc.Text(), err)
+			return progressed, fmt.Errorf("watch: bad stream line %q: %w", sc.Text(), err)
 		}
 		switch {
 		case line.Watch != nil:
+			progressed = true
 			fmt.Printf("watching index %q (subscription %d, generation %d); ctrl-C to stop\n",
 				line.Watch.Index, line.Watch.ID, line.Watch.Generation)
 		case line.End != "":
 			fmt.Printf("watch ended by server: %s\n", line.End)
-			return nil
+			return progressed, nil
 		case line.Error != "":
-			return fmt.Errorf("watch: server error: %s", line.Error)
+			return progressed, fmt.Errorf("watch: server error: %s", line.Error)
 		case line.Event != "":
 			rel := line.New
 			if line.Event == "exit" {
@@ -330,14 +380,10 @@ func runWatch(base, indexName, relName, refSpec string, buffer int) error {
 				deref(line.Gen), line.Event, deref(line.OID), rel, r)
 		}
 	}
-	if ctx.Err() != nil {
-		fmt.Println("watch interrupted")
-		return nil
-	}
 	if err := sc.Err(); err != nil {
-		return fmt.Errorf("watch: stream cut: %w", err)
+		return progressed, fmt.Errorf("watch: stream cut: %w", err)
 	}
-	return fmt.Errorf("watch: stream closed without a terminal line")
+	return progressed, fmt.Errorf("watch: stream closed without a terminal line")
 }
 
 func deref(p *uint64) uint64 {

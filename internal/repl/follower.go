@@ -1,0 +1,408 @@
+package repl
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+	"time"
+
+	"mbrtopo/internal/retry"
+	"mbrtopo/internal/wal"
+)
+
+// Position is a point in a primary's WAL history: Gen is the
+// checkpoint generation, Seq counts records within it (1-based; Seq 0
+// means "generation just opened, nothing applied yet").
+type Position struct {
+	Gen uint64
+	Seq uint64
+}
+
+func (p Position) String() string { return fmt.Sprintf("%d/%d", p.Gen, p.Seq) }
+
+// ErrOutOfSync is returned by a Target when a record does not follow
+// its applied position. The follower reacts by dropping the stream and
+// reconnecting in bootstrap mode — it never applies out of order and
+// never re-applies.
+var ErrOutOfSync = errors.New("repl: record does not follow the applied position")
+
+// Target is the local application surface a Follower drives. All
+// methods are called from the follower's single Run goroutine.
+type Target interface {
+	// Position returns the last applied position and whether the
+	// target holds a bootstrapped dataset at all.
+	Position() (pos Position, bootstrapped bool)
+	// Bootstrap replaces the target's dataset with the snapshot read
+	// from snap (size bytes, flat format) and sets the applied
+	// position to pos. It must consume snap fully on success.
+	Bootstrap(pos Position, snap io.Reader, size int64) error
+	// Apply applies one record committing position pos. It must
+	// return ErrOutOfSync (wrapped or not) when pos is not the
+	// successor of the applied position.
+	Apply(pos Position, rec wal.Record) error
+	// Rotate moves the target into generation newGen (the primary
+	// checkpointed), which must be the successor of the applied
+	// generation; the applied position becomes {newGen, 0}.
+	Rotate(newGen uint64) error
+}
+
+// Config parameterises a Follower.
+type Config struct {
+	// Primary is the primary's base URL (e.g. "http://10.0.0.1:8080").
+	Primary string
+	// Index is the index name to replicate.
+	Index string
+	// Target receives the replicated state.
+	Target Target
+	// Client issues the stream requests; it must not set a Timeout
+	// (the stream is long-lived). Defaults to a dedicated client.
+	Client *http.Client
+	// Backoff is the reconnect schedule (zero value = retry defaults).
+	Backoff retry.Policy
+	// StallTimeout drops a stream that delivers no frame for this
+	// long; the primary heartbeats well inside it (default 3s).
+	StallTimeout time.Duration
+	// Seed seeds the backoff jitter (0 = fixed default seed; the
+	// schedule is jittered either way).
+	Seed int64
+}
+
+// Status is a snapshot of a follower's replication state.
+type Status struct {
+	// Connected reports a live stream (hello received, no error yet).
+	Connected bool
+	// Bootstrapped reports whether the target holds a dataset.
+	Bootstrapped bool
+	// Applied is the last locally applied position.
+	Applied Position
+	// Primary is the primary's position as last advertised (records,
+	// heartbeats, hello).
+	Primary Position
+	// LagRecords is the record count between Applied and Primary.
+	LagRecords uint64
+	// LastContact is when the last frame arrived.
+	LastContact time.Time
+	// Reconnects counts stream re-establishment attempts after the
+	// first connection.
+	Reconnects uint64
+	// Snapshots counts bootstrap snapshot transfers.
+	Snapshots uint64
+	// Records counts applied record frames.
+	Records uint64
+	// Bytes counts stream bytes received.
+	Bytes uint64
+}
+
+// Follower replicates one index from a primary: it connects to
+// /v1/replicate, bootstraps from the streamed snapshot when it cannot
+// resume, applies the record tail through its Target, and reconnects
+// with capped jittered exponential backoff on any stream error,
+// resuming from the last applied position.
+type Follower struct {
+	cfg Config
+	rng *rand.Rand
+
+	mu             sync.Mutex
+	connected      bool
+	applied        Position
+	bootstrapped   bool
+	primary        Position
+	lastContact    time.Time
+	reconnects     uint64
+	snapshots      uint64
+	records        uint64
+	bytes          uint64
+	forceBootstrap bool
+	lastErr        error
+}
+
+// NewFollower builds a follower; call Run to start replicating.
+func NewFollower(cfg Config) *Follower {
+	if cfg.Client == nil {
+		cfg.Client = &http.Client{}
+	}
+	if cfg.StallTimeout <= 0 {
+		cfg.StallTimeout = 3 * time.Second
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	f := &Follower{cfg: cfg, rng: rand.New(rand.NewSource(seed))}
+	if pos, ok := cfg.Target.Position(); ok {
+		f.applied, f.bootstrapped = pos, true
+	}
+	return f
+}
+
+// Run replicates until ctx is cancelled; it returns ctx.Err(). Stream
+// errors are absorbed: the follower backs off and reconnects, resuming
+// from the last applied position (or re-bootstrapping when the
+// primary's history no longer contains it).
+func (f *Follower) Run(ctx context.Context) error {
+	for attempt := 0; ; attempt++ {
+		progressed, err := f.streamOnce(ctx)
+		f.mu.Lock()
+		f.connected = false
+		f.lastErr = err
+		f.reconnects++
+		f.mu.Unlock()
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		if progressed {
+			// The link worked: restart the backoff schedule.
+			attempt = 0
+		}
+		if err := retry.Sleep(ctx, f.cfg.Backoff.Delay(attempt, 0, f.rng)); err != nil {
+			return ctx.Err()
+		}
+	}
+}
+
+// Status returns the follower's current replication state.
+func (f *Follower) Status() Status {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return Status{
+		Connected:    f.connected,
+		Bootstrapped: f.bootstrapped,
+		Applied:      f.applied,
+		Primary:      f.primary,
+		LagRecords:   lagRecords(f.applied, f.primary),
+		LastContact:  f.lastContact,
+		Reconnects:   f.reconnects,
+		Snapshots:    f.snapshots,
+		Records:      f.records,
+		Bytes:        f.bytes,
+	}
+}
+
+// lagRecords counts records between applied and the primary's
+// advertised position. Across a generation boundary the exact count is
+// unknowable from positions alone; the primary-side sequence is a
+// lower bound, and +1 keeps a pending rotation from reading as "caught
+// up".
+func lagRecords(applied, primary Position) uint64 {
+	switch {
+	case primary.Gen == applied.Gen:
+		if primary.Seq > applied.Seq {
+			return primary.Seq - applied.Seq
+		}
+		return 0
+	case primary.Gen > applied.Gen:
+		return primary.Seq + 1
+	}
+	return 0
+}
+
+// countingReader counts stream bytes into the follower's tally.
+type countingReader struct {
+	r io.Reader
+	f *Follower
+}
+
+func (c countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	if n > 0 {
+		c.f.mu.Lock()
+		c.f.bytes += uint64(n)
+		c.f.mu.Unlock()
+	}
+	return n, err
+}
+
+// streamOnce runs one replication stream to completion (always an
+// error — streams only end by breaking). progressed reports whether
+// any frame was processed, which resets the reconnect backoff.
+func (f *Follower) streamOnce(ctx context.Context) (progressed bool, err error) {
+	sctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	target := strings.TrimSuffix(f.cfg.Primary, "/") + "/v1/replicate?index=" + url.QueryEscape(f.cfg.Index)
+	f.mu.Lock()
+	force := f.forceBootstrap
+	f.mu.Unlock()
+	pos, booted := f.cfg.Target.Position()
+	if booted && !force {
+		target += fmt.Sprintf("&gen=%d&seq=%d", pos.Gen, pos.Seq)
+	}
+	req, err := http.NewRequestWithContext(sctx, http.MethodGet, target, nil)
+	if err != nil {
+		return false, err
+	}
+	// Progress watchdog: a stream that stops delivering frames (stalled
+	// link, silent primary) is cancelled, which unblocks the pending
+	// read. Armed before the request so a primary that accepts the
+	// connection but never answers — a stall inside the response header
+	// — trips it too. The primary heartbeats well inside StallTimeout,
+	// so an idle-but-healthy stream never trips it.
+	dog := time.AfterFunc(f.cfg.StallTimeout, cancel)
+	defer dog.Stop()
+
+	resp, err := f.cfg.Client.Do(req)
+	if err != nil {
+		return false, err
+	}
+	defer resp.Body.Close()
+	dog.Reset(f.cfg.StallTimeout)
+	if resp.StatusCode != http.StatusOK {
+		_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		return false, fmt.Errorf("repl: primary returned HTTP %d", resp.StatusCode)
+	}
+
+	fr := NewFrameReader(countingReader{r: resp.Body, f: f})
+	read := func() (FrameType, []byte, error) {
+		typ, p, err := fr.ReadFrame()
+		if err == nil {
+			dog.Reset(f.cfg.StallTimeout)
+			f.mu.Lock()
+			f.lastContact = time.Now()
+			f.mu.Unlock()
+		}
+		return typ, p, err
+	}
+
+	typ, payload, err := read()
+	if err != nil {
+		return false, err
+	}
+	if typ != FrameHello {
+		return false, fmt.Errorf("repl: stream opened with %s, want hello", typ)
+	}
+	hello, err := DecodeHello(payload)
+	if err != nil {
+		return false, err
+	}
+	start := Position{Gen: hello.Gen, Seq: hello.Seq}
+	if hello.Bootstrap {
+		snap := &snapshotReader{read: read, fr: fr, remaining: hello.SnapSize}
+		if err := f.cfg.Target.Bootstrap(start, snap, int64(hello.SnapSize)); err != nil {
+			return false, fmt.Errorf("repl: bootstrap: %w", err)
+		}
+		if snap.remaining > 0 || len(snap.chunk) > 0 {
+			return false, fmt.Errorf("repl: bootstrap left %d snapshot bytes unread", snap.remaining+uint64(len(snap.chunk)))
+		}
+		typ, _, err := read()
+		if err != nil {
+			return false, err
+		}
+		if typ != FrameSnapEnd {
+			return false, fmt.Errorf("repl: snapshot followed by %s, want snapEnd", typ)
+		}
+		f.mu.Lock()
+		f.snapshots++
+		f.forceBootstrap = false
+		f.bootstrapped = true
+		f.mu.Unlock()
+	} else if start != pos {
+		return false, fmt.Errorf("repl: primary resumed at %v, requested %v", start, pos)
+	}
+	f.mu.Lock()
+	f.connected = true
+	f.applied = start
+	f.primary = start
+	f.mu.Unlock()
+	progressed = true
+
+	for {
+		typ, payload, err := read()
+		if err != nil {
+			return progressed, err
+		}
+		switch typ {
+		case FrameRecord:
+			gen, seq, wp, err := DecodeRecord(payload)
+			if err != nil {
+				return progressed, err
+			}
+			rec, ok := wal.UnmarshalRecord(wp)
+			if !ok {
+				return progressed, fmt.Errorf("repl: undecodable WAL payload at %d/%d", gen, seq)
+			}
+			at := Position{Gen: gen, Seq: seq}
+			if err := f.cfg.Target.Apply(at, rec); err != nil {
+				if errors.Is(err, ErrOutOfSync) {
+					f.mu.Lock()
+					f.forceBootstrap = true
+					f.mu.Unlock()
+				}
+				return progressed, fmt.Errorf("repl: apply %v: %w", at, err)
+			}
+			f.mu.Lock()
+			f.applied = at
+			f.primary = at
+			f.records++
+			f.mu.Unlock()
+		case FrameRotate:
+			gen, _, err := DecodePosition(payload)
+			if err != nil {
+				return progressed, err
+			}
+			if err := f.cfg.Target.Rotate(gen); err != nil {
+				if errors.Is(err, ErrOutOfSync) {
+					f.mu.Lock()
+					f.forceBootstrap = true
+					f.mu.Unlock()
+				}
+				return progressed, fmt.Errorf("repl: rotate to gen %d: %w", gen, err)
+			}
+			f.mu.Lock()
+			f.applied = Position{Gen: gen}
+			if f.primary.Gen < gen {
+				f.primary = Position{Gen: gen}
+			}
+			f.mu.Unlock()
+		case FrameHeartbeat:
+			gen, seq, err := DecodePosition(payload)
+			if err != nil {
+				return progressed, err
+			}
+			f.mu.Lock()
+			f.primary = Position{Gen: gen, Seq: seq}
+			f.mu.Unlock()
+		default:
+			return progressed, fmt.Errorf("repl: unexpected %s frame in record tail", typ)
+		}
+	}
+}
+
+// snapshotReader presents the snapChunk frames of a bootstrap as one
+// io.Reader of exactly the advertised snapshot size.
+type snapshotReader struct {
+	read      func() (FrameType, []byte, error)
+	fr        *FrameReader
+	chunk     []byte // unconsumed tail of the current frame's payload
+	remaining uint64 // snapshot bytes not yet pulled from the stream
+}
+
+func (s *snapshotReader) Read(p []byte) (int, error) {
+	for len(s.chunk) == 0 {
+		if s.remaining == 0 {
+			return 0, io.EOF
+		}
+		typ, payload, err := s.read()
+		if err != nil {
+			return 0, err
+		}
+		if typ != FrameSnapChunk {
+			return 0, fmt.Errorf("repl: %s frame inside snapshot transfer", typ)
+		}
+		if len(payload) == 0 || uint64(len(payload)) > s.remaining {
+			return 0, fmt.Errorf("repl: snapshot chunk of %d bytes with %d remaining", len(payload), s.remaining)
+		}
+		s.remaining -= uint64(len(payload))
+		// The payload buffer is reused by the next ReadFrame, but no
+		// frame is read before this chunk is fully consumed.
+		s.chunk = payload
+	}
+	n := copy(p, s.chunk)
+	s.chunk = s.chunk[n:]
+	return n, nil
+}

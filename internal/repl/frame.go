@@ -1,0 +1,224 @@
+// Package repl implements WAL-shipping replication: a primary streams
+// its current snapshot plus a live tail of WAL records over one HTTP
+// response, and a follower applies them through the same replay path
+// recovery uses, republishing read roots after every record.
+//
+// The stream is a sequence of self-delimiting frames:
+//
+//	typ     u8
+//	length  u32 little endian — payload bytes
+//	crc32c  u32 little endian — over the payload
+//	payload length bytes, per type:
+//	    hello      mode u8 (0 resume, 1 bootstrap), gen u64, seq u64, snapSize u64
+//	    snapChunk  raw flat-snapshot bytes
+//	    snapEnd    (empty)
+//	    record     gen u64, seq u64, wal payload (wal.PayloadSize bytes)
+//	    rotate     newGen u64
+//	    heartbeat  gen u64, seq u64
+//
+// A stream opens with exactly one hello. In bootstrap mode it is
+// followed by snapChunk frames totalling snapSize bytes, then snapEnd;
+// in resume mode the record tail starts immediately. Positions are
+// (generation, sequence): the generation increments at each primary
+// checkpoint, the sequence counts records within a generation starting
+// at 1. A rotate frame marks a checkpoint observed mid-stream — the
+// records that follow belong to the new generation, sequence restarting
+// at 1. Heartbeats carry the primary's position so an idle follower can
+// tell lag from a dead link.
+//
+// Every frame is checksummed, so a corrupted or truncated stream is
+// detected at the frame layer and surfaces as a read error; the
+// follower then reconnects and resumes from its last applied position,
+// never applying a damaged or duplicate record.
+package repl
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// FrameType tags a replication stream frame.
+type FrameType uint8
+
+// The frame types, in the order they can appear on a stream.
+const (
+	FrameHello     FrameType = 1
+	FrameSnapChunk FrameType = 2
+	FrameSnapEnd   FrameType = 3
+	FrameRecord    FrameType = 4
+	FrameRotate    FrameType = 5
+	FrameHeartbeat FrameType = 6
+)
+
+func (t FrameType) String() string {
+	switch t {
+	case FrameHello:
+		return "hello"
+	case FrameSnapChunk:
+		return "snapChunk"
+	case FrameSnapEnd:
+		return "snapEnd"
+	case FrameRecord:
+		return "record"
+	case FrameRotate:
+		return "rotate"
+	case FrameHeartbeat:
+		return "heartbeat"
+	}
+	return fmt.Sprintf("repl.FrameType(%d)", uint8(t))
+}
+
+const (
+	frameHeaderSize = 1 + 4 + 4
+	// SnapChunkSize is how much snapshot a single snapChunk frame
+	// carries; it also bounds every other payload, so a corrupted
+	// length field cannot drive a giant allocation.
+	SnapChunkSize = 256 << 10
+	maxPayload    = SnapChunkSize
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// WriteFrame writes one frame to w.
+func WriteFrame(w io.Writer, typ FrameType, payload []byte) error {
+	if len(payload) > maxPayload {
+		return fmt.Errorf("repl: %s frame payload %d exceeds %d", typ, len(payload), maxPayload)
+	}
+	var hdr [frameHeaderSize]byte
+	hdr[0] = byte(typ)
+	binary.LittleEndian.PutUint32(hdr[1:5], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[5:9], crc32.Checksum(payload, castagnoli))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if len(payload) > 0 {
+		if _, err := w.Write(payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// FrameReader decodes frames from a stream, reusing one payload
+// buffer. The returned payload slice is valid until the next ReadFrame
+// call.
+type FrameReader struct {
+	r   io.Reader
+	hdr [frameHeaderSize]byte
+	buf []byte
+}
+
+// NewFrameReader wraps r.
+func NewFrameReader(r io.Reader) *FrameReader {
+	return &FrameReader{r: r}
+}
+
+// ReadFrame reads and verifies the next frame. A short read, a bad
+// checksum, or an impossible length is an error: the replication
+// stream has no torn-tail tolerance — any damage means "drop the
+// connection and resume from the last applied position".
+func (fr *FrameReader) ReadFrame() (FrameType, []byte, error) {
+	if _, err := io.ReadFull(fr.r, fr.hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	typ := FrameType(fr.hdr[0])
+	length := binary.LittleEndian.Uint32(fr.hdr[1:5])
+	sum := binary.LittleEndian.Uint32(fr.hdr[5:9])
+	if length > maxPayload {
+		return 0, nil, fmt.Errorf("repl: %s frame length %d exceeds %d", typ, length, maxPayload)
+	}
+	if cap(fr.buf) < int(length) {
+		fr.buf = make([]byte, length)
+	}
+	payload := fr.buf[:length]
+	if _, err := io.ReadFull(fr.r, payload); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return 0, nil, fmt.Errorf("repl: %s frame payload: %w", typ, err)
+	}
+	if crc32.Checksum(payload, castagnoli) != sum {
+		return 0, nil, fmt.Errorf("repl: %s frame checksum mismatch", typ)
+	}
+	return typ, payload, nil
+}
+
+// Hello is the stream-opening frame: the primary's decision on how
+// this follower catches up, and the position the stream starts from.
+type Hello struct {
+	// Bootstrap reports whether a snapshot transfer precedes the
+	// record tail (the follower's requested position was not
+	// resumable).
+	Bootstrap bool
+	// Gen and Seq are the position the stream starts from: after the
+	// snapshot (bootstrap) or the follower's own position (resume),
+	// the next record frame carries Seq+1 within Gen.
+	Gen, Seq uint64
+	// SnapSize is the exact snapshot byte length in bootstrap mode,
+	// zero in resume mode.
+	SnapSize uint64
+}
+
+// EncodeHello encodes h as a hello payload.
+func EncodeHello(h Hello) []byte {
+	p := make([]byte, 1+8+8+8)
+	if h.Bootstrap {
+		p[0] = 1
+	}
+	binary.LittleEndian.PutUint64(p[1:9], h.Gen)
+	binary.LittleEndian.PutUint64(p[9:17], h.Seq)
+	binary.LittleEndian.PutUint64(p[17:25], h.SnapSize)
+	return p
+}
+
+// DecodeHello decodes a hello payload.
+func DecodeHello(p []byte) (Hello, error) {
+	if len(p) != 1+8+8+8 || p[0] > 1 {
+		return Hello{}, fmt.Errorf("repl: malformed hello payload (%d bytes)", len(p))
+	}
+	return Hello{
+		Bootstrap: p[0] == 1,
+		Gen:       binary.LittleEndian.Uint64(p[1:9]),
+		Seq:       binary.LittleEndian.Uint64(p[9:17]),
+		SnapSize:  binary.LittleEndian.Uint64(p[17:25]),
+	}, nil
+}
+
+// EncodeRecord encodes a record payload: the position (gen, seq) the
+// record commits, followed by the raw WAL payload bytes.
+func EncodeRecord(gen, seq uint64, walPayload []byte) []byte {
+	p := make([]byte, 8+8+len(walPayload))
+	binary.LittleEndian.PutUint64(p[0:8], gen)
+	binary.LittleEndian.PutUint64(p[8:16], seq)
+	copy(p[16:], walPayload)
+	return p
+}
+
+// DecodeRecord splits a record payload into position and WAL payload.
+func DecodeRecord(p []byte) (gen, seq uint64, walPayload []byte, err error) {
+	if len(p) <= 16 {
+		return 0, 0, nil, fmt.Errorf("repl: malformed record payload (%d bytes)", len(p))
+	}
+	return binary.LittleEndian.Uint64(p[0:8]),
+		binary.LittleEndian.Uint64(p[8:16]),
+		p[16:], nil
+}
+
+// EncodePosition encodes (gen, seq) — the rotate payload carries just
+// a generation (seq unused), heartbeats carry both.
+func EncodePosition(gen, seq uint64) []byte {
+	p := make([]byte, 16)
+	binary.LittleEndian.PutUint64(p[0:8], gen)
+	binary.LittleEndian.PutUint64(p[8:16], seq)
+	return p
+}
+
+// DecodePosition decodes a rotate or heartbeat payload.
+func DecodePosition(p []byte) (gen, seq uint64, err error) {
+	if len(p) != 16 {
+		return 0, 0, fmt.Errorf("repl: malformed position payload (%d bytes)", len(p))
+	}
+	return binary.LittleEndian.Uint64(p[0:8]), binary.LittleEndian.Uint64(p[8:16]), nil
+}

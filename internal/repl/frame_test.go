@@ -1,0 +1,128 @@
+package repl
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"mbrtopo/internal/geom"
+	"mbrtopo/internal/wal"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	hello := Hello{Bootstrap: true, Gen: 3, Seq: 41, SnapSize: 1 << 20}
+	rec := wal.Record{Op: wal.OpInsert, OID: 99, Rect: geom.R(1, 2, 3, 4)}
+	if err := WriteFrame(&buf, FrameHello, EncodeHello(hello)); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFrame(&buf, FrameRecord, EncodeRecord(3, 42, wal.MarshalRecord(rec))); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFrame(&buf, FrameRotate, EncodePosition(4, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFrame(&buf, FrameSnapEnd, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	fr := NewFrameReader(&buf)
+	typ, p, err := fr.ReadFrame()
+	if err != nil || typ != FrameHello {
+		t.Fatalf("frame 1: typ=%v err=%v", typ, err)
+	}
+	if got, err := DecodeHello(p); err != nil || got != hello {
+		t.Fatalf("hello: got %+v err=%v", got, err)
+	}
+	typ, p, err = fr.ReadFrame()
+	if err != nil || typ != FrameRecord {
+		t.Fatalf("frame 2: typ=%v err=%v", typ, err)
+	}
+	gen, seq, wp, err := DecodeRecord(p)
+	if err != nil || gen != 3 || seq != 42 {
+		t.Fatalf("record position: %d/%d err=%v", gen, seq, err)
+	}
+	if got, ok := wal.UnmarshalRecord(wp); !ok || got != rec {
+		t.Fatalf("record payload: got %+v ok=%v", got, ok)
+	}
+	typ, p, err = fr.ReadFrame()
+	if err != nil || typ != FrameRotate {
+		t.Fatalf("frame 3: typ=%v err=%v", typ, err)
+	}
+	if gen, _, err := DecodePosition(p); err != nil || gen != 4 {
+		t.Fatalf("rotate: gen=%d err=%v", gen, err)
+	}
+	typ, p, err = fr.ReadFrame()
+	if err != nil || typ != FrameSnapEnd || len(p) != 0 {
+		t.Fatalf("frame 4: typ=%v len=%d err=%v", typ, len(p), err)
+	}
+	if _, _, err := fr.ReadFrame(); err != io.EOF {
+		t.Fatalf("expected EOF at stream end, got %v", err)
+	}
+}
+
+// TestFrameReaderRejectsDamage flips every byte of a two-frame stream
+// in turn: the reader must error (or report clean EOF early) — never
+// hand back a frame whose payload differs from what was written.
+func TestFrameReaderRejectsDamage(t *testing.T) {
+	var buf bytes.Buffer
+	rec := wal.Record{Op: wal.OpDelete, OID: 7, Rect: geom.R(0, 0, 1, 1)}
+	if err := WriteFrame(&buf, FrameRecord, EncodeRecord(1, 1, wal.MarshalRecord(rec))); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFrame(&buf, FrameHeartbeat, EncodePosition(1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	clean := buf.Bytes()
+	for i := range clean {
+		bad := append([]byte(nil), clean...)
+		bad[i] ^= 0x01
+		fr := NewFrameReader(bytes.NewReader(bad))
+		for {
+			typ, p, err := fr.ReadFrame()
+			if err != nil {
+				break // damage detected (or stream consumed by a lying length)
+			}
+			if typ == FrameRecord {
+				gen, seq, wp, derr := DecodeRecord(p)
+				if derr == nil && gen == 1 && seq == 1 {
+					if got, ok := wal.UnmarshalRecord(wp); ok && got != rec {
+						t.Fatalf("flip at %d: decoded a different record %+v", i, got)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestFrameLengthBound(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, FrameSnapChunk, make([]byte, maxPayload+1)); err == nil {
+		t.Fatal("oversized payload accepted")
+	}
+	// A header advertising an impossible length must error without
+	// allocating or reading the claimed payload.
+	hdr := []byte{byte(FrameSnapChunk), 0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0}
+	fr := NewFrameReader(bytes.NewReader(hdr))
+	if _, _, err := fr.ReadFrame(); err == nil {
+		t.Fatal("impossible length accepted")
+	}
+}
+
+func TestLagRecords(t *testing.T) {
+	cases := []struct {
+		applied, primary Position
+		want             uint64
+	}{
+		{Position{1, 5}, Position{1, 5}, 0},
+		{Position{1, 5}, Position{1, 9}, 4},
+		{Position{1, 9}, Position{1, 5}, 0}, // primary heartbeat raced an applied record
+		{Position{1, 9}, Position{2, 3}, 4}, // unknown across gens: lower bound + pending rotate
+		{Position{2, 0}, Position{2, 0}, 0},
+	}
+	for _, c := range cases {
+		if got := lagRecords(c.applied, c.primary); got != c.want {
+			t.Errorf("lag(%v, %v) = %d, want %d", c.applied, c.primary, got, c.want)
+		}
+	}
+}

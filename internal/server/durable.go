@@ -54,6 +54,16 @@ type durable struct {
 	flat    bool // publish a flat snapshot at every checkpoint
 	metrics *Metrics
 
+	// spec keeps the page-file settings so a follower bootstrap can
+	// rebuild the working copy from a streamed snapshot.
+	spec IndexSpec
+
+	// wake is closed (and replaced) whenever new WAL records become
+	// readable or the log rotates, so replication streamers wait on a
+	// channel instead of polling the file. Lazily created; guarded by
+	// mu.
+	wake chan struct{}
+
 	// gacc accumulates group-commit counters of retired WAL
 	// generations, so /metrics counters never move backwards across a
 	// checkpoint rotation.
@@ -76,6 +86,45 @@ func (d *durable) groupStats() wal.GroupStats {
 		gs.CommitTime += cur.CommitTime
 	}
 	return gs
+}
+
+// waitChLocked returns the channel the next signal will close. A
+// streamer grabs it BEFORE scanning the WAL, so a record flushed
+// between the scan and the wait still wakes it. Caller holds d.mu.
+func (d *durable) waitChLocked() chan struct{} {
+	if d.wake == nil {
+		d.wake = make(chan struct{})
+	}
+	return d.wake
+}
+
+// signalLocked wakes every streamer parked on the current wake channel
+// and installs a fresh one. Caller holds d.mu.
+func (d *durable) signalLocked() {
+	if d.wake != nil {
+		close(d.wake)
+		d.wake = nil
+	}
+}
+
+// signal is signalLocked for callers outside the lock (the WAL flush
+// path, which settles tickets after releasing d.mu).
+func (d *durable) signal() {
+	d.mu.Lock()
+	d.signalLocked()
+	d.mu.Unlock()
+}
+
+// position returns the durable position (gen, records since that
+// generation's checkpoint). ok is false while the index has no open
+// log — recovery failed, or a follower shell not yet bootstrapped.
+func (d *durable) position() (gen, seq uint64, ok bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.log == nil {
+		return 0, 0, false
+	}
+	return d.gen, uint64(d.since), true
 }
 
 func (d *durable) snapPath() string { return filepath.Join(d.dir, d.name+".snap") }
@@ -265,6 +314,9 @@ func (d *durable) checkpoint(idx index.Index) error {
 	if d.metrics != nil {
 		d.metrics.checkpoints.Add(1)
 	}
+	// Wake replication streamers: the old generation is final (closing
+	// it flushed every reservation) and a new one is open.
+	d.signalLocked()
 	return nil
 }
 
@@ -394,6 +446,9 @@ func (d *durable) settle(inst *Instance, ticket *wal.Ticket, cpErr error) error 
 		inst.MarkUnhealthy("wal append failed: " + err.Error())
 		return fmt.Errorf("server: mutation applied but not logged: %w", err)
 	}
+	// The record (and its whole batch) is on the log file now: wake
+	// replication streamers parked on the wake channel.
+	d.signal()
 	if cpErr != nil {
 		inst.MarkUnhealthy("checkpoint failed: " + cpErr.Error())
 		return fmt.Errorf("server: mutation logged but checkpoint failed: %w", cpErr)
@@ -450,12 +505,22 @@ func (s *Server) openDurable(spec IndexSpec, items []index.Item) (*Instance, err
 		dir:     spec.Dir,
 		name:    spec.Name,
 		kind:    spec.Kind,
-		walOpts: wal.Options{Policy: spec.Fsync, Interval: spec.FsyncInterval},
+		walOpts: wal.Options{Policy: spec.Fsync, Interval: spec.FsyncInterval, WriteHook: spec.WALWriteHook},
 		every:   spec.CheckpointEvery,
 		flat:    spec.Flat,
 		metrics: s.metrics,
+		spec:    spec,
 	}
 	inst := &Instance{Name: spec.Name, Kind: spec.Kind, Frames: spec.Frames, dur: d}
+	if spec.Follower {
+		// A follower shell: no local state yet — everything (snapshot,
+		// working copy, WAL) arrives through the replication stream's
+		// Bootstrap. Until then the instance has no read view and
+		// answers 503.
+		inst.backend = "follower"
+		d.every = 0 // checkpoints are driven by the primary's rotations
+		return inst, nil
+	}
 
 	if _, err := os.Stat(d.snapPath()); err == nil {
 		if d.flat && s.tryFlatBoot(spec, d, inst) {

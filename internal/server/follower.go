@@ -1,0 +1,444 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mbrtopo/internal/geom"
+	"mbrtopo/internal/index"
+	"mbrtopo/internal/pagefile"
+	"mbrtopo/internal/query"
+	"mbrtopo/internal/repl"
+	"mbrtopo/internal/retry"
+	"mbrtopo/internal/rtree"
+	"mbrtopo/internal/wal"
+)
+
+// FollowConfig tunes a read replica (Server.Follow).
+type FollowConfig struct {
+	// Primary is the base URL of the primary, e.g. "http://10.0.0.1:7007".
+	Primary string
+	// MaxLagRecords is the /readyz gate: the replica reports not-ready
+	// while it is more than this many records behind the primary
+	// (default 10000).
+	MaxLagRecords uint64
+	// MaxLagWall is the /readyz staleness gate: the replica reports
+	// not-ready when it has heard nothing from the primary — no record,
+	// rotate, or heartbeat — for this long (default 5s).
+	MaxLagWall time.Duration
+	// Client performs the replication requests (default
+	// http.DefaultClient; tests inject fault-wrapped transports).
+	Client *http.Client
+	// Backoff paces reconnection attempts (zero value → retry defaults).
+	Backoff retry.Policy
+	// StallTimeout drops a stream that delivers no frame for this long
+	// (default 3s; keep it a few multiples of the primary's heartbeat).
+	StallTimeout time.Duration
+	// Seed makes reconnect jitter deterministic in tests (0 → fixed
+	// default seed).
+	Seed int64
+}
+
+// followState is the replica half of a server: one repl.Follower per
+// follower index, a promotion latch, and the config that names the
+// primary in 403 responses.
+type followState struct {
+	cfg       FollowConfig
+	cancel    context.CancelFunc
+	wg        sync.WaitGroup
+	followers map[string]*repl.Follower // fixed after Follow returns
+
+	mu       sync.Mutex // serialises Promote
+	promoted atomic.Bool
+}
+
+// Follow starts replication: every index registered with
+// IndexSpec.Follower gets a follower loop streaming from
+// cfg.Primary's /v1/replicate. While following, the server answers
+// read endpoints from replicated state, 403s mutations (naming the
+// primary), and gates /readyz on replication lag; Promote flips it to
+// an ordinary writable primary.
+func (s *Server) Follow(cfg FollowConfig) error {
+	if s.follow != nil {
+		return fmt.Errorf("server: already following %s", s.follow.cfg.Primary)
+	}
+	if cfg.Primary == "" {
+		return fmt.Errorf("server: follow needs a primary URL")
+	}
+	if cfg.MaxLagRecords == 0 {
+		cfg.MaxLagRecords = 10000
+	}
+	if cfg.MaxLagWall <= 0 {
+		cfg.MaxLagWall = 5 * time.Second
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	fs := &followState{
+		cfg:       cfg,
+		cancel:    cancel,
+		followers: make(map[string]*repl.Follower),
+	}
+	for _, inst := range s.listInstances() {
+		if inst.dur == nil || !inst.dur.spec.Follower {
+			continue
+		}
+		f := repl.NewFollower(repl.Config{
+			Primary:      cfg.Primary,
+			Index:        inst.Name,
+			Target:       &followerTarget{s: s, inst: inst},
+			Client:       cfg.Client,
+			Backoff:      cfg.Backoff,
+			StallTimeout: cfg.StallTimeout,
+			Seed:         cfg.Seed,
+		})
+		fs.followers[inst.Name] = f
+	}
+	if len(fs.followers) == 0 {
+		cancel()
+		return fmt.Errorf("server: no follower indexes registered")
+	}
+	s.follow = fs
+	s.metrics.replStats = s.ReplStats
+	for _, f := range fs.followers {
+		fs.wg.Add(1)
+		go func(f *repl.Follower) {
+			defer fs.wg.Done()
+			_ = f.Run(ctx)
+		}(f)
+	}
+	return nil
+}
+
+// isFollower reports whether the server currently rejects mutations
+// because a primary owns its state.
+func (s *Server) isFollower() bool {
+	return s.follow != nil && !s.follow.promoted.Load()
+}
+
+// rejectFollowerWrite answers 403 naming the primary that does accept
+// the request. Callers check isFollower first.
+func (s *Server) rejectFollowerWrite(w http.ResponseWriter, msg string) {
+	writeJSON(w, http.StatusForbidden, ErrorResponse{Error: msg, Primary: s.follow.cfg.Primary})
+}
+
+// Promote flips a replica to an ordinary writable primary: stop the
+// follower loops, wait them out, checkpoint every replicated index (so
+// the node owns a clean snapshot + fresh WAL generation), then drop
+// the mutation gate. Idempotent; refuses while any follower index has
+// never bootstrapped — promoting an empty shell would serve an empty
+// index as if it were the data.
+func (s *Server) Promote() error {
+	fs := s.follow
+	if fs == nil {
+		return fmt.Errorf("server: not a follower")
+	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.promoted.Load() {
+		return nil
+	}
+	for name, f := range fs.followers {
+		if !f.Status().Bootstrapped {
+			return fmt.Errorf("server: index %q has not bootstrapped from %s yet", name, fs.cfg.Primary)
+		}
+	}
+	fs.cancel()
+	fs.wg.Wait()
+	var firstErr error
+	for _, inst := range s.listInstances() {
+		if inst.dur == nil || !inst.dur.spec.Follower {
+			continue
+		}
+		if inst.Idx == nil || !inst.Healthy() {
+			continue // stays 503; promotion must not resurrect a degraded index
+		}
+		if err := inst.Checkpoint(); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("server: checkpointing index %q on promote: %w", inst.Name, err)
+		}
+	}
+	if firstErr != nil {
+		return firstErr
+	}
+	fs.promoted.Store(true)
+	return nil
+}
+
+// handlePromote serves POST /v1/promote.
+func (s *Server) handlePromote(w http.ResponseWriter, r *http.Request) {
+	if s.follow == nil {
+		writeJSONError(w, http.StatusConflict, "not a follower; nothing to promote")
+		return
+	}
+	if err := s.Promote(); err != nil {
+		writeJSONError(w, http.StatusConflict, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, PromoteResponse{Promoted: true, Primary: s.follow.cfg.Primary})
+}
+
+// ReplStat is one follower index's replication state for /metrics.
+type ReplStat struct {
+	Index        string
+	Connected    bool
+	Bootstrapped bool
+	AppliedGen   uint64
+	AppliedSeq   uint64
+	LagRecords   uint64
+	// LagSeconds is the time since the last frame from the primary;
+	// negative when the primary has never been reached.
+	LagSeconds float64
+	Reconnects uint64
+	Snapshots  uint64
+	Records    uint64
+	Bytes      uint64
+}
+
+// ReplStats snapshots per-index follower state (nil on a primary); it
+// feeds /metrics and is exported for ops tooling and benchmarks.
+func (s *Server) ReplStats() []ReplStat {
+	fs := s.follow
+	if fs == nil {
+		return nil
+	}
+	var out []ReplStat
+	for _, inst := range s.listInstances() {
+		f := fs.followers[inst.Name]
+		if f == nil {
+			continue
+		}
+		st := f.Status()
+		rs := ReplStat{
+			Index:        inst.Name,
+			Connected:    st.Connected,
+			Bootstrapped: st.Bootstrapped,
+			AppliedGen:   st.Applied.Gen,
+			AppliedSeq:   st.Applied.Seq,
+			LagRecords:   st.LagRecords,
+			LagSeconds:   -1,
+			Reconnects:   st.Reconnects,
+			Snapshots:    st.Snapshots,
+			Records:      st.Records,
+			Bytes:        st.Bytes,
+		}
+		if !st.LastContact.IsZero() {
+			rs.LagSeconds = time.Since(st.LastContact).Seconds()
+		}
+		out = append(out, rs)
+	}
+	return out
+}
+
+// followerTarget adapts one served instance to repl.Target: the
+// follower state machine calls it to bootstrap from a snapshot, apply
+// records, and rotate generations. All mutations run under the durable
+// lock, exactly like the primary's own apply path, so watch
+// notification and read-path swaps behave identically on a replica.
+type followerTarget struct {
+	s    *Server
+	inst *Instance
+}
+
+// Position reports the durably applied replication position; ok is
+// false until the first successful bootstrap (the follower then must
+// not resume, only bootstrap).
+func (t *followerTarget) Position() (repl.Position, bool) {
+	gen, seq, ok := t.inst.dur.position()
+	return repl.Position{Gen: gen, Seq: seq}, ok
+}
+
+// Bootstrap rebuilds the instance from a flat snapshot taken at pos on
+// the primary: decode and verify the snapshot, rebuild a paged working
+// tree from its entries, persist it as this replica's own snapshot
+// (so a promoted node reboots into the same state), open the matching
+// WAL generation, and atomically swap the read view over. A failure
+// leaves the previous state serving (possibly stale, never wrong) and
+// the follower retries with backoff.
+func (t *followerTarget) Bootstrap(pos repl.Position, snap io.Reader, size int64) error {
+	inst, d := t.inst, t.inst.dur
+	if size < 0 || size > 1<<32 {
+		return fmt.Errorf("server: implausible snapshot size %d", size)
+	}
+	data := make([]byte, size)
+	if _, err := io.ReadFull(snap, data); err != nil {
+		return fmt.Errorf("server: reading snapshot: %w", err)
+	}
+	flat, err := rtree.OpenFlatBytes(data)
+	if err != nil {
+		return fmt.Errorf("server: decoding snapshot: %w", err)
+	}
+	if flat.Name() != d.kind.String() {
+		return fmt.Errorf("server: snapshot is a %s, index %q is a %s", flat.Name(), inst.Name, d.kind)
+	}
+	if flat.Generation() != pos.Gen {
+		return fmt.Errorf("server: snapshot generation %d does not match stream position %v", flat.Generation(), pos)
+	}
+	recs := flatRecords(flat, d.kind == index.KindRPlus)
+
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.log != nil {
+		_ = d.log.Close()
+		d.log = nil
+	}
+	disk, err := pagefile.CreateDiskFile(d.workPath(), d.spec.PageSize)
+	if err != nil {
+		return fmt.Errorf("server: creating working copy: %w", err)
+	}
+	file, pool := wrapFile(disk, d.spec)
+	idx, err := index.NewOnFile(d.kind, file)
+	if err == nil && len(recs) > 0 {
+		err = idx.InsertBatch(recs)
+	}
+	if err != nil {
+		disk.Close()
+		return fmt.Errorf("server: rebuilding tree from snapshot: %w", err)
+	}
+	if err := persistMeta(idx, disk, pos.Gen); err != nil {
+		disk.Close()
+		return fmt.Errorf("server: persisting meta: %w", err)
+	}
+	if err := disk.Sync(); err != nil {
+		disk.Close()
+		return fmt.Errorf("server: syncing working copy: %w", err)
+	}
+	oldDisk := d.disk
+	d.disk = disk
+	// Publish our own snapshot of the bootstrap state: a promoted
+	// replica that restarts recovers from it plus the local WAL, which
+	// holds exactly the records applied after pos.
+	if err := d.publishSnapshot(); err != nil {
+		d.disk = oldDisk
+		disk.Close()
+		return fmt.Errorf("server: publishing snapshot: %w", err)
+	}
+	if d.flat {
+		if err := d.publishFlat(idx, pos.Gen); err != nil {
+			d.disk = oldDisk
+			disk.Close()
+			return fmt.Errorf("server: publishing flat snapshot: %w", err)
+		}
+	}
+	log, stale, err := wal.Open(d.walPath(pos.Gen), d.walOpts)
+	if err != nil {
+		d.disk = oldDisk
+		disk.Close()
+		return fmt.Errorf("server: opening wal: %w", err)
+	}
+	if len(stale) != 0 {
+		// Leftovers of an earlier bootstrap of the same generation; the
+		// snapshot just published already covers our position.
+		if err := log.Truncate(); err != nil {
+			log.Close()
+			d.disk = oldDisk
+			disk.Close()
+			return fmt.Errorf("server: clearing stale wal: %w", err)
+		}
+	}
+	d.log = log
+	d.removeStaleWALs(pos.Gen)
+	d.gen = pos.Gen
+	d.since = int(pos.Seq)
+	inst.Idx = idx
+	inst.Pool = pool
+	inst.Proc = &query.Processor{Idx: idx}
+	inst.view.Store(&readView{idx: idx, proc: inst.Proc, pool: pool})
+	if oldDisk != nil {
+		// Queries still traversing the old view race this close and get
+		// I/O errors — a degraded answer, never a wrong one. Bootstrap
+		// replacing live state only happens after falling out of sync.
+		_ = oldDisk.Close()
+	}
+	return nil
+}
+
+// Apply applies one replicated record at pos: tree mutation, watch
+// notification, and local WAL append, exactly like the primary's apply
+// path. A gap or regression in pos — or a mutation the tree rejects,
+// which means replica and primary states diverged — reports
+// repl.ErrOutOfSync so the follower re-bootstraps instead of guessing.
+func (t *followerTarget) Apply(pos repl.Position, rec wal.Record) error {
+	inst, d := t.inst, t.inst.dur
+	d.mu.Lock()
+	if d.log == nil {
+		d.mu.Unlock()
+		return fmt.Errorf("server: record before bootstrap: %w", repl.ErrOutOfSync)
+	}
+	if pos.Gen != d.gen || pos.Seq != uint64(d.since)+1 {
+		d.mu.Unlock()
+		return fmt.Errorf("server: record %v does not follow %d/%d: %w", pos, d.gen, d.since, repl.ErrOutOfSync)
+	}
+	var err error
+	switch rec.Op {
+	case wal.OpInsert:
+		err = inst.Idx.Insert(rec.Rect, rec.OID)
+	case wal.OpDelete:
+		err = inst.Idx.Delete(rec.Rect, rec.OID)
+	default:
+		err = fmt.Errorf("unknown op %v", rec.Op)
+	}
+	if err != nil {
+		d.mu.Unlock()
+		return fmt.Errorf("server: applying %s oid %d: %v: %w", rec.Op, rec.OID, err, repl.ErrOutOfSync)
+	}
+	inst.notifyWatch(rec.Op, rec.Rect, rec.OID)
+	ticket := d.log.Reserve(rec)
+	d.since++
+	if d.metrics != nil {
+		d.metrics.walRecords.Add(1)
+	}
+	d.mu.Unlock()
+	if err := ticket.Wait(); err != nil {
+		inst.MarkUnhealthy("wal append failed: " + err.Error())
+		return fmt.Errorf("server: record applied but not logged: %w", err)
+	}
+	return nil
+}
+
+// Rotate mirrors a primary checkpoint: the stream guarantees every
+// record of the old generation arrived first, so checkpointing here
+// produces a snapshot bit-equal in content to the primary's at the
+// same boundary, and opens the matching new WAL generation.
+func (t *followerTarget) Rotate(newGen uint64) error {
+	inst, d := t.inst, t.inst.dur
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.log == nil || inst.Idx == nil {
+		return fmt.Errorf("server: rotate before bootstrap: %w", repl.ErrOutOfSync)
+	}
+	if newGen != d.gen+1 {
+		return fmt.Errorf("server: rotate to %d from generation %d: %w", newGen, d.gen, repl.ErrOutOfSync)
+	}
+	return d.checkpoint(inst.Idx)
+}
+
+// flatRecords extracts the (rect, oid) entries of a flat snapshot for
+// reloading into a fresh tree. R+-trees clip one object into several
+// tiles, so there unionByOID reassembles each object's original MBR
+// (the tiles partition it exactly, so the union is FP-exact); the
+// other kinds keep entries verbatim, duplicates included.
+func flatRecords(flat *rtree.FlatTree, unionByOID bool) []rtree.Record {
+	all := func(geom.Rect) bool { return true }
+	var recs []rtree.Record
+	if !unionByOID {
+		_ = flat.Search(all, all, func(r geom.Rect, oid uint64) bool {
+			recs = append(recs, rtree.Record{Rect: r, OID: oid})
+			return true
+		})
+		return recs
+	}
+	at := make(map[uint64]int)
+	_ = flat.Search(all, all, func(r geom.Rect, oid uint64) bool {
+		if i, ok := at[oid]; ok {
+			recs[i].Rect = recs[i].Rect.Union(r)
+			return true
+		}
+		at[oid] = len(recs)
+		recs = append(recs, rtree.Record{Rect: r, OID: oid})
+		return true
+	})
+	return recs
+}

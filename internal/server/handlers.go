@@ -13,6 +13,7 @@ import (
 	"mbrtopo/internal/geom"
 	"mbrtopo/internal/pagefile"
 	"mbrtopo/internal/query"
+	"mbrtopo/internal/repl"
 	"mbrtopo/internal/rtree"
 )
 
@@ -57,6 +58,13 @@ func (s *Server) servingInstance(w http.ResponseWriter, name string) (*Instance,
 	if !inst.Healthy() {
 		writeJSONError(w, http.StatusServiceUnavailable,
 			"index "+inst.Name+" is unhealthy: "+inst.FailReason())
+		return nil, false
+	}
+	if inst.ReadIndex() == nil {
+		// A follower shell that has not bootstrapped from its primary
+		// yet (or a failed recovery) has nothing to serve from.
+		writeJSONError(w, http.StatusServiceUnavailable,
+			"index "+inst.Name+" has no data to serve yet")
 		return nil, false
 	}
 	return inst, true
@@ -290,6 +298,10 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMutation(w http.ResponseWriter, r *http.Request, op func(*Instance, geom.Rect, uint64) error) {
+	if s.isFollower() {
+		s.rejectFollowerWrite(w, "read replica: mutations go to the primary")
+		return
+	}
 	var req UpdateRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&req); err != nil {
 		writeJSONError(w, http.StatusBadRequest, "bad request body: "+err.Error())
@@ -327,6 +339,10 @@ func (s *Server) handleMutation(w http.ResponseWriter, r *http.Request, op func(
 // contiguous WAL run with a single group-committed flush. Queries
 // running concurrently see none or all of the batch (R-/R*-trees).
 func (s *Server) handleBulk(w http.ResponseWriter, r *http.Request) {
+	if s.isFollower() {
+		s.rejectFollowerWrite(w, "read replica: mutations go to the primary")
+		return
+	}
 	inst, ok := s.servingInstance(w, r.URL.Query().Get("index"))
 	if !ok {
 		return
@@ -410,15 +426,36 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 // handleReadyz is the readiness probe: 200 only when every registered
 // index is healthy, 503 (naming the sick indexes) otherwise. Like
-// /healthz it bypasses admission control.
+// /healthz it bypasses admission control. On a follower, readiness
+// additionally gates on replication: every follower index must have
+// bootstrapped, be within FollowConfig.MaxLagRecords of the primary,
+// and have heard from it within MaxLagWall — a replica serving stale
+// answers takes itself out of the load balancer instead.
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	instances := s.listInstances()
-	resp := ReadyResponse{Ready: true, Indexes: make([]IndexHealth, 0, len(instances))}
+	resp := ReadyResponse{Ready: true, Role: s.role(), Indexes: make([]IndexHealth, 0, len(instances))}
 	for _, inst := range instances {
 		ih := IndexHealth{Index: inst.Name, Healthy: inst.Healthy()}
 		if !ih.Healthy {
 			ih.Reason = inst.FailReason()
 			resp.Ready = false
+		}
+		if s.isFollower() {
+			if f := s.follow.followers[inst.Name]; f != nil {
+				st := f.Status()
+				ih.Connected = st.Connected
+				ih.LagRecords = st.LagRecords
+				ih.LagSeconds = -1
+				if !st.LastContact.IsZero() {
+					ih.LagSeconds = time.Since(st.LastContact).Seconds()
+				}
+				if reason, ok := followerNotReady(st, s.follow.cfg); ok {
+					resp.Ready = false
+					if ih.Reason == "" {
+						ih.Reason = reason
+					}
+				}
+			}
 		}
 		resp.Indexes = append(resp.Indexes, ih)
 	}
@@ -427,6 +464,34 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 		code = http.StatusServiceUnavailable
 	}
 	writeJSON(w, code, resp)
+}
+
+// followerNotReady applies the lag gates to one follower's status,
+// returning the reason it is not ready (ok=false when it is ready).
+func followerNotReady(st repl.Status, cfg FollowConfig) (string, bool) {
+	switch {
+	case !st.Bootstrapped:
+		return "not bootstrapped from primary yet", true
+	case st.LagRecords > cfg.MaxLagRecords:
+		return fmt.Sprintf("replication lag %d records exceeds %d", st.LagRecords, cfg.MaxLagRecords), true
+	case st.LastContact.IsZero() || time.Since(st.LastContact) > cfg.MaxLagWall:
+		return fmt.Sprintf("no contact with primary for over %s", cfg.MaxLagWall), true
+	}
+	return "", false
+}
+
+// role labels the node for /readyz: "primary" (never followed),
+// "follower" (replicating), or "promoted" (was a follower, now
+// writable).
+func (s *Server) role() string {
+	switch {
+	case s.follow == nil:
+		return "primary"
+	case s.follow.promoted.Load():
+		return "promoted"
+	default:
+		return "follower"
+	}
 }
 
 // handleMetrics renders the Prometheus text exposition.

@@ -55,6 +55,13 @@ type Metrics struct {
 	watchRejected atomic.Uint64
 	watchLatency  histogram
 
+	// Primary-side replication counters: /v1/replicate streams open
+	// now, and records/snapshots/bytes shipped over them.
+	replStreams          atomic.Int64
+	replRecordsShipped   atomic.Uint64
+	replSnapshotsShipped atomic.Uint64
+	replBytesShipped     atomic.Uint64
+
 	mu        sync.Mutex
 	endpoints map[string]*endpointMetrics
 
@@ -72,6 +79,9 @@ type Metrics struct {
 	// watchStats surfaces per-index subscription-table counters the
 	// same way.
 	watchStats func() []WatchStat
+	// replStats surfaces follower-side replication state the same way;
+	// nil on a node that never called Server.Follow.
+	replStats func() []ReplStat
 }
 
 // PoolStat is one index's buffer-pool counters for /metrics.
@@ -372,6 +382,60 @@ func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
 	counter("topod_wal_records_total", "Mutations appended to the write-ahead logs by this process.", m.walRecords.Load())
 	counter("topod_wal_replays_total", "WAL records replayed during crash recovery.", m.walReplays.Load())
 	counter("topod_checkpoints_total", "Snapshot checkpoints taken (WAL rotations).", m.checkpoints.Load())
+	gauge("topod_repl_streams", "Replication streams (/v1/replicate) open now.", m.replStreams.Load())
+	counter("topod_repl_records_shipped_total", "WAL records shipped to followers.", m.replRecordsShipped.Load())
+	counter("topod_repl_snapshots_shipped_total", "Bootstrap snapshots shipped to followers.", m.replSnapshotsShipped.Load())
+	counter("topod_repl_bytes_shipped_total", "Bytes written to replication streams.", m.replBytesShipped.Load())
+
+	if m.replStats != nil {
+		stats := m.replStats()
+		if len(stats) > 0 {
+			fmt.Fprintf(cw, "# HELP topod_repl_connected Whether the follower index has a live stream to its primary.\n")
+			fmt.Fprintf(cw, "# TYPE topod_repl_connected gauge\n")
+			for _, rs := range stats {
+				v := 0
+				if rs.Connected {
+					v = 1
+				}
+				fmt.Fprintf(cw, "topod_repl_connected{index=%q} %d\n", rs.Index, v)
+			}
+			fmt.Fprintf(cw, "# HELP topod_repl_lag_records Records the follower index is behind its primary (lower bound across rotations).\n")
+			fmt.Fprintf(cw, "# TYPE topod_repl_lag_records gauge\n")
+			for _, rs := range stats {
+				fmt.Fprintf(cw, "topod_repl_lag_records{index=%q} %d\n", rs.Index, rs.LagRecords)
+			}
+			fmt.Fprintf(cw, "# HELP topod_repl_lag_seconds Seconds since the primary was last heard from (-1 = never).\n")
+			fmt.Fprintf(cw, "# TYPE topod_repl_lag_seconds gauge\n")
+			for _, rs := range stats {
+				fmt.Fprintf(cw, "topod_repl_lag_seconds{index=%q} %g\n", rs.Index, rs.LagSeconds)
+			}
+			fmt.Fprintf(cw, "# HELP topod_repl_applied_seq Last replication position applied, as sequence within the applied generation.\n")
+			fmt.Fprintf(cw, "# TYPE topod_repl_applied_seq gauge\n")
+			for _, rs := range stats {
+				fmt.Fprintf(cw, "topod_repl_applied_seq{index=%q,generation=\"%d\"} %d\n", rs.Index, rs.AppliedGen, rs.AppliedSeq)
+			}
+			fmt.Fprintf(cw, "# HELP topod_repl_records_applied_total Replicated records applied by this follower.\n")
+			fmt.Fprintf(cw, "# TYPE topod_repl_records_applied_total counter\n")
+			for _, rs := range stats {
+				fmt.Fprintf(cw, "topod_repl_records_applied_total{index=%q} %d\n", rs.Index, rs.Records)
+			}
+			fmt.Fprintf(cw, "# HELP topod_repl_reconnects_total Stream reconnect attempts by this follower.\n")
+			fmt.Fprintf(cw, "# TYPE topod_repl_reconnects_total counter\n")
+			for _, rs := range stats {
+				fmt.Fprintf(cw, "topod_repl_reconnects_total{index=%q} %d\n", rs.Index, rs.Reconnects)
+			}
+			fmt.Fprintf(cw, "# HELP topod_repl_snapshots_total Bootstrap snapshots this follower loaded.\n")
+			fmt.Fprintf(cw, "# TYPE topod_repl_snapshots_total counter\n")
+			for _, rs := range stats {
+				fmt.Fprintf(cw, "topod_repl_snapshots_total{index=%q} %d\n", rs.Index, rs.Snapshots)
+			}
+			fmt.Fprintf(cw, "# HELP topod_repl_bytes_received_total Replication stream bytes received by this follower.\n")
+			fmt.Fprintf(cw, "# TYPE topod_repl_bytes_received_total counter\n")
+			for _, rs := range stats {
+				fmt.Fprintf(cw, "topod_repl_bytes_received_total{index=%q} %d\n", rs.Index, rs.Bytes)
+			}
+		}
+	}
 
 	if m.healthStats != nil {
 		fmt.Fprintf(cw, "# HELP topod_index_healthy Whether the index is serving (1) or degraded to 503s (0).\n")

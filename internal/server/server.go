@@ -71,6 +71,11 @@ type Config struct {
 	// 256). Watch streams are long-lived, so they are admitted from
 	// this dedicated pool rather than the MaxInFlight semaphore.
 	MaxWatch int
+	// ReplHeartbeat is how often an idle /v1/replicate stream emits a
+	// heartbeat frame (default 500ms). Followers drop a stream that
+	// stays silent for several heartbeats, so keep this well below the
+	// follower's stall timeout.
+	ReplHeartbeat time.Duration
 }
 
 // IndexSpec describes one named index to serve.
@@ -113,6 +118,14 @@ type IndexSpec struct {
 	// FileWrapper, when set, wraps the page file under the tree — the
 	// crash-recovery tests inject a pagefile.CrashFile here.
 	FileWrapper func(pagefile.File) pagefile.File
+	// WALWriteHook, when set, runs before every WAL append write — the
+	// durability tests inject log-write failures here (see
+	// wal.Options.WriteHook).
+	WALWriteHook func(off int64, n int) error
+	// Follower registers the index as a replication target: no local
+	// state is built or recovered — the snapshot, working copy, and WAL
+	// all arrive through Server.Follow's stream. Requires Dir.
+	Follower bool
 }
 
 // DefaultCheckpointEvery is the automatic checkpoint cadence (logged
@@ -296,6 +309,10 @@ type Server struct {
 
 	// watchSlots is the dedicated admission pool for /v1/watch streams.
 	watchSlots chan struct{}
+
+	// follow is non-nil when the server runs as a read replica
+	// (Server.Follow); see follower.go.
+	follow *followState
 }
 
 // New creates a server with no indexes loaded.
@@ -311,6 +328,9 @@ func New(cfg Config) *Server {
 	}
 	if cfg.MaxWatch <= 0 {
 		cfg.MaxWatch = 256
+	}
+	if cfg.ReplHeartbeat <= 0 {
+		cfg.ReplHeartbeat = 500 * time.Millisecond
 	}
 	m := NewMetrics()
 	s := &Server{
@@ -410,6 +430,9 @@ func (s *Server) AddIndex(spec IndexSpec, items []index.Item) (*Instance, error)
 	}
 	if spec.CheckpointEvery == 0 {
 		spec.CheckpointEvery = DefaultCheckpointEvery
+	}
+	if spec.Follower && spec.Dir == "" {
+		return nil, fmt.Errorf("server: follower index %q needs a data directory", spec.Name)
 	}
 
 	var inst *Instance
@@ -527,6 +550,11 @@ func (s *Server) Handler() http.Handler {
 	// bounded slot pool (inside handleWatch) instead of the shared
 	// semaphore — a full house of subscribers cannot starve queries.
 	mux.Handle("POST /v1/watch", s.metrics.instrument("watch", http.HandlerFunc(s.handleWatch)))
+	// Replication streams are long-lived like watch streams, and
+	// promotion must work even on a saturated replica, so both bypass
+	// the admission semaphore.
+	mux.Handle("GET /v1/replicate", s.metrics.instrument("replicate", http.HandlerFunc(s.handleReplicate)))
+	mux.Handle("POST /v1/promote", s.metrics.instrument("promote", http.HandlerFunc(s.handlePromote)))
 	// Observability and health bypass admission control so probes and
 	// scrapes survive saturation.
 	mux.Handle("GET /metrics", s.metrics.instrument("metrics", http.HandlerFunc(s.handleMetrics)))

@@ -199,23 +199,44 @@ type HealthResponse struct {
 	Status string `json:"status"`
 }
 
-// IndexHealth is one index's entry in the /readyz report.
+// IndexHealth is one index's entry in the /readyz report. The
+// replication fields are present only on a follower.
 type IndexHealth struct {
 	Index   string `json:"index"`
 	Healthy bool   `json:"healthy"`
 	Reason  string `json:"reason,omitempty"`
+	// Connected reports a live replication stream to the primary.
+	Connected bool `json:"connected,omitempty"`
+	// LagRecords is how many records this replica is behind the primary
+	// (a lower bound across generation rotations).
+	LagRecords uint64 `json:"lag_records,omitempty"`
+	// LagSeconds is the time since the primary was last heard from;
+	// negative when it has never been reached.
+	LagSeconds float64 `json:"lag_seconds,omitempty"`
 }
 
 // ReadyResponse is the body of GET /readyz: ready only when every
-// registered index is healthy.
+// registered index is healthy — and, on a follower, bootstrapped and
+// within the configured replication lag.
 type ReadyResponse struct {
 	Ready   bool          `json:"ready"`
+	Role    string        `json:"role,omitempty"` // "primary", "follower", or "promoted"
 	Indexes []IndexHealth `json:"indexes"`
 }
 
-// ErrorResponse is the body of non-streaming error replies.
+// PromoteResponse acknowledges POST /v1/promote; Primary is the node
+// this server replicated from until now.
+type PromoteResponse struct {
+	Promoted bool   `json:"promoted"`
+	Primary  string `json:"primary,omitempty"`
+}
+
+// ErrorResponse is the body of non-streaming error replies. Primary is
+// set on a follower's 403 mutation rejections: the node that does
+// accept writes.
 type ErrorResponse struct {
-	Error string `json:"error"`
+	Error   string `json:"error"`
+	Primary string `json:"primary,omitempty"`
 }
 
 // ParseRelationSet resolves relation names (plus the "in" and

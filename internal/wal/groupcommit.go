@@ -170,6 +170,12 @@ func (l *Log) flushBatchLocked(b *batch) {
 		return
 	}
 	start := time.Now()
+	if l.opts.WriteHook != nil {
+		if err := l.opts.WriteHook(l.size, len(b.buf)); err != nil {
+			b.err = fmt.Errorf("wal: appending batch: %w", err)
+			return
+		}
+	}
 	if _, err := l.f.WriteAt(b.buf, l.size); err != nil {
 		b.err = fmt.Errorf("wal: appending batch: %w", err)
 		return
@@ -199,6 +205,11 @@ func (l *Log) appendSerial(recs []Record) error {
 	}
 	for _, rec := range recs {
 		frame := encode(rec)
+		if l.opts.WriteHook != nil {
+			if err := l.opts.WriteHook(l.size, len(frame)); err != nil {
+				return fmt.Errorf("wal: appending record: %w", err)
+			}
+		}
 		if _, err := l.f.WriteAt(frame, l.size); err != nil {
 			return fmt.Errorf("wal: appending record: %w", err)
 		}

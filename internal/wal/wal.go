@@ -115,6 +115,12 @@ type Options struct {
 	// same; only the amortization is lost. Intended for benchmarking
 	// the group-commit win (see BenchmarkGroupCommit).
 	NoGroupCommit bool
+	// WriteHook, when set, runs before every append write with the
+	// target offset and byte count, and failing it fails the append —
+	// the fault-injection point durability tests use to exercise the
+	// "applied but not logged" degradation path (the log-file analogue
+	// of pagefile.CrashFile).
+	WriteHook func(off int64, n int) error
 }
 
 func (o Options) withDefaults() Options {

@@ -1,0 +1,178 @@
+package mbrtopo_test
+
+// Replication benchmarks: how long after a commit on the primary a
+// record becomes visible on a read replica, and how fast a fresh
+// follower catches up (snapshot bootstrap + WAL tail). `make
+// bench-repl` records the series in BENCH_repl.json.
+
+import (
+	"net/http/httptest"
+	"runtime"
+	"sort"
+	"testing"
+	"time"
+
+	"mbrtopo/internal/geom"
+	"mbrtopo/internal/index"
+	"mbrtopo/internal/retry"
+	"mbrtopo/internal/server"
+	"mbrtopo/internal/topo"
+	"mbrtopo/internal/wal"
+	"mbrtopo/internal/workload"
+)
+
+// benchFollowConfig keeps replica benches snappy without touching the
+// production-scale defaults.
+func benchFollowConfig(primary string) server.FollowConfig {
+	return server.FollowConfig{
+		Primary:      primary,
+		Backoff:      retry.Policy{Base: time.Millisecond, Cap: 50 * time.Millisecond},
+		StallTimeout: 2 * time.Second,
+		Seed:         1,
+	}
+}
+
+// newBenchFollower builds a follower replicating "main" from primary.
+func newBenchFollower(b *testing.B, primary string) (*server.Server, *server.Instance) {
+	b.Helper()
+	srv := server.New(server.Config{})
+	spec := server.IndexSpec{
+		Name: "main", Kind: index.KindRTree, PageSize: 512,
+		Dir: b.TempDir(), Fsync: wal.SyncNever, Follower: true,
+	}
+	inst, err := srv.AddIndex(spec, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := srv.Follow(benchFollowConfig(primary)); err != nil {
+		b.Fatal(err)
+	}
+	return srv, inst
+}
+
+// waitVisible polls the replica's read path until a query for rect
+// with relation equal reports present (or absent, when want is false).
+func waitVisible(b *testing.B, inst *server.Instance, rect geom.Rect, want bool) {
+	b.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		if proc := inst.ReadProc(); proc != nil {
+			res, err := proc.QuerySetMBR(topo.NewSet(topo.Equal), rect)
+			if err == nil && (len(res.Matches) > 0) == want {
+				return
+			}
+		}
+		runtime.Gosched()
+	}
+	b.Fatalf("rect %v never became visible=%v on the replica", rect, want)
+}
+
+// stopFollower detaches a caught-up replica (Promote stops the
+// follower loops) and releases its files.
+func stopFollower(b *testing.B, srv *server.Server) {
+	b.Helper()
+	if err := srv.Promote(); err != nil {
+		b.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkReplVisibility measures primary-commit → replica-visible
+// latency for single inserts over a live stream.
+func BenchmarkReplVisibility(b *testing.B) {
+	d := workload.NewDataset(workload.Medium, 1000, 0, 42)
+	primary := server.New(server.Config{})
+	spec := server.IndexSpec{
+		Name: "main", Kind: index.KindRTree, PageSize: 512,
+		Dir: b.TempDir(), Fsync: wal.SyncNever,
+	}
+	pinst, err := primary.AddIndex(spec, d.Items)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(primary.Handler())
+	defer ts.Close()
+
+	follower, finst := newBenchFollower(b, ts.URL)
+	// The sentinel region is far outside the dataset so equality
+	// queries see only our own rectangles.
+	probe := geom.R(5000, 5000, 5001, 5001)
+	if err := pinst.Insert(probe, 1<<40); err != nil {
+		b.Fatal(err)
+	}
+	waitVisible(b, finst, probe, true)
+
+	lat := make([]time.Duration, 0, b.N)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		oid := uint64(1<<40 + i + 1)
+		rect := geom.R(6000+float64(i%500), 6000, 6002+float64(i%500), 6003)
+		start := time.Now()
+		if err := pinst.Insert(rect, oid); err != nil {
+			b.Fatal(err)
+		}
+		waitVisible(b, finst, rect, true)
+		lat = append(lat, time.Since(start))
+		if err := pinst.Delete(rect, oid); err != nil {
+			b.Fatal(err)
+		}
+		waitVisible(b, finst, rect, false)
+	}
+	b.StopTimer()
+	stopFollower(b, follower)
+
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	pct := func(p float64) float64 {
+		return float64(lat[int(p*float64(len(lat)-1))].Nanoseconds())
+	}
+	b.ReportMetric(pct(0.50), "p50_ns")
+	b.ReportMetric(pct(0.95), "p95_ns")
+	b.ReportMetric(pct(0.99), "p99_ns")
+}
+
+// BenchmarkReplCatchup measures a cold follower catching up to a
+// primary holding a snapshot plus a long WAL tail: one iteration is
+// bootstrap + full tail replay to the sentinel record.
+func BenchmarkReplCatchup(b *testing.B) {
+	const nBase, nTail = 2000, 1000
+	d := workload.NewDataset(workload.Medium, nBase, 0, 42)
+	primary := server.New(server.Config{})
+	spec := server.IndexSpec{
+		Name: "main", Kind: index.KindRTree, PageSize: 512,
+		Dir: b.TempDir(), Fsync: wal.SyncNever,
+		// Manual checkpoints only: the tail stays one long generation.
+		CheckpointEvery: -1,
+	}
+	pinst, err := primary.AddIndex(spec, d.Items)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var sentinel geom.Rect
+	for i := 0; i < nTail; i++ {
+		x := 2000 + float64(i%900)
+		sentinel = geom.R(x, 2000, x+3, 2004)
+		if err := pinst.Insert(sentinel, uint64(1<<41+i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	ts := httptest.NewServer(primary.Handler())
+	defer ts.Close()
+
+	b.ResetTimer()
+	var total time.Duration
+	for i := 0; i < b.N; i++ {
+		start := time.Now()
+		follower, finst := newBenchFollower(b, ts.URL)
+		waitVisible(b, finst, sentinel, true)
+		total += time.Since(start)
+		b.StopTimer()
+		stopFollower(b, follower)
+		b.StartTimer()
+	}
+	b.StopTimer()
+	secs := total.Seconds() / float64(b.N)
+	b.ReportMetric(float64(nTail)/secs, "tail_records/s")
+	b.ReportMetric(float64(nBase+nTail)/secs, "objects/s")
+}

@@ -14,7 +14,10 @@
 # falls back cleanly to paged recovery. A sixth leg subscribes
 # topoquery -watch to a durable topod, mutates through /v1/insert and
 # /v1/bulk, asserts the enter/exit event sequence arrives, and checks
-# SIGTERM ends the stream with a terminal drain line.
+# SIGTERM ends the stream with a terminal drain line. A seventh leg
+# boots a primary + -follow replica pair, checks the replica serves
+# the primary's data and 403s writes, kill -9s the primary, promotes
+# the replica via POST /v1/promote, and asserts a write then succeeds.
 set -euo pipefail
 
 TOPOD="${1:?usage: smoke.sh path/to/topod path/to/topoquery path/to/datagen}"
@@ -29,15 +32,18 @@ cleanup() {
   kill -9 "$PID4" 2>/dev/null || true
   kill -9 "$PID5" 2>/dev/null || true
   kill -9 "$PID6" 2>/dev/null || true
+  kill -9 "$PID7" 2>/dev/null || true
+  kill -9 "$PID8" 2>/dev/null || true
   kill -9 "$CURLPID" 2>/dev/null || true
   kill -9 "$WATCHPID" 2>/dev/null || true
   rm -rf "$LOG" "$LOG2" "$LOG3" "$LOG4" "$LOG5" "$LOG6" "$LOG7" "$LOG8" "$LOG9" \
-    "$LOG10" "$WLOG" "$BULK" "$WBULK" "$LEFT" "$RIGHT" "$HDRS" \
-    "$DATADIR" "$DATADIR2" "$DATADIR3" "$DATADIR4" 2>/dev/null || true
+    "$LOG10" "$LOG11" "$LOG12" "$WLOG" "$BULK" "$WBULK" "$LEFT" "$RIGHT" "$HDRS" \
+    "$DATADIR" "$DATADIR2" "$DATADIR3" "$DATADIR4" "$DATADIR5" "$DATADIR6" 2>/dev/null || true
 }
-PID="" PID2="" PID3="" PID4="" PID5="" PID6="" CURLPID="" WATCHPID="" LOG2="" LOG3=""
-LOG4="" LOG5="" LOG6="" LOG7="" LOG8="" LOG9="" LOG10="" WLOG="" BULK="" WBULK=""
-LEFT="" RIGHT="" HDRS="" DATADIR2="" DATADIR3="" DATADIR4=""
+PID="" PID2="" PID3="" PID4="" PID5="" PID6="" PID7="" PID8="" CURLPID="" WATCHPID=""
+LOG2="" LOG3="" LOG4="" LOG5="" LOG6="" LOG7="" LOG8="" LOG9="" LOG10="" LOG11=""
+LOG12="" WLOG="" BULK="" WBULK="" LEFT="" RIGHT="" HDRS="" DATADIR2="" DATADIR3=""
+DATADIR4="" DATADIR5="" DATADIR6=""
 
 # wait_listen LOGFILE: echo the address once the daemon logs it.
 wait_listen() {
@@ -487,3 +493,93 @@ grep -q '^watch ended by server: drain$' "$WLOG" \
   || { echo "smoke: terminal drain line missing from watch output" >&2; cat "$WLOG" >&2; exit 1; }
 
 echo "smoke OK: /v1/watch streamed insert/bulk/delete events + terminal drain line"
+
+# ---- replication leg: primary + -follow replica, hot failover ----
+
+LOG11="$(mktemp)"
+LOG12="$(mktemp)"
+DATADIR5="$(mktemp -d)"
+DATADIR6="$(mktemp -d)"
+"$TOPOD" -gen 400 -tree rtree -data-dir "$DATADIR5" -fsync always \
+  -addr 127.0.0.1:0 >"$LOG11" 2>&1 &
+PID7=$!
+
+ADDR7="$(wait_listen "$LOG11")" || {
+  echo "smoke: repl-leg primary never started listening" >&2
+  cat "$LOG11" >&2
+  exit 1
+}
+PRI="http://$ADDR7"
+wait_ready "$PRI" || { echo "smoke: repl-leg primary never became ready" >&2; exit 1; }
+
+"$TOPOD" -addr 127.0.0.1:0 -follow "$PRI" -data-dir "$DATADIR6" -max-lag 5s \
+  >"$LOG12" 2>&1 &
+PID8=$!
+
+ADDR8="$(wait_listen "$LOG12")" || {
+  echo "smoke: replica never started listening" >&2
+  cat "$LOG12" >&2
+  exit 1
+}
+REP="http://$ADDR8"
+grep -q '^topod: backend=follower ' "$LOG12" \
+  || { echo "smoke: replica did not report follower mode" >&2; cat "$LOG12" >&2; exit 1; }
+# /readyz gates on bootstrap + lag: once it answers 200 the replica
+# holds the primary's dataset.
+wait_ready "$REP" || { echo "smoke: replica never became ready" >&2; cat "$LOG12" >&2; exit 1; }
+
+RIDX="$(curl -sf "$REP/v1/indexes")"
+echo "$RIDX" | grep -q '"objects":400' \
+  || { echo "smoke: replica does not serve the primary's 400 objects: $RIDX" >&2; exit 1; }
+
+# A write on the primary must become visible on the replica.
+RACK="$(curl -sf -d '{"oid":555001,"rect":[40010,40010,40020,40020]}' "$PRI/v1/insert")"
+echo "$RACK" | grep -q '"ok":true' \
+  || { echo "smoke: repl-leg primary insert failed: $RACK" >&2; exit 1; }
+REPLICATED=""
+for _ in $(seq 1 100); do
+  RQ="$(curl -sf -d '{"relations":["not_disjoint"],"ref":[40000,40000,40030,40030]}' "$REP/v1/query" || true)"
+  if echo "$RQ" | grep -q '"oid":555001'; then REPLICATED=yes; break; fi
+  sleep 0.1
+done
+[ -n "$REPLICATED" ] \
+  || { echo "smoke: primary insert never appeared on the replica" >&2; cat "$LOG12" >&2; exit 1; }
+
+# The replica refuses writes, naming the primary.
+WCODE="$(curl -s -o "$HDRS" -w '%{http_code}' \
+  -d '{"oid":555002,"rect":[1,1,2,2]}' "$REP/v1/insert")"
+[ "$WCODE" = "403" ] \
+  || { echo "smoke: replica answered $WCODE to a write, want 403" >&2; exit 1; }
+grep -q '"primary"' "$HDRS" \
+  || { echo "smoke: replica 403 does not name the primary: $(cat "$HDRS")" >&2; exit 1; }
+
+# Hot failover: hard-kill the primary, promote the replica, and write.
+kill -9 "$PID7"
+wait "$PID7" 2>/dev/null || true
+PROM="$(curl -sf -X POST "$REP/v1/promote")"
+echo "$PROM" | grep -q '"promoted":true' \
+  || { echo "smoke: promote failed: $PROM" >&2; cat "$LOG12" >&2; exit 1; }
+# SIGUSR1 is the other promotion path; promotion is idempotent, so this
+# exercises the signal handler and must log the notice.
+kill -USR1 "$PID8"
+wait_line "$LOG12" 'promoted to primary' || {
+  echo "smoke: replica log missing promotion notice after SIGUSR1" >&2
+  cat "$LOG12" >&2
+  exit 1
+}
+PACK="$(curl -sf -d '{"oid":555003,"rect":[40040,40040,40050,40050]}' "$REP/v1/insert")"
+echo "$PACK" | grep -q '"ok":true' \
+  || { echo "smoke: write after promotion failed: $PACK" >&2; cat "$LOG12" >&2; exit 1; }
+PQ="$(curl -sf -d '{"relations":["not_disjoint"],"ref":[40035,40035,40055,40055]}' "$REP/v1/query")"
+echo "$PQ" | grep -q '"oid":555003' \
+  || { echo "smoke: post-promotion write not served: $PQ" >&2; exit 1; }
+wait_ready "$REP" || { echo "smoke: promoted replica not ready" >&2; exit 1; }
+
+kill -TERM "$PID8"
+if ! wait "$PID8"; then
+  echo "smoke: promoted replica exited non-zero on SIGTERM" >&2
+  cat "$LOG12" >&2
+  exit 1
+fi
+
+echo "smoke OK: replica followed, failed over on kill -9, and accepted writes"
