@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify race test bench bench-json bench-read bench-watch bench-repl fmt smoke fuzz
+.PHONY: verify race test bench bench-json bench-read bench-watch bench-repl bench-shard fmt smoke fuzz
 
 # Tier-1 gate: everything must build, vet clean, and pass.
 verify:
@@ -20,6 +20,7 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzWALReplay -fuzztime=$(FUZZTIME) ./internal/wal
 	$(GO) test -run='^$$' -fuzz=FuzzWireDecode -fuzztime=$(FUZZTIME) ./internal/server
 	$(GO) test -run='^$$' -fuzz=FuzzFlatDecode -fuzztime=$(FUZZTIME) ./internal/rtree
+	$(GO) test -run='^$$' -fuzz=FuzzTilePrune -fuzztime=$(FUZZTIME) ./internal/shard
 
 test:
 	$(GO) test ./...
@@ -61,6 +62,14 @@ bench-watch:
 bench-repl:
 	$(GO) test -run='^$$' -bench='BenchmarkReplVisibility|BenchmarkReplCatchup' -benchtime=$(BENCHTIME) . | $(GO) run ./cmd/benchjson > BENCH_repl.json
 	@cat BENCH_repl.json
+
+# Machine-readable perf snapshot of tile sharding: window queries
+# through the scatter-gather router and the 50k x 50k join, sharded
+# versus the single-index baseline, recorded in BENCH_shard.json. CI
+# runs it with BENCHTIME=1x as a smoke check.
+bench-shard:
+	$(GO) test -run='^$$' -bench='BenchmarkShardedQuery|BenchmarkShardedJoin' -benchtime=$(BENCHTIME) . | $(GO) run ./cmd/benchjson > BENCH_shard.json
+	@cat BENCH_shard.json
 
 # Service smoke test: boot topod, query it, scrape /metrics, assert a
 # clean SIGTERM drain, and check /v1/join pair counts against the

@@ -8,7 +8,7 @@
 //	topobench -exp table3 -n 10000 -queries 100 -seed 1995
 //	topobench -exp fig11
 //	topobench -exp fig2|fig3|fig4|table1|fig9|table2|fig12|table4|table5|fig14
-//	topobench -exp window|complex|ablations [-class small|medium|large]
+//	topobench -exp window|complex|ablations|shard [-class small|medium|large]
 //	topobench -exp buffer -frames 128     # LRU pool: hit ratio vs raw accesses
 package main
 
@@ -26,7 +26,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment id (all, table3, fig11, fig12, table4, table5, window, complex, ablations, packing, seeds, noncontiguous, join, secondfilter, buffer, fig1, fig2, fig3, fig4, table1, fig9, table2, fig14)")
+		exp      = flag.String("exp", "all", "experiment id (all, table3, fig11, fig12, table4, table5, window, complex, ablations, shard, packing, seeds, noncontiguous, join, secondfilter, buffer, fig1, fig2, fig3, fig4, table1, fig9, table2, fig14)")
 		n        = flag.Int("n", 10000, "data file cardinality")
 		queries  = flag.Int("queries", 100, "search file cardinality")
 		seed     = flag.Int64("seed", 1995, "random seed")
@@ -123,6 +123,13 @@ func run(exp string, cfg experiments.Config, cls workload.SizeClass) error {
 		}},
 		{"ablations", func() (string, error) {
 			r, err := experiments.RunAblations(cfg, cls)
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		}},
+		{"shard", func() (string, error) {
+			r, err := experiments.RunShard(cfg, cls)
 			if err != nil {
 				return "", err
 			}

@@ -60,6 +60,15 @@
 //
 //	topoquery -watch http://localhost:8080 -rel not_disjoint -ref 10,10,40,30
 //
+// Tile sharding: -shards N partitions the index into N STR tiles, one
+// index instance per tile behind a scatter-gather router. Queries,
+// kNN, and joins fan out to only the tiles whose bounds can satisfy
+// the relation set; with -data-dir every tile keeps its own snapshot +
+// WAL + flat files and recovers independently (an existing on-disk
+// tile layout wins over the flag):
+//
+//	topod -gen 100000 -bulk -shards 4 -data-dir /var/lib/topod
+//
 // Load-generator mode benchmarks the service end to end:
 //
 //	topod -bench -gen 10000 -clients 16 -requests 400
@@ -128,6 +137,7 @@ func main() {
 		limit    = flag.Int("limit", 0, "bench: per-query match limit (0 = unlimited)")
 
 		maxWatch = flag.Int("maxwatch", 256, "bound on concurrently open /v1/watch streams (separate from -maxinflight)")
+		shards   = flag.Int("shards", 1, "STR-partition the index into this many tiles with scatter-gather routing (an existing on-disk layout wins over the flag)")
 	)
 	flag.Parse()
 
@@ -170,6 +180,7 @@ func main() {
 		PageSize: *pageSize,
 		Frames:   *frames,
 		Bulk:     *bulk,
+		Shards:   *shards,
 	}
 	if *follow != "" && *dataDir == "" {
 		fatal(fmt.Errorf("-follow requires -data-dir (the replica keeps its own snapshot + WAL)"))
@@ -218,6 +229,14 @@ func main() {
 	case !inst.Healthy():
 		fmt.Printf("topod: index %q UNHEALTHY (%s); serving 503 on its routes\n",
 			inst.Name, inst.FailReason())
+	case inst.Sharded() > 0:
+		verb := "serving"
+		if inst.Recovered {
+			verb = "recovered"
+		}
+		fmt.Printf("topod: backend=sharded %s %d rectangles across %d STR tiles in %s %q in %s (replayed %d WAL records)\n",
+			verb, inst.ReadIndex().Len(), inst.Sharded(), inst.Kind, inst.Name,
+			buildTime.Round(time.Millisecond), inst.Replayed)
 	// The flat case must precede the recovered one: a flat boot rebuilds
 	// its paged working copy in the background, so inst.Recovered and
 	// inst.Idx are not safe to read here.

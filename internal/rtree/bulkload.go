@@ -134,6 +134,47 @@ func strTile(entries []Entry, capacity, minFill int) [][]Entry {
 	return chunks
 }
 
+// STRPartition splits records into exactly n spatially coherent groups
+// using the same sort-tile-recursive pass the bulk loader packs nodes
+// with: sort by x-center, cut into vertical slabs, sort each slab by
+// y-center and cut into tiles. Every record lands in exactly one group;
+// groups are contiguous tiles of roughly equal size. When there are
+// fewer records than groups the trailing groups are empty (callers map
+// group i to shard i, so the count must not depend on the data).
+func STRPartition(records []Record, n int) [][]Record {
+	if n < 1 {
+		n = 1
+	}
+	out := make([][]Record, n)
+	if len(records) == 0 {
+		return out
+	}
+	capacity := (len(records) + n - 1) / n
+	sorted := make([]Record, len(records))
+	copy(sorted, records)
+	sort.Slice(sorted, func(i, j int) bool {
+		return sorted[i].Rect.Center().X < sorted[j].Rect.Center().X
+	})
+	numSlabs := intSqrtCeil(n)
+	slabSize := numSlabs * capacity
+	next := 0
+	for start := 0; start < len(sorted); start += slabSize {
+		end := min(start+slabSize, len(sorted))
+		slab := sorted[start:end]
+		sort.Slice(slab, func(i, j int) bool {
+			return slab[i].Rect.Center().Y < slab[j].Rect.Center().Y
+		})
+		for s := 0; s < len(slab); s += capacity {
+			e := min(s+capacity, len(slab))
+			tile := make([]Record, e-s)
+			copy(tile, slab[s:e])
+			out[next] = tile
+			next++
+		}
+	}
+	return out
+}
+
 func intSqrtCeil(n int) int {
 	s := 1
 	for s*s < n {

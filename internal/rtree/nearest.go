@@ -65,8 +65,26 @@ type pqItem struct {
 
 type pq []pqItem
 
-func (q pq) Len() int            { return len(q) }
-func (q pq) Less(i, j int) bool  { return q[i].dist < q[j].dist }
+func (q pq) Len() int { return len(q) }
+
+// Less orders by MINDIST; on ties nodes are expanded before entries are
+// emitted (so every candidate at that distance is on the heap first) and
+// equal-distance entries pop smallest object id first. Deterministic tie
+// breaking is what lets a sharded best-k merge reproduce the single-tree
+// answer bit for bit.
+func (q pq) Less(i, j int) bool {
+	a, b := q[i], q[j]
+	if a.dist != b.dist {
+		return a.dist < b.dist
+	}
+	if (a.node != 0) != (b.node != 0) {
+		return a.node != 0
+	}
+	if a.node != 0 {
+		return a.node < b.node
+	}
+	return a.entry.OID < b.entry.OID
+}
 func (q pq) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
 func (q *pq) Push(x interface{}) { *q = append(*q, x.(pqItem)) }
 func (q *pq) Pop() interface{} {

@@ -429,6 +429,9 @@ func (d *durable) demoteLocked(inst *Instance) error {
 // other boot path). Tests and benchmarks use it to observe the steady
 // state; serving code never needs it.
 func (inst *Instance) WaitReconstructed() {
+	for _, t := range inst.tiles {
+		t.WaitReconstructed()
+	}
 	if inst.dur == nil {
 		return
 	}
@@ -459,6 +462,15 @@ func (d *durable) settle(inst *Instance, ticket *wal.Ticket, cpErr error) error 
 // Checkpoint forces a checkpoint now (topod runs one on clean
 // shutdown so the next boot replays nothing).
 func (inst *Instance) Checkpoint() error {
+	if len(inst.tiles) > 0 {
+		var firstErr error
+		for _, t := range inst.tiles {
+			if err := t.Checkpoint(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		return firstErr
+	}
 	if inst.dur == nil {
 		return nil
 	}
@@ -469,6 +481,15 @@ func (inst *Instance) Checkpoint() error {
 
 // Close checkpoints (when healthy) and releases the durable files.
 func (inst *Instance) Close() error {
+	if len(inst.tiles) > 0 {
+		var firstErr error
+		for _, t := range inst.tiles {
+			if err := t.Close(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		return firstErr
+	}
 	if inst.dur == nil {
 		return nil
 	}

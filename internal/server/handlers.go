@@ -393,6 +393,7 @@ func (s *Server) handleIndexes(w http.ResponseWriter, r *http.Request) {
 			Name:    inst.Name,
 			Kind:    inst.Kind.String(),
 			Healthy: inst.Healthy(),
+			Shards:  inst.Sharded(),
 			Durable: inst.Durable(),
 			Backend: inst.Backend(),
 		}

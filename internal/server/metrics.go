@@ -82,6 +82,9 @@ type Metrics struct {
 	// replStats surfaces follower-side replication state the same way;
 	// nil on a node that never called Server.Follow.
 	replStats func() []ReplStat
+	// shardStats surfaces router fan-out counters of the sharded
+	// indexes the same way.
+	shardStats func() []ShardStat
 }
 
 // PoolStat is one index's buffer-pool counters for /metrics.
@@ -520,6 +523,27 @@ func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
 			fmt.Fprintf(cw, "# TYPE topod_watch_batches_total counter\n")
 			for _, ws := range stats {
 				fmt.Fprintf(cw, "topod_watch_batches_total{index=%q} %d\n", ws.Index, ws.Batches)
+			}
+		}
+	}
+
+	if m.shardStats != nil {
+		stats := m.shardStats()
+		if len(stats) > 0 {
+			fmt.Fprintf(cw, "# HELP topod_shard_tiles STR tiles behind the sharded index.\n")
+			fmt.Fprintf(cw, "# TYPE topod_shard_tiles gauge\n")
+			for _, ss := range stats {
+				fmt.Fprintf(cw, "topod_shard_tiles{index=%q} %d\n", ss.Index, ss.Tiles)
+			}
+			fmt.Fprintf(cw, "# HELP topod_shard_tile_searches_total Tiles the router actually fanned a read out to.\n")
+			fmt.Fprintf(cw, "# TYPE topod_shard_tile_searches_total counter\n")
+			for _, ss := range stats {
+				fmt.Fprintf(cw, "topod_shard_tile_searches_total{index=%q} %d\n", ss.Index, ss.Searched)
+			}
+			fmt.Fprintf(cw, "# HELP topod_shard_tile_prunes_total Tiles eliminated before traversal by the MBR feasibility test on tile bounds.\n")
+			fmt.Fprintf(cw, "# TYPE topod_shard_tile_prunes_total counter\n")
+			for _, ss := range stats {
+				fmt.Fprintf(cw, "topod_shard_tile_prunes_total{index=%q} %d\n", ss.Index, ss.Pruned)
 			}
 		}
 	}

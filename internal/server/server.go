@@ -49,6 +49,7 @@ import (
 	"mbrtopo/internal/pagefile"
 	"mbrtopo/internal/query"
 	"mbrtopo/internal/rtree"
+	"mbrtopo/internal/shard"
 	"mbrtopo/internal/wal"
 	"mbrtopo/internal/watch"
 )
@@ -126,6 +127,13 @@ type IndexSpec struct {
 	// state is built or recovered — the snapshot, working copy, and WAL
 	// all arrive through Server.Follow's stream. Requires Dir.
 	Follower bool
+	// Shards, when > 1, partitions the index into that many STR tiles,
+	// each running as its own sub-instance (with its own snapshot, WAL
+	// and flat files under Dir, named Name.t<i>.*) behind a
+	// scatter-gather router. On a durable index an existing tile layout
+	// in Dir wins over this value, so a reboot without the flag comes
+	// back sharded. Incompatible with Follower.
+	Shards int
 }
 
 // DefaultCheckpointEvery is the automatic checkpoint cadence (logged
@@ -181,6 +189,13 @@ type Instance struct {
 	// publication (durable instances reuse dur.mu for this).
 	watch *watch.Table
 	wmu   sync.Mutex
+
+	// tiles and router are set on a sharded instance (IndexSpec.Shards):
+	// tiles are the unregistered per-tile sub-instances, router the
+	// scatter-gather index.Index the read path serves from. Mutations on
+	// the parent route to one tile under wmu (see shard.go).
+	tiles  []*Instance
+	router *shard.Sharded
 }
 
 // Backend reports which boot path produced the instance's first read
@@ -222,14 +237,35 @@ func (inst *Instance) ReadPool() *pagefile.BufferPool {
 
 // Healthy reports whether the index may serve traffic. An index whose
 // recovery or scrub failed — or that detected corruption while
-// serving — answers 503 instead of wrong answers.
-func (inst *Instance) Healthy() bool { return !inst.unhealthy.Load() }
+// serving — answers 503 instead of wrong answers. A sharded instance
+// is healthy only while every tile is: a lost tile means silently
+// partial answers, which is worse than a 503.
+func (inst *Instance) Healthy() bool {
+	if inst.unhealthy.Load() {
+		return false
+	}
+	for _, t := range inst.tiles {
+		if !t.Healthy() {
+			return false
+		}
+	}
+	return true
+}
 
 // FailReason returns why the instance is unhealthy ("" when healthy).
 func (inst *Instance) FailReason() string {
 	inst.mu.Lock()
-	defer inst.mu.Unlock()
-	return inst.failReason
+	reason := inst.failReason
+	inst.mu.Unlock()
+	if reason != "" {
+		return reason
+	}
+	for _, t := range inst.tiles {
+		if r := t.FailReason(); r != "" {
+			return fmt.Sprintf("tile %s: %s", t.Name, r)
+		}
+	}
+	return ""
 }
 
 // MarkUnhealthy takes the instance out of service (first reason wins).
@@ -241,12 +277,30 @@ func (inst *Instance) MarkUnhealthy(reason string) {
 	}
 }
 
-// Durable reports whether the instance persists to a data directory.
-func (inst *Instance) Durable() bool { return inst.dur != nil }
+// Durable reports whether the instance persists to a data directory
+// (a sharded instance is durable when its tiles are).
+func (inst *Instance) Durable() bool {
+	if inst.dur != nil {
+		return true
+	}
+	for _, t := range inst.tiles {
+		if t.Durable() {
+			return true
+		}
+	}
+	return false
+}
+
+// Sharded reports how many tiles the instance routes across (0 for an
+// ordinary single-tree instance).
+func (inst *Instance) Sharded() int { return len(inst.tiles) }
 
 // Insert stores one rectangle, logging it to the WAL (before the
 // caller acknowledges) when the index is durable.
 func (inst *Instance) Insert(r geom.Rect, oid uint64) error {
+	if len(inst.tiles) > 0 {
+		return inst.shardInsert(r, oid)
+	}
 	if inst.dur != nil {
 		return inst.dur.apply(inst, wal.OpInsert, r, oid)
 	}
@@ -262,6 +316,9 @@ func (inst *Instance) Insert(r geom.Rect, oid uint64) error {
 // Delete removes one rectangle/id entry, logging it to the WAL when
 // the index is durable.
 func (inst *Instance) Delete(r geom.Rect, oid uint64) error {
+	if len(inst.tiles) > 0 {
+		return inst.shardDelete(r, oid)
+	}
 	if inst.dur != nil {
 		return inst.dur.apply(inst, wal.OpDelete, r, oid)
 	}
@@ -279,6 +336,9 @@ func (inst *Instance) Delete(r geom.Rect, oid uint64) error {
 // on a durable index, one contiguous WAL run with a single
 // group-committed flush.
 func (inst *Instance) InsertBatch(recs []rtree.Record) error {
+	if len(inst.tiles) > 0 {
+		return inst.shardInsertBatch(recs)
+	}
 	if inst.dur != nil {
 		return inst.dur.applyBulk(inst, recs)
 	}
@@ -345,6 +405,7 @@ func New(cfg Config) *Server {
 	m.walStats = s.walStats
 	m.backendStats = s.backendStats
 	m.watchStats = s.watchStats
+	m.shardStats = s.shardStats
 	return s
 }
 
@@ -361,7 +422,7 @@ func loadItems(idx index.Index, items []index.Item, bulk bool) error {
 // durable indexes for the /metrics exposition.
 func (s *Server) walStats() []WALStat {
 	var out []WALStat
-	for _, inst := range s.listInstances() {
+	for _, inst := range s.statInstances() {
 		if inst.dur == nil {
 			continue
 		}
@@ -381,7 +442,7 @@ func (s *Server) walStats() []WALStat {
 // exposition.
 func (s *Server) backendStats() []BackendStat {
 	var out []BackendStat
-	for _, inst := range s.listInstances() {
+	for _, inst := range s.statInstances() {
 		out = append(out, BackendStat{Index: inst.Name, Backend: inst.Backend()})
 	}
 	return out
@@ -390,7 +451,7 @@ func (s *Server) backendStats() []BackendStat {
 // healthStats snapshots per-index health for the /metrics exposition.
 func (s *Server) healthStats() []HealthStat {
 	var out []HealthStat
-	for _, inst := range s.listInstances() {
+	for _, inst := range s.statInstances() {
 		out = append(out, HealthStat{Index: inst.Name, Healthy: inst.Healthy()})
 	}
 	return out
@@ -400,7 +461,7 @@ func (s *Server) healthStats() []HealthStat {
 // indexes for the /metrics exposition.
 func (s *Server) poolStats() []PoolStat {
 	var out []PoolStat
-	for _, inst := range s.listInstances() {
+	for _, inst := range s.statInstances() {
 		pool := inst.ReadPool()
 		if pool == nil {
 			continue
@@ -435,6 +496,46 @@ func (s *Server) AddIndex(spec IndexSpec, items []index.Item) (*Instance, error)
 		return nil, fmt.Errorf("server: follower index %q needs a data directory", spec.Name)
 	}
 
+	shards := spec.Shards
+	if spec.Dir != "" && !spec.Follower {
+		// An existing layout in the directory wins over the flag: a tile
+		// layout reboots sharded whatever -shards says, and a plain
+		// single-index snapshot keeps booting single even when sharding
+		// is requested (never silently abandon existing data).
+		if n := detectTiles(spec.Dir, spec.Name); n > 0 {
+			shards = n
+		} else if shards > 1 && hasSingleSnapshot(spec.Dir, spec.Name) {
+			shards = 1
+		}
+	}
+	if shards > 1 {
+		if spec.Follower {
+			return nil, fmt.Errorf("server: index %q: sharding is incompatible with Follower", spec.Name)
+		}
+		return s.addSharded(spec, shards, items)
+	}
+
+	inst, err := s.buildInstance(spec, items)
+	if err != nil {
+		return nil, err
+	}
+	inst.watch = s.newWatchTable(inst)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.instances[spec.Name]; dup {
+		_ = inst.Close()
+		return nil, fmt.Errorf("server: duplicate index %q", spec.Name)
+	}
+	s.instances[spec.Name] = inst
+	if s.defaultName == "" {
+		s.defaultName = spec.Name
+	}
+	return inst, nil
+}
+
+// buildInstance constructs one unregistered instance per spec — the
+// shared build path of AddIndex and of the sharded tiles.
+func (s *Server) buildInstance(spec IndexSpec, items []index.Item) (*Instance, error) {
 	var inst *Instance
 	if spec.Dir != "" {
 		var err error
@@ -476,17 +577,6 @@ func (s *Server) AddIndex(spec IndexSpec, items []index.Item) (*Instance, error)
 	}
 	if inst.backend == "" {
 		inst.backend = "paged"
-	}
-	inst.watch = s.newWatchTable(inst)
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, dup := s.instances[spec.Name]; dup {
-		_ = inst.Close()
-		return nil, fmt.Errorf("server: duplicate index %q", spec.Name)
-	}
-	s.instances[spec.Name] = inst
-	if s.defaultName == "" {
-		s.defaultName = spec.Name
 	}
 	return inst, nil
 }

@@ -185,6 +185,7 @@ type IndexInfo struct {
 	Objects      int         `json:"objects"`
 	Height       int         `json:"height"`
 	Healthy      bool        `json:"healthy"`
+	Shards       int         `json:"shards,omitempty"`
 	Durable      bool        `json:"durable,omitempty"`
 	Backend      string      `json:"backend,omitempty"`
 	FailReason   string      `json:"fail_reason,omitempty"`

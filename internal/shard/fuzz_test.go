@@ -1,0 +1,58 @@
+package shard
+
+import (
+	"math"
+	"testing"
+
+	"mbrtopo/internal/geom"
+	"mbrtopo/internal/mbr"
+	"mbrtopo/internal/topo"
+)
+
+// FuzzTilePrune attacks the router's tile-elimination predicate: if a
+// member rectangle inside a tile's bounds stands in a candidate
+// configuration for the requested relation set (i.e. the single-index
+// oracle would retrieve it), the router must consider the tile
+// feasible. Eliminating such a tile would silently lose answers, so
+// pruning has to be conservative for every geometry the fuzzer can
+// draw.
+func FuzzTilePrune(f *testing.F) {
+	f.Add(uint8(1), 0.0, 0.0, 10.0, 10.0, 5.0, 5.0, 20.0, 20.0, 30.0, 30.0)
+	f.Add(uint8(0xFF), 1.0, 1.0, 2.0, 2.0, 1.0, 1.0, 2.0, 2.0, 0.0, 0.0)
+	f.Add(uint8(1<<topo.Disjoint), -5.0, -5.0, -1.0, -1.0, 0.0, 0.0, 1.0, 1.0, 100.0, 100.0)
+	f.Add(uint8(1<<topo.Meet|1<<topo.Overlap), 0.0, 0.0, 4.0, 4.0, 4.0, 0.0, 8.0, 4.0, 6.0, 6.0)
+	f.Add(uint8(1<<topo.Equal), 3.0, 3.0, 7.0, 7.0, 3.0, 3.0, 7.0, 7.0, 9.0, 9.0)
+
+	f.Fuzz(func(t *testing.T, relBits uint8,
+		mx1, my1, mx2, my2 float64, // member rectangle
+		rx1, ry1, rx2, ry2 float64, // reference rectangle
+		ex, ey float64) { // extra point stretching the tile bounds
+
+		for _, v := range []float64{mx1, my1, mx2, my2, rx1, ry1, rx2, ry2, ex, ey} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Skip("non-finite coordinate")
+			}
+		}
+		rels := topo.Set(relBits)
+		if rels.IsEmpty() {
+			t.Skip("empty relation set")
+		}
+		member := geom.R(math.Min(mx1, mx2), math.Min(my1, my2), math.Max(mx1, mx2), math.Max(my1, my2))
+		ref := geom.R(math.Min(rx1, rx2), math.Min(ry1, ry2), math.Max(rx1, rx2), math.Max(ry1, ry2))
+		if !member.Valid() || !ref.Valid() {
+			t.Skip("degenerate rectangle")
+		}
+		// The tile's bounds cover the member plus whatever else the tile
+		// holds, modelled by an extra point.
+		bounds := member.Union(geom.R(ex, ey, ex, ey))
+
+		cands := mbr.CandidatesSet(rels)
+		if !cands.Has(mbr.ConfigOf(member, ref)) {
+			return // the oracle would not retrieve this member either
+		}
+		if !TileFeasible(cands, ref, bounds) {
+			t.Fatalf("router prunes a tile holding a qualifying member:\n rels=%v member=%v ref=%v bounds=%v config=%v",
+				rels, member, ref, bounds, mbr.ConfigOf(member, ref))
+		}
+	})
+}

@@ -1,0 +1,115 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"mbrtopo/internal/geom"
+	"mbrtopo/internal/index"
+	"mbrtopo/internal/workload"
+)
+
+// The kNN cross-tile property: for random k and query points sampled
+// near tile boundaries — where a naive per-tile merge loses
+// equal-distance answers to the wrong tile — the global top-k must be
+// bit-identical to the single-index NearestCtx oracle, ties broken by
+// object id.
+
+func TestKNNCrossTileProperty(t *testing.T) {
+	ds := workload.NewDataset(workload.Small, 1200, 0, 99)
+	rng := rand.New(rand.NewSource(7))
+	for _, kind := range index.AllKinds() {
+		for _, shards := range []int{2, 4, 7} {
+			t.Run(fmt.Sprintf("%v/shards=%d", kind, shards), func(t *testing.T) {
+				oracle := buildSingle(t, kind, ds.Items)
+				s := buildSharded(t, kind, ds.Items, shards)
+
+				// Query points hugging every tile-bound edge, jittered to
+				// land just inside, just outside and exactly on it.
+				var points []geom.Point
+				for _, tl := range s.Tiles() {
+					b, ok := tl.Bounds()
+					if !ok {
+						continue
+					}
+					for i := 0; i < 6; i++ {
+						jitter := (rng.Float64() - 0.5) * 2 // ±1
+						along := rng.Float64()
+						points = append(points,
+							geom.Point{X: b.Max.X + jitter, Y: b.Min.Y + along*b.Height()},
+							geom.Point{X: b.Min.X + jitter, Y: b.Min.Y + along*b.Height()},
+							geom.Point{X: b.Min.X + along*b.Width(), Y: b.Max.Y + jitter},
+							geom.Point{X: b.Min.X + along*b.Width(), Y: b.Min.Y + jitter},
+						)
+					}
+				}
+				for _, p := range points {
+					k := 1 + rng.Intn(25)
+					want, _, err := oracle.NearestCtx(context.Background(), p, k)
+					if err != nil {
+						t.Fatalf("oracle NearestCtx: %v", err)
+					}
+					got, _, err := s.NearestCtx(context.Background(), p, k)
+					if err != nil {
+						t.Fatalf("sharded NearestCtx: %v", err)
+					}
+					assertNeighboursEqual(t, p, k, got, want)
+				}
+			})
+		}
+	}
+}
+
+// TestKNNTieBreaking pins the tie case down explicitly: several
+// objects at the exact same distance must surface in object-id order,
+// no matter which tile holds them.
+func TestKNNTieBreaking(t *testing.T) {
+	var items []index.Item
+	// A ring of identical-distance rectangles around the query point,
+	// plus co-located duplicates (identical rects, distinct ids).
+	q := geom.Point{X: 500, Y: 500}
+	for i := 0; i < 12; i++ {
+		var r geom.Rect
+		switch i % 4 {
+		case 0:
+			r = geom.R(510, 495, 520, 505) // dist 10 right
+		case 1:
+			r = geom.R(480, 495, 490, 505) // dist 10 left
+		case 2:
+			r = geom.R(495, 510, 505, 520) // dist 10 above
+		case 3:
+			r = geom.R(495, 480, 505, 490) // dist 10 below
+		}
+		items = append(items, index.Item{Rect: r, OID: uint64(100000 - i)})
+	}
+	// Background objects so tiles are non-trivial.
+	ds := workload.NewDataset(workload.Small, 200, 0, 3)
+	items = append(items, ds.Items...)
+
+	for _, kind := range index.AllKinds() {
+		for _, shards := range []int{2, 4, 7} {
+			oracle := buildSingle(t, kind, items)
+			s := buildSharded(t, kind, items, shards)
+			for _, k := range []int{1, 3, 7, 12, 20} {
+				want, _, err := oracle.NearestCtx(context.Background(), q, k)
+				if err != nil {
+					t.Fatalf("oracle: %v", err)
+				}
+				got, _, err := s.NearestCtx(context.Background(), q, k)
+				if err != nil {
+					t.Fatalf("sharded: %v", err)
+				}
+				assertNeighboursEqual(t, q, k, got, want)
+				// The tied prefix must come out in ascending-id order.
+				for i := 1; i < len(got); i++ {
+					if got[i-1].Dist == got[i].Dist && got[i-1].OID >= got[i].OID {
+						t.Fatalf("kind=%v shards=%d k=%d: tie not in id order at %d: %+v then %+v",
+							kind, shards, k, i, got[i-1], got[i])
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,19 @@
+package shard
+
+import (
+	"mbrtopo/internal/geom"
+	"mbrtopo/internal/mbr"
+)
+
+// TileFeasible reports whether a tile whose members all lie inside
+// bounds can possibly hold an object whose MBR stands in one of the
+// candidate configurations cands against the reference rectangle ref.
+// It is the Table 2 propagation test applied to the tile's bounds —
+// the same predicate the query processor hands SearchCtx for covering
+// trees, exposed directly so the fuzzer can attack the router's
+// tile-elimination step in isolation. Pruning a tile when this returns
+// false is always safe: bounds is a covering rectangle of every member,
+// and propagation is closed under covering.
+func TileFeasible(cands mbr.ConfigSet, ref, bounds geom.Rect) bool {
+	return mbr.Propagation(cands).Has(mbr.ConfigOf(bounds, ref))
+}

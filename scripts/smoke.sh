@@ -18,6 +18,10 @@
 # boots a primary + -follow replica pair, checks the replica serves
 # the primary's data and 403s writes, kill -9s the primary, promotes
 # the replica via POST /v1/promote, and asserts a write then succeeds.
+# An eighth leg boots `-shards 4` next to a `-shards 1` twin over the
+# same dataset, asserts identical query/knn/join counts through the
+# scatter-gather router, then kill -9s the sharded daemon and asserts
+# the reboot (without the flag) recovers every tile.
 set -euo pipefail
 
 TOPOD="${1:?usage: smoke.sh path/to/topod path/to/topoquery path/to/datagen}"
@@ -34,16 +38,20 @@ cleanup() {
   kill -9 "$PID6" 2>/dev/null || true
   kill -9 "$PID7" 2>/dev/null || true
   kill -9 "$PID8" 2>/dev/null || true
+  kill -9 "$PID9" 2>/dev/null || true
+  kill -9 "$PID10" 2>/dev/null || true
   kill -9 "$CURLPID" 2>/dev/null || true
   kill -9 "$WATCHPID" 2>/dev/null || true
   rm -rf "$LOG" "$LOG2" "$LOG3" "$LOG4" "$LOG5" "$LOG6" "$LOG7" "$LOG8" "$LOG9" \
-    "$LOG10" "$LOG11" "$LOG12" "$WLOG" "$BULK" "$WBULK" "$LEFT" "$RIGHT" "$HDRS" \
-    "$DATADIR" "$DATADIR2" "$DATADIR3" "$DATADIR4" "$DATADIR5" "$DATADIR6" 2>/dev/null || true
+    "$LOG10" "$LOG11" "$LOG12" "$LOG13" "$LOG14" "$LOG15" "$WLOG" "$BULK" "$WBULK" \
+    "$LEFT" "$RIGHT" "$HDRS" "$DATADIR" "$DATADIR2" "$DATADIR3" "$DATADIR4" \
+    "$DATADIR5" "$DATADIR6" "$DATADIR7" 2>/dev/null || true
 }
-PID="" PID2="" PID3="" PID4="" PID5="" PID6="" PID7="" PID8="" CURLPID="" WATCHPID=""
+PID="" PID2="" PID3="" PID4="" PID5="" PID6="" PID7="" PID8="" PID9="" PID10=""
+CURLPID="" WATCHPID=""
 LOG2="" LOG3="" LOG4="" LOG5="" LOG6="" LOG7="" LOG8="" LOG9="" LOG10="" LOG11=""
-LOG12="" WLOG="" BULK="" WBULK="" LEFT="" RIGHT="" HDRS="" DATADIR2="" DATADIR3=""
-DATADIR4="" DATADIR5="" DATADIR6=""
+LOG12="" LOG13="" LOG14="" LOG15="" WLOG="" BULK="" WBULK="" LEFT="" RIGHT="" HDRS=""
+DATADIR2="" DATADIR3="" DATADIR4="" DATADIR5="" DATADIR6="" DATADIR7=""
 
 # wait_listen LOGFILE: echo the address once the daemon logs it.
 wait_listen() {
@@ -583,3 +591,109 @@ if ! wait "$PID8"; then
 fi
 
 echo "smoke OK: replica followed, failed over on kill -9, and accepted writes"
+
+# ---- shard leg: -shards 4 vs -shards 1, scatter-gather answer
+# parity, then kill -9 + reboot recovering every tile ----
+
+LOG13="$(mktemp)"
+LOG14="$(mktemp)"
+DATADIR7="$(mktemp -d)"
+
+# The single-index twin over the same generated dataset (same -gen,
+# -seed, -tree ⇒ identical rectangles).
+"$TOPOD" -gen 3000 -bulk -tree rstar -shards 1 -addr 127.0.0.1:0 >"$LOG13" 2>&1 &
+PID9=$!
+ADDR9="$(wait_listen "$LOG13")" || {
+  echo "smoke: shard-leg single topod never started listening" >&2
+  cat "$LOG13" >&2
+  exit 1
+}
+ONE="http://$ADDR9"
+wait_ready "$ONE" || { echo "smoke: shard-leg single topod never became ready" >&2; exit 1; }
+
+"$TOPOD" -gen 3000 -bulk -tree rstar -shards 4 -data-dir "$DATADIR7" -fsync always \
+  -addr 127.0.0.1:0 >"$LOG14" 2>&1 &
+PID10=$!
+ADDR10="$(wait_listen "$LOG14")" || {
+  echo "smoke: sharded topod never started listening" >&2
+  cat "$LOG14" >&2
+  exit 1
+}
+FOUR="http://$ADDR10"
+wait_ready "$FOUR" || { echo "smoke: sharded topod never became ready" >&2; cat "$LOG14" >&2; exit 1; }
+grep -q '^topod: backend=sharded ' "$LOG14" \
+  || { echo "smoke: -shards 4 did not report a sharded boot" >&2; cat "$LOG14" >&2; exit 1; }
+
+SIDX="$(curl -sf "$FOUR/v1/indexes")"
+echo "$SIDX" | grep -q '"shards":4' \
+  || { echo "smoke: /v1/indexes missing the tile count: $SIDX" >&2; exit 1; }
+
+# Query, kNN, and self-join answers must match the single-index twin.
+SHQ='{"relations":["not_disjoint"],"ref":[100,100,400,400]}'
+ONECOUNT="$(curl -sf -d "$SHQ" "$ONE/v1/query" | grep -c '"oid"')"
+FOURCOUNT="$(curl -sf -d "$SHQ" "$FOUR/v1/query" | grep -c '"oid"')"
+[ "$ONECOUNT" -gt 0 ] || { echo "smoke: shard-leg query found nothing" >&2; exit 1; }
+[ "$ONECOUNT" = "$FOURCOUNT" ] \
+  || { echo "smoke: sharded query streamed $FOURCOUNT matches, single $ONECOUNT" >&2; exit 1; }
+
+ONEKNN="$(curl -sf "$ONE/v1/knn?k=7&x=500&y=500")"
+FOURKNN="$(curl -sf "$FOUR/v1/knn?k=7&x=500&y=500")"
+ONEIDS="$(echo "$ONEKNN" | tr ',' '\n' | sed -n 's/.*"oid":\([0-9]*\).*/\1/p' | sort -n)"
+FOURIDS="$(echo "$FOURKNN" | tr ',' '\n' | sed -n 's/.*"oid":\([0-9]*\).*/\1/p' | sort -n)"
+[ -n "$ONEIDS" ] && [ "$ONEIDS" = "$FOURIDS" ] \
+  || { echo "smoke: sharded kNN disagreed with single-index kNN" >&2; echo "$ONEKNN"; echo "$FOURKNN"; exit 1; }
+
+SHJ='{"relations":["meet","overlap"]}'
+ONEPAIRS="$(curl -sf -d "$SHJ" "$ONE/v1/join" | grep -c '"left_oid"')" || true
+FOURPAIRS="$(curl -sf -d "$SHJ" "$FOUR/v1/join" | grep -c '"left_oid"')" || true
+[ "$ONEPAIRS" -gt 0 ] || { echo "smoke: shard-leg self-join found no pairs" >&2; exit 1; }
+[ "$ONEPAIRS" = "$FOURPAIRS" ] \
+  || { echo "smoke: sharded self-join streamed $FOURPAIRS pairs, single $ONEPAIRS" >&2; exit 1; }
+
+MET10="$(curl -sf "$FOUR/metrics")"
+echo "$MET10" | grep -q '^topod_shard_tiles{index="main"} 4' \
+  || { echo "smoke: /metrics missing the shard tile gauge" >&2; exit 1; }
+
+# A durable marker, then kill -9: the reboot (no -shards flag — the
+# on-disk tile layout must win) has to recover all four tiles and the
+# marker.
+SACK="$(curl -sf -d '{"oid":777001,"rect":[50000,50000,50010,50010]}' "$FOUR/v1/insert")"
+echo "$SACK" | grep -q '"ok":true' \
+  || { echo "smoke: shard-leg marker insert failed: $SACK" >&2; exit 1; }
+kill -9 "$PID10"
+wait "$PID10" 2>/dev/null || true
+for t in 0 1 2 3; do
+  ls "$DATADIR7"/main.t$t.* >/dev/null 2>&1 \
+    || { echo "smoke: tile $t left no durable files in $DATADIR7" >&2; ls -l "$DATADIR7" >&2; exit 1; }
+done
+
+LOG15="$(mktemp)"
+"$TOPOD" -gen 3000 -bulk -tree rstar -data-dir "$DATADIR7" -fsync always \
+  -addr 127.0.0.1:0 >"$LOG15" 2>&1 &
+PID10=$!
+ADDR10="$(wait_listen "$LOG15")" || {
+  echo "smoke: rebooted sharded topod never started listening" >&2
+  cat "$LOG15" >&2
+  exit 1
+}
+FOUR="http://$ADDR10"
+wait_ready "$FOUR" || { echo "smoke: rebooted sharded topod never became ready" >&2; cat "$LOG15" >&2; exit 1; }
+grep -q '^topod: backend=sharded recovered .* across 4 STR tiles' "$LOG15" \
+  || { echo "smoke: reboot did not recover the 4-tile layout" >&2; cat "$LOG15" >&2; exit 1; }
+REBOOTCOUNT="$(curl -sf -d "$SHQ" "$FOUR/v1/query" | grep -c '"oid"')"
+[ "$REBOOTCOUNT" = "$ONECOUNT" ] \
+  || { echo "smoke: rebooted sharded query streamed $REBOOTCOUNT matches, want $ONECOUNT" >&2; exit 1; }
+SMARK="$(curl -sf -d '{"relations":["not_disjoint"],"ref":[49999,49999,50011,50011]}' "$FOUR/v1/query")"
+echo "$SMARK" | grep -q '"oid":777001' \
+  || { echo "smoke: sharded marker lost after kill -9 reboot: $SMARK" >&2; exit 1; }
+
+kill -TERM "$PID9"
+wait "$PID9" || { echo "smoke: shard-leg single topod failed clean shutdown" >&2; cat "$LOG13" >&2; exit 1; }
+kill -TERM "$PID10"
+if ! wait "$PID10"; then
+  echo "smoke: rebooted sharded topod exited non-zero on SIGTERM" >&2
+  cat "$LOG15" >&2
+  exit 1
+fi
+
+echo "smoke OK: -shards 4 matched -shards 1 answers + kill -9 recovered every tile"

@@ -1,0 +1,137 @@
+package mbrtopo_test
+
+// Benchmarks of the tile-sharded scatter-gather path (internal/shard):
+// window queries and the 50k x 50k spatial join, sharded versus the
+// single-index baseline. `make bench-shard` snapshots them into
+// BENCH_shard.json; CI runs the same target with -benchtime 1x as a
+// smoke check. The join series is the headline: tile-local joins with
+// explicit cross-tile border pairs against the single-index parallel
+// plane sweep.
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"testing"
+
+	"mbrtopo/internal/index"
+	"mbrtopo/internal/query"
+	"mbrtopo/internal/rtree"
+	"mbrtopo/internal/shard"
+	"mbrtopo/internal/topo"
+	"mbrtopo/internal/workload"
+)
+
+// newShardedPacked STR-partitions the items and bulk-packs one tile
+// index per partition.
+func newShardedPacked(b *testing.B, kind index.Kind, items []index.Item, shards int) *shard.Sharded {
+	b.Helper()
+	recs := make([]rtree.Record, len(items))
+	for i, it := range items {
+		recs[i] = rtree.Record{Rect: it.Rect, OID: it.OID}
+	}
+	parts := rtree.STRPartition(recs, shards)
+	tiles := make([]index.Index, shards)
+	for i, part := range parts {
+		tileItems := make([]index.Item, len(part))
+		for j, r := range part {
+			tileItems[j] = index.Item{Rect: r.Rect, OID: r.OID}
+		}
+		idx, err := index.NewPacked(kind, index.PaperPageSize, tileItems)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tiles[i] = idx
+	}
+	return shard.New(tiles...)
+}
+
+// BenchmarkShardedQuery measures window-query throughput through the
+// scatter-gather router at several tile counts against the
+// single-index baseline, over the 50k uniform workload.
+func BenchmarkShardedQuery(b *testing.B) {
+	const nData = 50000
+	d := workload.NewDataset(workload.Small, nData, 50, 1995)
+	rels := topo.NotDisjoint
+
+	run := func(b *testing.B, proc *query.Processor) {
+		var matches int
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			q := d.Queries[i%len(d.Queries)]
+			n := 0
+			if _, err := proc.Stream(context.Background(), rels, q, 0,
+				func(query.Match) bool { n++; return true }); err != nil {
+				b.Fatal(err)
+			}
+			matches += n
+		}
+		b.ReportMetric(float64(matches)/float64(b.N), "matches/op")
+	}
+
+	single, err := index.NewPacked(index.KindRStar, index.PaperPageSize, d.Items)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("single", func(b *testing.B) {
+		run(b, &query.Processor{Idx: single})
+	})
+	for _, shards := range []int{2, 4, 8} {
+		s := newShardedPacked(b, index.KindRStar, d.Items, shards)
+		b.Run(fmt.Sprintf("shards-%d", shards), func(b *testing.B) {
+			run(b, &query.Processor{Idx: s})
+		})
+	}
+}
+
+// BenchmarkShardedJoin measures the 50k x 50k not-disjoint join:
+// single-index parallel plane sweep (the PR 3 engine at GOMAXPROCS
+// workers) against tile-sharded sides, where tile pairs run
+// concurrently and infeasible cross-tile pairs are pruned by the MBR
+// configuration of the tile bounds.
+func BenchmarkShardedJoin(b *testing.B) {
+	const nPerSide = 50000
+	left := workload.NewDataset(workload.Small, nPerSide, 1, 2055)
+	right := workload.NewDataset(workload.Small, nPerSide, 1, 2056)
+	rels := topo.NotDisjoint
+
+	run := func(b *testing.B, l, r index.Index, opts query.JoinOptions) {
+		var accesses uint64
+		var pairs int
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			n := 0
+			stats, err := query.JoinStream(context.Background(), l, r, rels, opts,
+				func(query.JoinPair) bool { n++; return true })
+			if err != nil {
+				b.Fatal(err)
+			}
+			if n == 0 {
+				b.Fatal("join found no pairs")
+			}
+			accesses += stats.NodeAccesses
+			pairs += n
+		}
+		b.ReportMetric(float64(accesses)/float64(b.N), "accesses/op")
+		b.ReportMetric(float64(pairs)/b.Elapsed().Seconds(), "pairs/sec")
+	}
+
+	lSingle, err := index.NewPacked(index.KindRStar, index.PaperPageSize, left.Items)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rSingle, err := index.NewPacked(index.KindRStar, index.PaperPageSize, right.Items)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("single-sweep", func(b *testing.B) {
+		run(b, lSingle, rSingle, query.JoinOptions{Workers: runtime.GOMAXPROCS(0)})
+	})
+	for _, shards := range []int{2, 4, 8} {
+		l := newShardedPacked(b, index.KindRStar, left.Items, shards)
+		r := newShardedPacked(b, index.KindRStar, right.Items, shards)
+		b.Run(fmt.Sprintf("sharded-%d", shards), func(b *testing.B) {
+			run(b, l, r, query.JoinOptions{})
+		})
+	}
+}
