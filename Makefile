@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify race test bench bench-json bench-read bench-watch bench-repl bench-shard fmt smoke fuzz
+.PHONY: verify race test bench bench-json bench-read bench-watch bench-repl bench-shard bench-plan fmt smoke fuzz
 
 # Tier-1 gate: everything must build, vet clean, and pass.
 verify:
@@ -21,6 +21,7 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzWireDecode -fuzztime=$(FUZZTIME) ./internal/server
 	$(GO) test -run='^$$' -fuzz=FuzzFlatDecode -fuzztime=$(FUZZTIME) ./internal/rtree
 	$(GO) test -run='^$$' -fuzz=FuzzTilePrune -fuzztime=$(FUZZTIME) ./internal/shard
+	$(GO) test -run='^$$' -fuzz=FuzzDomination -fuzztime=$(FUZZTIME) ./internal/mbr
 
 test:
 	$(GO) test ./...
@@ -70,6 +71,15 @@ bench-repl:
 bench-shard:
 	$(GO) test -run='^$$' -bench='BenchmarkShardedQuery|BenchmarkShardedJoin' -benchtime=$(BENCHTIME) . | $(GO) run ./cmd/benchjson > BENCH_shard.json
 	@cat BENCH_shard.json
+
+# Machine-readable perf snapshot of the cost-based planner and the
+# result cache: histogram-planned vs static conjunction order and
+# domination-pruned vs plain-intersection descent (accesses/op), plus
+# /v1/query cache miss vs hit latency, recorded in BENCH_plan.json.
+# CI runs it with BENCHTIME=1x as a smoke check.
+bench-plan:
+	$(GO) test -run='^$$' -bench='BenchmarkPlanner|BenchmarkCachedQuery' -benchtime=$(BENCHTIME) . | $(GO) run ./cmd/benchjson > BENCH_plan.json
+	@cat BENCH_plan.json
 
 # Service smoke test: boot topod, query it, scrape /metrics, assert a
 # clean SIGTERM drain, and check /v1/join pair counts against the

@@ -69,6 +69,16 @@
 //
 //	topod -gen 100000 -bulk -shards 4 -data-dir /var/lib/topod
 //
+// Query planning and caching: /v1/query accepts a second conjunction
+// term (relations2/ref2), ordered against the first by node-MBR
+// histogram selectivity — or answered empty straight from the relation
+// composition table ("explain":true in the body shows the plan in the
+// stats line). -cache-size N keeps an LRU of query answers keyed on
+// each index's mutation generation, so repeated queries on a quiet
+// index are replayed without touching the tree:
+//
+//	topod -gen 100000 -bulk -cache-size 1024
+//
 // Load-generator mode benchmarks the service end to end:
 //
 //	topod -bench -gen 10000 -clients 16 -requests 400
@@ -136,8 +146,9 @@ func main() {
 		relName  = flag.String("rel", "not_disjoint", "bench: relation set for generated queries")
 		limit    = flag.Int("limit", 0, "bench: per-query match limit (0 = unlimited)")
 
-		maxWatch = flag.Int("maxwatch", 256, "bound on concurrently open /v1/watch streams (separate from -maxinflight)")
-		shards   = flag.Int("shards", 1, "STR-partition the index into this many tiles with scatter-gather routing (an existing on-disk layout wins over the flag)")
+		maxWatch  = flag.Int("maxwatch", 256, "bound on concurrently open /v1/watch streams (separate from -maxinflight)")
+		shards    = flag.Int("shards", 1, "STR-partition the index into this many tiles with scatter-gather routing (an existing on-disk layout wins over the flag)")
+		cacheSize = flag.Int("cache-size", 256, "entries in the generation-keyed /v1/query result cache (0 = disabled)")
 	)
 	flag.Parse()
 
@@ -208,6 +219,7 @@ func main() {
 		MaxInFlight:    *maxInFlight,
 		DefaultTimeout: *timeout,
 		MaxWatch:       *maxWatch,
+		CacheSize:      *cacheSize,
 	})
 	buildStart := time.Now()
 	inst, err := srv.AddIndex(spec, items)

@@ -12,6 +12,8 @@
 //	topoquery -data left.csv -join right.csv -rel meet,overlap   # spatial join
 //	topoquery -data data.csv -rel overlap -ref 10,10,40,30 -frames 64   # LRU buffer pool
 //	topoquery -watch http://localhost:8080 -rel not_disjoint -ref 10,10,40,30   # live events
+//	topoquery -data data.csv -rel overlap -ref 10,10,40,30 \
+//	          -rel2 inside -ref2 0,0,80,80 -explain   # planned conjunction + plan trace
 package main
 
 import (
@@ -61,6 +63,9 @@ func main() {
 		watchURL  = flag.String("watch", "", "topod base URL: subscribe to /v1/watch for -rel/-ref and stream events until ctrl-C or server drain (no -data needed)")
 		indexName = flag.String("index", "", "server index name for -watch (empty = the server default)")
 		buffer    = flag.Int("buffer", 0, "server-side event buffer for -watch (0 = server default)")
+		rel2Name  = flag.String("rel2", "", "second relation set: AND it (against -ref2) with -rel/-ref as a planned conjunction")
+		ref2Spec  = flag.String("ref2", "", "second reference MBR for -rel2, as minx,miny,maxx,maxy")
+		explain   = flag.Bool("explain", false, "print the planner's decision (term order, selectivity estimates, short circuits)")
 	)
 	flag.Parse()
 
@@ -172,6 +177,45 @@ func main() {
 
 	proc := &query.Processor{Idx: idx, NonCrisp: *nonCrisp, NonContiguous: *nonContig}
 
+	// Conjunction mode: two terms ANDed, ordered by the cost-based
+	// planner — or answered empty straight from the composition table.
+	if *rel2Name != "" || *ref2Spec != "" {
+		if *rel2Name == "" || *ref2Spec == "" {
+			fatal(fmt.Errorf("conjunction needs both -rel2 and -ref2"))
+		}
+		rels2, err := parseRelSet(*rel2Name)
+		if err != nil {
+			fatal(err)
+		}
+		ref, err := parseRect(*refSpec)
+		if err != nil {
+			fatal(err)
+		}
+		ref2, err := parseRect(*ref2Spec)
+		if err != nil {
+			fatal(err)
+		}
+		var matches []query.Match
+		stats, err := proc.StreamConjunction(context.Background(), rels, ref, rels2, ref2, 0,
+			func(m query.Match) bool { matches = append(matches, m); return true })
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("conjunction (%s %v) AND (%s %v): %d candidates, %d node accesses\n",
+			*relName, ref, *rel2Name, ref2, len(matches), stats.NodeAccesses)
+		if *explain {
+			fmt.Printf("plan: %s\n", stats.Explain)
+		}
+		for i, m := range matches {
+			if i >= *maxPrint {
+				fmt.Printf("  … %d more\n", len(matches)-i)
+				break
+			}
+			fmt.Printf("  oid %d  %v\n", m.OID, m.Rect)
+		}
+		return
+	}
+
 	// Direction mode.
 	if *dirName != "" {
 		rel, err := parseDirection(*dirName)
@@ -232,6 +276,14 @@ func main() {
 		if len(refs) == 1 {
 			fmt.Printf("query %v relation %s: %d candidates, %d node accesses\n",
 				ref, *relName, res.Stats.Candidates, res.Stats.NodeAccesses)
+			if *explain {
+				if pl := query.PlannerFor(idx); pl != nil {
+					fmt.Printf("plan: plan=single est=%.0f actual=%d\n",
+						pl.EstimateSet(rels, ref), res.Stats.Candidates)
+				} else {
+					fmt.Println("plan: plan=single est=n/a (no statistics for this backend)")
+				}
+			}
 			for j, m := range res.Matches {
 				if j >= *maxPrint {
 					fmt.Printf("  … %d more\n", len(res.Matches)-j)

@@ -67,9 +67,13 @@ func (p *Processor) QueryConjunctionCtx(ctx context.Context, r1 topo.Relation, q
 		return Result{Stats: Stats{ShortCircuited: true}}, nil
 	}
 
-	// Step 2: pick the cheaper side for the index retrieval.
+	// Step 2: pick the cheaper side for the index retrieval. With
+	// node-MBR statistics available, the planner's selectivity
+	// estimates decide; otherwise the paper's static CostGroup rule.
+	plan := planConjunction(PlannerFor(p.Idx),
+		topo.NewSet(r1), q1.Bounds(), topo.NewSet(r2), q2.Bounds())
 	first, firstRef, second, secondRef := r1, q1, r2, q2
-	if swapConjunction(r1, q1, r2, q2) {
+	if plan.retrieveSecond {
 		first, firstRef, second, secondRef = r2, q2, r1, q1
 	}
 
@@ -80,6 +84,8 @@ func (p *Processor) QueryConjunctionCtx(ctx context.Context, r1 topo.Relation, q
 	if err != nil {
 		return Result{}, err
 	}
+	stats.Reordered = plan.reordered
+	stats.Explain = appendActual(plan.explain, stats.Candidates)
 
 	// Step 3: in-memory MBR filter against the second reference, then
 	// exact refinement of both predicates.

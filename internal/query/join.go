@@ -195,6 +195,9 @@ func JoinStream(ctx context.Context, left, right index.Index, rels topo.Set, opt
 		Intersecting: sweepSafe(cands),
 		NaiveReads:   opts.NaiveReads,
 	}
+	if engineOpts.Intersecting {
+		engineOpts.SweepDensity = joinSweepDensity(left, right)
+	}
 	prune := func(a, b geom.Rect) bool { return prop.Has(mbr.ConfigOf(a, b)) }
 	accept := func(a, b geom.Rect) bool { return cands.Has(mbr.ConfigOf(a, b)) }
 	selfJoin := left == right

@@ -88,6 +88,14 @@ type Stats struct {
 	// ShortCircuited is set when a conjunction was answered empty from
 	// the composition table without touching the index (Table 4).
 	ShortCircuited bool
+	// Reordered is set when the cost-based planner overrode the static
+	// CostGroup term order of a conjunction.
+	Reordered bool
+	// Explain is the human-readable plan the processor chose (term
+	// order, estimated vs actual candidates, filter side), filled for
+	// planned queries and surfaced by `topoquery -explain` and the
+	// wire stats line.
+	Explain string
 }
 
 // Result bundles matches with the query statistics.
@@ -245,17 +253,26 @@ func (p *Processor) querySetMBR(ctx context.Context, rels topo.Set, refMBR geom.
 }
 
 // filterPreds derives the node and leaf predicates of steps 2 and 3.
+// Both run the per-axis domination pre-test (mbr.DominationFor) ahead
+// of the exact configuration probe: four sign comparisons reject most
+// non-qualifying rectangles without paying the two interval decision
+// trees, and the pre-test is provably sound (it never rejects a
+// rectangle the exact test accepts). The R+ partition-region path
+// keeps its dedicated predicate: partition regions are not tight
+// MBRs, so endpoint-sign reasoning does not apply to them.
 func (p *Processor) filterPreds(cands mbr.ConfigSet, refMBR geom.Rect) (nodePred, leafPred func(geom.Rect) bool) {
 	if p.Idx.CoveringNodeRects() {
 		prop := mbr.Propagation(cands)
+		dom := mbr.DominationFor(prop)
 		nodePred = func(r geom.Rect) bool {
-			return prop.Has(mbr.ConfigOf(r, refMBR))
+			return dom.Admits(r, refMBR) && prop.Has(mbr.ConfigOf(r, refMBR))
 		}
 	} else {
 		nodePred = mbr.PartitionNodePredicate(cands, refMBR)
 	}
+	leafDom := mbr.DominationFor(cands)
 	leafPred = func(r geom.Rect) bool {
-		return cands.Has(mbr.ConfigOf(r, refMBR))
+		return leafDom.Admits(r, refMBR) && cands.Has(mbr.ConfigOf(r, refMBR))
 	}
 	return nodePred, leafPred
 }

@@ -210,6 +210,7 @@ type FlatTree struct {
 	nodes    []node
 	root     uint64 // arena slot + 1
 	reads    atomic.Uint64
+	stats    atomic.Pointer[TreeStats] // lazily computed summary (stats.go)
 }
 
 // OpenFlat reads and decodes a flat snapshot file.

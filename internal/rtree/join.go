@@ -3,6 +3,7 @@ package rtree
 import (
 	"context"
 	"errors"
+	"math"
 	"runtime"
 	"sort"
 	"sync"
@@ -50,7 +51,19 @@ type JoinOptions struct {
 	// left entry — and forces a serial traversal. It exists solely as
 	// the cost baseline for the experiments and benchmarks.
 	NaiveReads bool
+	// SweepDensity is the caller's estimate of the fraction of entry
+	// pairs in a typical node pair that x-overlap (the sweep's tested
+	// fraction), usually derived from node-MBR statistics. With it the
+	// matcher decides sweep vs nested loop per node pair: the sweep
+	// saves (1 − density)·m·n tests but pays a sort, so small or dense
+	// pairs match faster by the plain loop. 0 means unknown — then only
+	// the pair size gates the sweep. Ignored unless Intersecting.
+	SweepDensity float64
 }
+
+// sweepMinPairs is the entry-count product under which the sweep's
+// clip-filter-sort setup cannot pay for itself regardless of density.
+const sweepMinPairs = 16
 
 // joinFanout is the task-to-worker ratio under which the coordinator
 // expands a second tree level before fanning out, so a small top level
@@ -469,11 +482,41 @@ func (w *joinWorker) expand(n1, n2 *node) ([]joinTask, error) {
 // match enumerates the entry pairs of two nodes that pass test and
 // hands their indexes to found. Under the Intersecting contract the
 // pairs come from a plane sweep that only visits x-overlapping
-// combinations inside the nodes' common region; otherwise every
-// combination is tested.
+// combinations inside the nodes' common region — unless this pair is
+// too small, or the caller's density estimate says most combinations
+// x-overlap anyway, in which case the plain nested loop is cheaper
+// than the sweep's sort (see useSweep); otherwise every combination
+// is tested.
+// useSweep is the per-node-pair strategy decision: sweep when the
+// estimated fan-out makes its setup worthwhile. The nested loop tests
+// all m·n combinations; the sweep tests only the x-overlapping ones —
+// an expected density·m·n of them — but first clips, filters, and
+// sorts both sides (≈ (m+n)·log₂(m+n) comparison-sized steps). Tiny
+// pairs never amortise that, and a density near one means the sweep
+// tests almost everything anyway and the sort is pure overhead.
+func (w *joinWorker) useSweep(m, n int) bool {
+	pairs := m * n
+	if pairs < sweepMinPairs {
+		return false
+	}
+	d := w.e.opts.SweepDensity
+	if d <= 0 {
+		return true
+	}
+	if d >= 1 {
+		return false
+	}
+	setup := float64(m+n) * math.Log2(float64(m+n))
+	return setup < (1-d)*float64(pairs)
+}
+
 func (w *joinWorker) match(n1, n2 *node, test func(a, b geom.Rect) bool, found func(i, j int) error) error {
 	if w.e.opts.Intersecting && !w.e.opts.NaiveReads {
-		return w.matchSweep(n1, n2, test, found)
+		if w.useSweep(len(n1.entries), len(n2.entries)) {
+			w.stats.SweepPairs++
+			return w.matchSweep(n1, n2, test, found)
+		}
+		w.stats.NestedPairs++
 	}
 	for i := range n1.entries {
 		for j := range n2.entries {

@@ -40,6 +40,11 @@ type RPlusTree struct {
 	root  pagefile.PageID
 	depth int
 	size  int
+
+	// Cached node-MBR summary (stats.go).
+	statsMu    sync.Mutex
+	stats      *TreeStats
+	statsStale int
 }
 
 // ErrUnsplittable reports that a node overflowed and no cut line can
@@ -153,6 +158,7 @@ func (t *RPlusTree) Insert(r geom.Rect, oid uint64) error {
 		}
 	}
 	t.size++
+	t.noteMutations(1)
 	return nil
 }
 
@@ -190,6 +196,7 @@ func (t *RPlusTree) InsertBatch(recs []Record) error {
 		}
 		t.size++
 	}
+	t.noteMutations(len(recs))
 	return nil
 }
 
@@ -421,6 +428,7 @@ func (t *RPlusTree) Delete(r geom.Rect, oid uint64) error {
 		return ErrNotFound
 	}
 	t.size--
+	t.noteMutations(1)
 	return nil
 }
 

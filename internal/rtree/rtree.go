@@ -43,6 +43,11 @@ type Tree struct {
 	cur        *snapshot  // currently published version
 	oldest     *snapshot  // head of the retirement queue
 	reclaimErr error      // first deferred-free failure, surfaced on the next mutation
+
+	// Cached node-MBR summary (stats.go).
+	statsMu    sync.Mutex
+	stats      *TreeStats
+	statsStale int // mutations absorbed since the summary was collected
 }
 
 // ErrNotFound is returned by Delete when no matching entry exists.
@@ -131,7 +136,7 @@ func (t *Tree) Insert(r geom.Rect, oid uint64) error {
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	return t.mutateLocked(func() error {
+	err := t.mutateLocked(func() error {
 		// Forced-reinsert bookkeeping is per top-level insertion.
 		reinserted := make(map[int]bool)
 		if err := t.insertAtLevel(Entry{Rect: r, OID: oid}, 0, reinserted); err != nil {
@@ -140,6 +145,10 @@ func (t *Tree) Insert(r geom.Rect, oid uint64) error {
 		t.size++
 		return nil
 	})
+	if err == nil {
+		t.noteMutations(1)
+	}
+	return err
 }
 
 // InsertBatch adds a batch of rectangles as one atomic mutation:
@@ -160,8 +169,10 @@ func (t *Tree) InsertBatch(recs []Record) error {
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	return t.mutateLocked(func() error {
+	packed := false
+	err := t.mutateLocked(func() error {
 		if t.size == 0 {
+			packed = true
 			return t.packInto(recs)
 		}
 		for _, r := range recs {
@@ -173,6 +184,19 @@ func (t *Tree) InsertBatch(recs []Record) error {
 		}
 		return nil
 	})
+	if err == nil {
+		if packed {
+			// An STR bulk load rebuilds the whole tree: drop any cached
+			// summary and collect eagerly while the packed pages are hot.
+			t.statsMu.Lock()
+			t.stats, t.statsStale = nil, 0
+			t.statsMu.Unlock()
+			_, _ = t.Stats()
+		} else {
+			t.noteMutations(len(recs))
+		}
+	}
+	return err
 }
 
 // insertAtLevel places an entry at the given level (0 = leaf level),
@@ -387,7 +411,7 @@ func (t *Tree) forceReinsert(path []*node, idx int, reinserted map[int]bool) err
 func (t *Tree) Delete(r geom.Rect, oid uint64) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	return t.mutateLocked(func() error {
+	err := t.mutateLocked(func() error {
 		leafPath, slot, err := t.findLeaf(t.root, nil, r, oid)
 		if err != nil {
 			return err
@@ -406,6 +430,10 @@ func (t *Tree) Delete(r geom.Rect, oid uint64) error {
 		t.size--
 		return nil
 	})
+	if err == nil {
+		t.noteMutations(1)
+	}
+	return err
 }
 
 // findLeaf locates a leaf containing the (rect, oid) entry, returning

@@ -39,6 +39,11 @@ type TraversalStats struct {
 	// Emitted is the number of leaf entries passed to emit (before any
 	// caller-side deduplication).
 	Emitted int
+	// SweepPairs / NestedPairs count the node pairs a join matched by
+	// plane sweep and by nested loop — the adaptive matcher's decision
+	// log (zero outside joins).
+	SweepPairs  uint64
+	NestedPairs uint64
 }
 
 // Add returns the element-wise sum s + t.
@@ -47,6 +52,8 @@ func (s TraversalStats) Add(t TraversalStats) TraversalStats {
 		NodeAccesses: s.NodeAccesses + t.NodeAccesses,
 		NodesVisited: s.NodesVisited + t.NodesVisited,
 		Emitted:      s.Emitted + t.Emitted,
+		SweepPairs:   s.SweepPairs + t.SweepPairs,
+		NestedPairs:  s.NestedPairs + t.NestedPairs,
 	}
 }
 

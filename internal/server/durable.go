@@ -127,9 +127,10 @@ func (d *durable) position() (gen, seq uint64, ok bool) {
 	return d.gen, uint64(d.since), true
 }
 
-func (d *durable) snapPath() string { return filepath.Join(d.dir, d.name+".snap") }
-func (d *durable) workPath() string { return filepath.Join(d.dir, d.name+".pages") }
-func (d *durable) flatPath() string { return filepath.Join(d.dir, d.name+".flat") }
+func (d *durable) snapPath() string  { return filepath.Join(d.dir, d.name+".snap") }
+func (d *durable) workPath() string  { return filepath.Join(d.dir, d.name+".pages") }
+func (d *durable) flatPath() string  { return filepath.Join(d.dir, d.name+".flat") }
+func (d *durable) statsPath() string { return filepath.Join(d.dir, d.name+".stats") }
 func (d *durable) walPath(gen uint64) string {
 	return filepath.Join(d.dir, fmt.Sprintf("%s.wal.%d", d.name, gen))
 }
@@ -223,6 +224,40 @@ func (d *durable) publishFlat(idx index.Index, gen uint64) error {
 	return syncDir(d.dir)
 }
 
+// persistStats writes the tree's node-MBR summary next to the
+// snapshot (tmp + rename). Best-effort on purpose: the stats file is a
+// warm-start cache for the query planner — when it is missing, stale,
+// or torn, the tree just recollects on the first Stats() call.
+func (d *durable) persistStats(idx index.Index) {
+	st, err := index.StatsOf(idx)
+	if err != nil || st == nil {
+		return
+	}
+	data, err := rtree.EncodeStats(st)
+	if err != nil {
+		return
+	}
+	tmp := d.statsPath() + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return
+	}
+	_ = os.Rename(tmp, d.statsPath())
+}
+
+// loadStats installs the checkpointed summary on a recovered tree, if
+// one is present and decodes (otherwise the tree collects lazily).
+func (d *durable) loadStats(idx index.Index) {
+	data, err := os.ReadFile(d.statsPath())
+	if err != nil {
+		return
+	}
+	st, err := rtree.DecodeStats(data)
+	if err != nil {
+		return
+	}
+	index.SetStats(idx, st)
+}
+
 // walQuiet reports whether a WAL generation holds no records — the
 // file is missing or empty (frames start at byte 0, so any content
 // means at least a partial record). Only then does the flat snapshot,
@@ -283,6 +318,7 @@ func (d *durable) checkpoint(idx index.Index) error {
 			return fmt.Errorf("checkpoint: publishing flat snapshot: %w", err)
 		}
 	}
+	d.persistStats(idx)
 	newLog, replayed, err := wal.Open(d.walPath(next), d.walOpts)
 	if err != nil {
 		return fmt.Errorf("checkpoint: rotating wal: %w", err)
@@ -590,6 +626,7 @@ func (s *Server) openDurable(spec IndexSpec, items []index.Item) (*Instance, err
 			return nil, fmt.Errorf("server: index %q: publishing initial flat snapshot: %w", spec.Name, err)
 		}
 	}
+	d.persistStats(idx)
 	log, _, err := wal.Open(d.walPath(d.gen), d.walOpts)
 	if err != nil {
 		disk.Close()
@@ -692,6 +729,9 @@ func (s *Server) recoverDurable(spec IndexSpec, d *durable, inst *Instance, lock
 		fail("resuming index: " + err.Error())
 		return
 	}
+	// Warm-start the planner from the checkpointed summary; WAL replay
+	// below counts against its staleness budget like any mutation.
+	d.loadStats(idx)
 	inst.Idx = idx
 	inst.Pool = pool
 	log, recs, err := wal.Open(d.walPath(d.gen), d.walOpts)

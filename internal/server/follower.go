@@ -346,6 +346,9 @@ func (t *followerTarget) Bootstrap(pos repl.Position, snap io.Reader, size int64
 	inst.Pool = pool
 	inst.Proc = &query.Processor{Idx: idx}
 	inst.view.Store(&readView{idx: idx, proc: inst.Proc, pool: pool})
+	// Bootstrap replaces the whole logical state, so cached answers for
+	// the old contents must become unreachable.
+	inst.bumpGen()
 	if oldDisk != nil {
 		// Queries still traversing the old view race this close and get
 		// I/O errors — a degraded answer, never a wrong one. Bootstrap
@@ -385,6 +388,7 @@ func (t *followerTarget) Apply(pos repl.Position, rec wal.Record) error {
 		return fmt.Errorf("server: applying %s oid %d: %v: %w", rec.Op, rec.OID, err, repl.ErrOutOfSync)
 	}
 	inst.notifyWatch(rec.Op, rec.Rect, rec.OID)
+	inst.bumpGen()
 	ticket := d.log.Reserve(rec)
 	d.since++
 	if d.metrics != nil {

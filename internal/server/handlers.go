@@ -1,6 +1,7 @@
 package server
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -15,6 +16,7 @@ import (
 	"mbrtopo/internal/query"
 	"mbrtopo/internal/repl"
 	"mbrtopo/internal/rtree"
+	"mbrtopo/internal/topo"
 )
 
 // maxBodyBytes bounds request bodies; queries and mutations are tiny.
@@ -86,7 +88,10 @@ func (s *Server) noteCorrupt(inst *Instance, err error) bool {
 // match in traversal order, then a trailing stats line. The stream is
 // context-aware end to end — a client disconnect or deadline stops the
 // tree traversal within one page read, and the pages read up to that
-// point are still folded into /metrics.
+// point are still folded into /metrics. With Relations2/Ref2 the query
+// is a planned conjunction; with caching enabled, a repeat of any
+// query shape against an unmutated index replays the stored answer
+// byte for byte without touching the tree.
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	var req QueryRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&req); err != nil {
@@ -107,6 +112,24 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeJSONError(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	// The optional second conjunction term: both halves or neither.
+	conj := len(req.Relations2) > 0 || len(req.Ref2) > 0
+	var rels2 topo.Set
+	var ref2 geom.Rect
+	if conj {
+		if len(req.Relations2) == 0 || len(req.Ref2) == 0 {
+			writeJSONError(w, http.StatusBadRequest, "conjunction needs both relations2 and ref2")
+			return
+		}
+		if rels2, err = ParseRelationSet(req.Relations2); err != nil {
+			writeJSONError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		if ref2, err = RectFromWire(req.Ref2); err != nil {
+			writeJSONError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+	}
 	ctx := r.Context()
 	if d := s.queryTimeout(req.TimeoutMS); d > 0 {
 		var cancel context.CancelFunc
@@ -114,10 +137,31 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		defer cancel()
 	}
 
+	// Cache lookup. The key is computed before the traversal runs, so
+	// the generation it embeds is the one the answer was (or is about
+	// to be) computed against.
+	var ckey string
+	if s.cache != nil {
+		ckey = cacheKey(inst.Name, inst.versionKey(), rels, ref, conj, rels2, ref2, req.Limit)
+		if res, hit := s.cache.get(ckey); hit {
+			s.writeCachedQuery(w, req, res)
+			return
+		}
+	}
+
 	flusher := ndjsonHeaders(w)
-	enc := json.NewEncoder(w)
+	// With caching on, match lines are teed into a buffer as they are
+	// rendered, so a hit later replays the exact bytes with one write.
+	var buf bytes.Buffer
+	var out io.Writer = w
+	if s.cache != nil {
+		out = io.MultiWriter(w, &buf)
+	}
+	enc := json.NewEncoder(out)
 	var writeErr error
-	stats, err := inst.ReadProc().Stream(ctx, rels, ref, req.Limit, func(m query.Match) bool {
+	nmatch := 0
+	yield := func(m query.Match) bool {
+		nmatch++
 		oid, rect := m.OID, RectToWire(m.Rect)
 		if writeErr = enc.Encode(QueryLine{OID: &oid, Rect: &rect}); writeErr != nil {
 			return false
@@ -126,7 +170,14 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			flusher.Flush()
 		}
 		return true
-	})
+	}
+	proc := inst.ReadProc()
+	var stats query.Stats
+	if conj {
+		stats, err = proc.StreamConjunction(ctx, rels, ref, rels2, ref2, req.Limit, yield)
+	} else {
+		stats, err = proc.Stream(ctx, rels, ref, req.Limit, yield)
+	}
 	// Fold whatever the traversal read — completed, cancelled, or
 	// failed — so /metrics always equals the sum of per-request stats.
 	s.metrics.FoldQuery(stats)
@@ -144,11 +195,65 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 		return
 	}
+	if s.cache != nil {
+		// Only a cleanly completed answer is stored — a truncated or
+		// failed stream must never be replayed as the full result. The
+		// buffer holds exactly the match lines at this point (the stats
+		// line is rendered below, after the copy).
+		lines := append([]byte(nil), buf.Bytes()...)
+		s.cache.put(ckey, &cachedResult{lines: lines, nmatch: nmatch, stats: stats})
+	}
 	ws := StatsToWire(stats)
+	if req.Explain {
+		ws.Explain = explainFor(inst, stats, rels, ref, conj)
+	}
 	_ = enc.Encode(QueryLine{Stats: &ws})
 	if flusher != nil {
 		flusher.Flush()
 	}
+}
+
+// writeCachedQuery replays a cached answer: the same match lines in
+// the same order and the stats of the traversal that produced them, so
+// hit and miss responses are byte-identical (explain, which is opt-in,
+// additionally reports the hit).
+func (s *Server) writeCachedQuery(w http.ResponseWriter, req QueryRequest, res *cachedResult) {
+	flusher := ndjsonHeaders(w)
+	if len(res.lines) > 0 {
+		if _, err := w.Write(res.lines); err != nil {
+			s.metrics.disconnects.Add(1)
+			return
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	enc := json.NewEncoder(w)
+	ws := StatsToWire(res.stats)
+	if req.Explain {
+		ws.Explain = "cache=hit"
+		if res.stats.Explain != "" {
+			ws.Explain += " " + res.stats.Explain
+		}
+	}
+	_ = enc.Encode(QueryLine{Stats: &ws})
+	if flusher != nil {
+		flusher.Flush()
+	}
+}
+
+// explainFor renders the opt-in planner trace for the stats line. A
+// conjunction carries its plan in Stats; a single-term query reports
+// the histogram estimate against the actual candidate count (or that
+// no statistics were available).
+func explainFor(inst *Instance, stats query.Stats, rels topo.Set, ref geom.Rect, conj bool) string {
+	if conj {
+		return stats.Explain
+	}
+	if pl := query.PlannerFor(inst.ReadIndex()); pl != nil {
+		return fmt.Sprintf("plan=single est=%.0f actual=%d", pl.EstimateSet(rels, ref), stats.Candidates)
+	}
+	return fmt.Sprintf("plan=single est=n/a actual=%d", stats.Candidates)
 }
 
 // handleJoin streams a topological spatial join of two served indexes

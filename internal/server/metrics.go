@@ -31,6 +31,12 @@ type Metrics struct {
 	directAccepts   atomic.Uint64
 	falseHits       atomic.Uint64
 
+	// Planner counters: conjunctions answered empty straight from the
+	// composition table, and conjunctions where the histogram estimate
+	// overrode the static cost-group term order.
+	planShortCircuit atomic.Uint64
+	planReorder      atomic.Uint64
+
 	// Join counters: result pairs streamed, pages read by synchronized
 	// traversals, joins currently executing, and a wall-time histogram
 	// (joins run orders of magnitude longer than window queries, so
@@ -85,6 +91,9 @@ type Metrics struct {
 	// shardStats surfaces router fan-out counters of the sharded
 	// indexes the same way.
 	shardStats func() []ShardStat
+	// cacheStats surfaces the result cache's hit/miss/eviction counters
+	// the same way; nil when caching is disabled.
+	cacheStats func() (hits, misses, evictions uint64)
 }
 
 // PoolStat is one index's buffer-pool counters for /metrics.
@@ -186,6 +195,12 @@ func (m *Metrics) FoldQuery(s query.Stats) {
 	m.refinementTests.Add(uint64(s.RefinementTests))
 	m.directAccepts.Add(uint64(s.DirectAccepts))
 	m.falseHits.Add(uint64(s.FalseHits))
+	if s.ShortCircuited {
+		m.planShortCircuit.Add(1)
+	}
+	if s.Reordered {
+		m.planReorder.Add(1)
+	}
 }
 
 // FoldJoin accumulates one join request's cost: pairs actually written
@@ -346,6 +361,14 @@ func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
 	counter("topod_refinement_tests_total", "Candidates that needed an exact geometry test.", m.refinementTests.Load())
 	counter("topod_direct_accepts_total", "Candidates accepted from MBR configuration alone (Figure 9).", m.directAccepts.Load())
 	counter("topod_false_hits_total", "Candidates rejected by refinement.", m.falseHits.Load())
+	counter("topod_plan_shortcircuit_total", "Conjunctions answered empty from the relation composition table (zero page reads).", m.planShortCircuit.Load())
+	counter("topod_plan_reorder_total", "Conjunctions where histogram selectivity overrode the static cost-group term order.", m.planReorder.Load())
+	if m.cacheStats != nil {
+		hits, misses, evictions := m.cacheStats()
+		counter("topod_cache_hits_total", "Queries answered from the result cache (zero page reads).", hits)
+		counter("topod_cache_misses_total", "Query cache lookups that fell through to a traversal.", misses)
+		counter("topod_cache_evictions_total", "Result-cache entries displaced from the LRU cold end.", evictions)
+	}
 	counter("topod_join_pairs_total", "Result pairs streamed by /v1/join.", m.joinPairs.Load())
 	counter("topod_join_node_accesses_total", "Tree pages read by synchronized join traversals.", m.joinNodeAccesses.Load())
 	gauge("topod_join_in_flight", "Join requests currently executing.", m.joinInFlight.Load())

@@ -77,6 +77,12 @@ type Config struct {
 	// stays silent for several heartbeats, so keep this well below the
 	// follower's stall timeout.
 	ReplHeartbeat time.Duration
+	// CacheSize is the capacity (entries) of the /v1/query result
+	// cache, shared across indexes and keyed on each instance's
+	// mutation generation so entries invalidate for free. 0 disables
+	// caching (the zero Config serves uncached); topod passes its
+	// -cache-size flag here.
+	CacheSize int
 }
 
 // IndexSpec describes one named index to serve.
@@ -196,6 +202,13 @@ type Instance struct {
 	// the parent route to one tile under wmu (see shard.go).
 	tiles  []*Instance
 	router *shard.Sharded
+
+	// gen counts committed mutations — the invalidation clock of the
+	// result cache (see cache.go). Bumped after every successful
+	// Insert/Delete/InsertBatch, replication apply, and follower
+	// bootstrap; never for checkpoints or read-view swaps, which keep
+	// the logical contents unchanged.
+	gen atomic.Uint64
 }
 
 // Backend reports which boot path produced the instance's first read
@@ -298,6 +311,14 @@ func (inst *Instance) Sharded() int { return len(inst.tiles) }
 // Insert stores one rectangle, logging it to the WAL (before the
 // caller acknowledges) when the index is durable.
 func (inst *Instance) Insert(r geom.Rect, oid uint64) error {
+	if err := inst.insert(r, oid); err != nil {
+		return err
+	}
+	inst.bumpGen()
+	return nil
+}
+
+func (inst *Instance) insert(r geom.Rect, oid uint64) error {
 	if len(inst.tiles) > 0 {
 		return inst.shardInsert(r, oid)
 	}
@@ -316,6 +337,14 @@ func (inst *Instance) Insert(r geom.Rect, oid uint64) error {
 // Delete removes one rectangle/id entry, logging it to the WAL when
 // the index is durable.
 func (inst *Instance) Delete(r geom.Rect, oid uint64) error {
+	if err := inst.del(r, oid); err != nil {
+		return err
+	}
+	inst.bumpGen()
+	return nil
+}
+
+func (inst *Instance) del(r geom.Rect, oid uint64) error {
 	if len(inst.tiles) > 0 {
 		return inst.shardDelete(r, oid)
 	}
@@ -336,6 +365,14 @@ func (inst *Instance) Delete(r geom.Rect, oid uint64) error {
 // on a durable index, one contiguous WAL run with a single
 // group-committed flush.
 func (inst *Instance) InsertBatch(recs []rtree.Record) error {
+	if err := inst.insertBatch(recs); err != nil {
+		return err
+	}
+	inst.bumpGen()
+	return nil
+}
+
+func (inst *Instance) insertBatch(recs []rtree.Record) error {
 	if len(inst.tiles) > 0 {
 		return inst.shardInsertBatch(recs)
 	}
@@ -362,6 +399,9 @@ type Server struct {
 	cfg     Config
 	metrics *Metrics
 	adm     *admission
+	// cache memoises /v1/query answers keyed on instance generation
+	// (nil when Config.CacheSize is 0).
+	cache *resultCache
 
 	mu          sync.RWMutex
 	instances   map[string]*Instance
@@ -397,8 +437,12 @@ func New(cfg Config) *Server {
 		cfg:        cfg,
 		metrics:    m,
 		adm:        newAdmission(cfg.MaxInFlight, cfg.RetryAfter, m),
+		cache:      newResultCache(cfg.CacheSize),
 		instances:  make(map[string]*Instance),
 		watchSlots: make(chan struct{}, cfg.MaxWatch),
+	}
+	if s.cache != nil {
+		m.cacheStats = s.cache.counters
 	}
 	m.poolStats = s.poolStats
 	m.healthStats = s.healthStats

@@ -28,15 +28,28 @@ type QueryRequest struct {
 	Limit int `json:"limit,omitempty"`
 	// TimeoutMS, when positive, bounds the request's processing time.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Relations2/Ref2, when present, make the query a conjunction: an
+	// object must satisfy Relations against Ref AND Relations2 against
+	// Ref2. The planner orders the two terms by estimated selectivity
+	// and may answer provably-empty combinations from the composition
+	// table without touching the tree.
+	Relations2 []string  `json:"relations2,omitempty"`
+	Ref2       []float64 `json:"ref2,omitempty"`
+	// Explain asks for the planner's decision trace in the trailing
+	// stats line. Off by default so the stats line is byte-stable
+	// across planner and cache changes.
+	Explain bool `json:"explain,omitempty"`
 }
 
-// WireStats is query.Stats on the wire.
+// WireStats is query.Stats on the wire. Explain appears only when the
+// request set QueryRequest.Explain.
 type WireStats struct {
 	NodeAccesses    uint64 `json:"node_accesses"`
 	Candidates      int    `json:"candidates"`
 	RefinementTests int    `json:"refinement_tests,omitempty"`
 	DirectAccepts   int    `json:"direct_accepts,omitempty"`
 	FalseHits       int    `json:"false_hits,omitempty"`
+	Explain         string `json:"explain,omitempty"`
 }
 
 // QueryLine is one NDJSON line of a /v1/query response. Match lines

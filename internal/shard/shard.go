@@ -70,6 +70,23 @@ func (s *Sharded) Tiles() []index.Index {
 	return out
 }
 
+// Stats merges the tiles' node-MBR summaries into one logical-index
+// summary, so the query planner sees a sharded index exactly like a
+// single one. A tile without statistics contributes nothing.
+func (s *Sharded) Stats() (*rtree.TreeStats, error) {
+	parts := make([]*rtree.TreeStats, 0, len(s.fns))
+	for _, fn := range s.fns {
+		st, err := index.StatsOf(fn())
+		if err != nil {
+			return nil, err
+		}
+		if st != nil {
+			parts = append(parts, st)
+		}
+	}
+	return rtree.MergeStats(parts), nil
+}
+
 // RouterStats is the scatter-gather accounting since startup.
 type RouterStats struct {
 	Tiles    int

@@ -1,0 +1,196 @@
+package mbrtopo_test
+
+// Benchmarks for the cost-based planner and the generation-keyed
+// result cache (`make bench-plan` → BENCH_plan.json):
+//
+//   - BenchmarkPlanner/conjunction compares the static CostGroup term
+//     order against the histogram-planned order on a skewed workload
+//     where the static rule picks the dense (expensive) side.
+//   - BenchmarkPlanner/domination compares a plain MBR-intersection
+//     descent against the domination + configuration node pruning the
+//     filter step runs, for a selective relation.
+//   - BenchmarkCachedQuery measures /v1/query end to end: always-miss
+//     (a fresh query shape each iteration) against repeat-hit.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"mbrtopo/internal/geom"
+	"mbrtopo/internal/index"
+	"mbrtopo/internal/mbr"
+	"mbrtopo/internal/query"
+	"mbrtopo/internal/rtree"
+	"mbrtopo/internal/server"
+	"mbrtopo/internal/topo"
+	"mbrtopo/internal/workload"
+)
+
+// skewedPlanIndex builds the planner's adversarial distribution: a
+// dense cluster in [0,20]² holding 90% of the data and a thin scatter
+// over [0,100]². Area-based heuristics misjudge this file — a small
+// window in the cluster retrieves far more than a large window over
+// the scatter.
+func skewedPlanIndex(b *testing.B) index.Index {
+	b.Helper()
+	rng := rand.New(rand.NewSource(7))
+	var recs []rtree.Record
+	oid := uint64(1)
+	add := func(x, y, w, h float64) {
+		recs = append(recs, rtree.Record{Rect: geom.R(x, y, x+w, y+h), OID: oid})
+		oid++
+	}
+	for i := 0; i < 5400; i++ { // dense cluster in [0,20]²
+		add(rng.Float64()*19, rng.Float64()*19, 0.5+rng.Float64(), 0.5+rng.Float64())
+	}
+	for i := 0; i < 600; i++ { // sparse everywhere in [0,100]²
+		add(rng.Float64()*98, rng.Float64()*98, 0.5+rng.Float64(), 0.5+rng.Float64())
+	}
+	idx, err := index.NewWithPageSize(index.KindRStar, 512)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := idx.(*rtree.Tree).InsertBatch(recs); err != nil {
+		b.Fatal(err)
+	}
+	return idx
+}
+
+// statlessIndex hides the concrete tree's Stats method behind the bare
+// interface, so query.PlannerFor sees no statistics and the processor
+// falls back to the paper's static CostGroup order.
+type statlessIndex struct{ index.Index }
+
+// BenchmarkPlanner pits the static conjunction order against the
+// planned one, and plain intersection descent against domination
+// pruning. The accesses/op metric is the paper's disk-access count.
+func BenchmarkPlanner(b *testing.B) {
+	idx := skewedPlanIndex(b)
+	// Both terms are overlap (same cost group), so the static rule
+	// falls through to reference area and retrieves the smaller, dense
+	// window; the planner's histograms pick the sparse one.
+	sparse := geom.R(60, 60, 90, 90) // area 900, nearly empty
+	dense := geom.R(2, 2, 12, 12)    // area 100, deep in the cluster
+	rels := topo.NewSet(topo.Overlap)
+	runConj := func(b *testing.B, p *query.Processor) {
+		var accesses uint64
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			stats, err := p.StreamConjunction(context.Background(), rels, sparse, rels, dense, 0,
+				func(query.Match) bool { return true })
+			if err != nil {
+				b.Fatal(err)
+			}
+			accesses += stats.NodeAccesses
+		}
+		b.ReportMetric(float64(accesses)/float64(b.N), "accesses/op")
+	}
+	b.Run("conjunction/static", func(b *testing.B) {
+		runConj(b, &query.Processor{Idx: statlessIndex{idx}})
+	})
+	b.Run("conjunction/planned", func(b *testing.B) {
+		runConj(b, &query.Processor{Idx: idx})
+	})
+
+	// Domination pruning: for a selective relation (contains), the
+	// filter's node predicate admits only nodes whose rectangle can
+	// still contain the reference — a strict subset of the nodes a
+	// plain window-intersection descent reads.
+	ref := geom.R(5, 5, 15, 15)
+	contains := topo.NewSet(topo.Contains)
+	b.Run("domination/intersect-descent", func(b *testing.B) {
+		cands := mbr.CandidatesSet(contains)
+		nodePred := func(r geom.Rect) bool { return r.Intersects(ref) }
+		leafPred := func(r geom.Rect) bool { return cands.Has(mbr.ConfigOf(r, ref)) }
+		var accesses uint64
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ts, err := idx.SearchCtx(context.Background(), nodePred, leafPred,
+				func(geom.Rect, uint64) bool { return true })
+			if err != nil {
+				b.Fatal(err)
+			}
+			accesses += ts.NodeAccesses
+		}
+		b.ReportMetric(float64(accesses)/float64(b.N), "accesses/op")
+	})
+	b.Run("domination/pruned", func(b *testing.B) {
+		p := &query.Processor{Idx: idx}
+		var accesses uint64
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			stats, err := p.Stream(context.Background(), contains, ref, 0,
+				func(query.Match) bool { return true })
+			if err != nil {
+				b.Fatal(err)
+			}
+			accesses += stats.NodeAccesses
+		}
+		b.ReportMetric(float64(accesses)/float64(b.N), "accesses/op")
+	})
+}
+
+// BenchmarkCachedQuery drives /v1/query through the server handler
+// against a cached server: the miss leg sends a fresh query shape
+// every iteration (the cache stores but never serves), the hit leg
+// repeats one shape. The handler is exercised in-process so the
+// numbers measure the query path, not the TCP stack.
+func BenchmarkCachedQuery(b *testing.B) {
+	d := workload.NewDataset(workload.Medium, 100000, 20, 1995)
+	srv := server.New(server.Config{CacheSize: 8192})
+	defer srv.Close()
+	if _, err := srv.AddIndex(server.IndexSpec{
+		Name:     "bench",
+		Kind:     index.KindRStar,
+		PageSize: index.PaperPageSize,
+		Bulk:     true,
+	}, d.Items); err != nil {
+		b.Fatal(err)
+	}
+	handler := srv.Handler()
+
+	post := func(b *testing.B, body []byte) {
+		req := httptest.NewRequest(http.MethodPost, "/v1/query", bytes.NewReader(body))
+		rec := httptest.NewRecorder()
+		handler.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			b.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+		}
+	}
+	marshal := func(b *testing.B, ref geom.Rect) []byte {
+		body, err := json.Marshal(server.QueryRequest{
+			Index:     "bench",
+			Relations: []string{"overlap"},
+			Ref:       []float64{ref.Min.X, ref.Min.Y, ref.Max.X, ref.Max.Y},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return body
+	}
+	// A window holding a few thousand of the 100k objects: the miss
+	// traversal reads hundreds of pages, the hit replays one buffer.
+	base := geom.R(300, 300, 420, 420)
+
+	b.Run("miss", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			// Perturb the reference so every iteration is a distinct,
+			// never-before-seen cache key of near-identical cost.
+			ref := geom.R(base.Min.X, base.Min.Y, base.Max.X+float64(i+1)*1e-9, base.Max.Y)
+			post(b, marshal(b, ref))
+		}
+	})
+	b.Run("hit", func(b *testing.B) {
+		body := marshal(b, base)
+		post(b, body) // prime the entry
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			post(b, body)
+		}
+	})
+}

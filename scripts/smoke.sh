@@ -21,7 +21,11 @@
 # An eighth leg boots `-shards 4` next to a `-shards 1` twin over the
 # same dataset, asserts identical query/knn/join counts through the
 # scatter-gather router, then kill -9s the sharded daemon and asserts
-# the reboot (without the flag) recovers every tile.
+# the reboot (without the flag) recovers every tile. A ninth leg
+# repeats a query against a `-cache-size` topod, asserts the repeat is
+# byte-identical and increments topod_cache_hits_total, then mutates
+# and asserts the same query misses (generation-keyed invalidation)
+# and sees the new rectangle.
 set -euo pipefail
 
 TOPOD="${1:?usage: smoke.sh path/to/topod path/to/topoquery path/to/datagen}"
@@ -40,17 +44,18 @@ cleanup() {
   kill -9 "$PID8" 2>/dev/null || true
   kill -9 "$PID9" 2>/dev/null || true
   kill -9 "$PID10" 2>/dev/null || true
+  kill -9 "$PID11" 2>/dev/null || true
   kill -9 "$CURLPID" 2>/dev/null || true
   kill -9 "$WATCHPID" 2>/dev/null || true
   rm -rf "$LOG" "$LOG2" "$LOG3" "$LOG4" "$LOG5" "$LOG6" "$LOG7" "$LOG8" "$LOG9" \
-    "$LOG10" "$LOG11" "$LOG12" "$LOG13" "$LOG14" "$LOG15" "$WLOG" "$BULK" "$WBULK" \
+    "$LOG10" "$LOG11" "$LOG12" "$LOG13" "$LOG14" "$LOG15" "$LOG16" "$WLOG" "$BULK" "$WBULK" \
     "$LEFT" "$RIGHT" "$HDRS" "$DATADIR" "$DATADIR2" "$DATADIR3" "$DATADIR4" \
     "$DATADIR5" "$DATADIR6" "$DATADIR7" 2>/dev/null || true
 }
-PID="" PID2="" PID3="" PID4="" PID5="" PID6="" PID7="" PID8="" PID9="" PID10=""
+PID="" PID2="" PID3="" PID4="" PID5="" PID6="" PID7="" PID8="" PID9="" PID10="" PID11=""
 CURLPID="" WATCHPID=""
 LOG2="" LOG3="" LOG4="" LOG5="" LOG6="" LOG7="" LOG8="" LOG9="" LOG10="" LOG11=""
-LOG12="" LOG13="" LOG14="" LOG15="" WLOG="" BULK="" WBULK="" LEFT="" RIGHT="" HDRS=""
+LOG12="" LOG13="" LOG14="" LOG15="" LOG16="" WLOG="" BULK="" WBULK="" LEFT="" RIGHT="" HDRS=""
 DATADIR2="" DATADIR3="" DATADIR4="" DATADIR5="" DATADIR6="" DATADIR7=""
 
 # wait_listen LOGFILE: echo the address once the daemon logs it.
@@ -697,3 +702,53 @@ if ! wait "$PID10"; then
 fi
 
 echo "smoke OK: -shards 4 matched -shards 1 answers + kill -9 recovered every tile"
+
+# ---- cache leg: a repeat query must hit the generation-keyed result
+# cache byte for byte; a mutation bumps the generation, so the same
+# query must miss and see the new rectangle ----
+
+LOG16="$(mktemp)"
+"$TOPOD" -gen 1000 -bulk -tree rstar -cache-size 64 -addr 127.0.0.1:0 >"$LOG16" 2>&1 &
+PID11=$!
+ADDR11="$(wait_listen "$LOG16")" || {
+  echo "smoke: cache-leg topod never started listening" >&2
+  cat "$LOG16" >&2
+  exit 1
+}
+CBASE="http://$ADDR11"
+wait_ready "$CBASE" || { echo "smoke: cache-leg topod never became ready" >&2; exit 1; }
+
+CQ='{"relations":["not_disjoint"],"ref":[200,200,500,500]}'
+COLD="$(curl -sf -d "$CQ" "$CBASE/v1/query")"
+WARM="$(curl -sf -d "$CQ" "$CBASE/v1/query")"
+[ "$COLD" = "$WARM" ] \
+  || { echo "smoke: cache hit response differs from the cold miss" >&2; exit 1; }
+
+CMET="$(curl -sf "$CBASE/metrics")"
+echo "$CMET" | grep -q '^topod_cache_hits_total 1$' \
+  || { echo "smoke: repeat query did not increment topod_cache_hits_total" >&2; echo "$CMET" | grep '^topod_cache' >&2; exit 1; }
+echo "$CMET" | grep -q '^topod_cache_misses_total 1$' \
+  || { echo "smoke: cold query did not count one cache miss" >&2; echo "$CMET" | grep '^topod_cache' >&2; exit 1; }
+
+# A mutation bumps the generation: the same query is a miss again and
+# must include the freshly inserted rectangle, never the stale answer.
+CACK="$(curl -sf -d '{"oid":880001,"rect":[210,210,220,220]}' "$CBASE/v1/insert")"
+echo "$CACK" | grep -q '"ok":true' \
+  || { echo "smoke: cache-leg insert failed: $CACK" >&2; exit 1; }
+AFTER="$(curl -sf -d "$CQ" "$CBASE/v1/query")"
+echo "$AFTER" | grep -q '"oid":880001' \
+  || { echo "smoke: post-mutation query served a stale cached answer" >&2; exit 1; }
+CMET2="$(curl -sf "$CBASE/metrics")"
+echo "$CMET2" | grep -q '^topod_cache_misses_total 2$' \
+  || { echo "smoke: post-mutation query did not miss the cache" >&2; echo "$CMET2" | grep '^topod_cache' >&2; exit 1; }
+echo "$CMET2" | grep -q '^topod_cache_hits_total 1$' \
+  || { echo "smoke: post-mutation query wrongly hit the cache" >&2; echo "$CMET2" | grep '^topod_cache' >&2; exit 1; }
+
+kill -TERM "$PID11"
+if ! wait "$PID11"; then
+  echo "smoke: cache-leg topod exited non-zero on SIGTERM" >&2
+  cat "$LOG16" >&2
+  exit 1
+fi
+
+echo "smoke OK: cache hit on repeat query + generation-keyed miss after mutation"
